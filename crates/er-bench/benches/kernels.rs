@@ -1,0 +1,187 @@
+//! Criterion microbenchmarks over the hot kernels of the workspace:
+//! tokenization, similarity functions, blocking construction, meta-blocking
+//! graph + weighting, similarity joins, Swoosh, and progressive scheduling.
+//!
+//! These complement the experiment binaries (`exp_*`): the experiments
+//! regenerate the surveyed tables; the benches track kernel-level regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use er_blocking::simjoin::{JoinAlgorithm, SimilarityJoin};
+use er_blocking::TokenBlocking;
+use er_core::similarity::{jaccard, jaro_winkler, levenshtein_distance, CorpusStats};
+use er_core::tokenize::{qgrams, Tokenizer};
+use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+use er_metablocking::{BlockingGraph, PruningScheme, WeightingScheme};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn dataset(entities: usize) -> DirtyDataset {
+    DirtyDataset::generate(&DirtyConfig::sized(
+        entities,
+        NoiseModel::moderate(),
+        0xBE9C,
+    ))
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let t = Tokenizer::default();
+    let value =
+        "The Imitation Game: Alan M. Turing, Bletchley Park (1943) — cryptanalysis of the Enigma";
+    c.bench_function("tokenize/words", |b| b.iter(|| t.tokens(black_box(value))));
+    c.bench_function("tokenize/qgrams3", |b| {
+        b.iter(|| qgrams(black_box(value), 3))
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let a: BTreeSet<String> = "alan mathison turing bletchley park enigma cryptanalysis"
+        .split(' ')
+        .map(str::to_string)
+        .collect();
+    let b: BTreeSet<String> = "alan turing enigma machine computation cambridge"
+        .split(' ')
+        .map(str::to_string)
+        .collect();
+    c.bench_function("similarity/jaccard", |bch| {
+        bch.iter(|| jaccard(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("similarity/levenshtein", |bch| {
+        bch.iter(|| {
+            levenshtein_distance(
+                black_box("kathryn johnstone"),
+                black_box("catherine johnston"),
+            )
+        })
+    });
+    c.bench_function("similarity/jaro_winkler", |bch| {
+        bch.iter(|| {
+            jaro_winkler(
+                black_box("kathryn johnstone"),
+                black_box("catherine johnston"),
+            )
+        })
+    });
+    let docs: Vec<BTreeSet<String>> = (0..100)
+        .map(|i| {
+            format!("token{} token{} shared common", i, i * 7 % 30)
+                .split(' ')
+                .map(str::to_string)
+                .collect()
+        })
+        .collect();
+    let stats = CorpusStats::from_documents(docs.iter());
+    c.bench_function("similarity/tfidf_cosine", |bch| {
+        bch.iter(|| stats.tfidf_cosine(black_box(&docs[0]), black_box(&docs[1])))
+    });
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let ds = dataset(1000);
+    c.bench_function("blocking/token_1000", |b| {
+        b.iter(|| TokenBlocking::new().build(black_box(&ds.collection)))
+    });
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    c.bench_function("blocking/distinct_pairs_1000", |b| {
+        b.iter(|| blocks.distinct_pairs(black_box(&ds.collection)))
+    });
+}
+
+fn bench_metablocking(c: &mut Criterion) {
+    let ds = dataset(1000);
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    c.bench_function("metablocking/graph_build_1000", |b| {
+        b.iter(|| BlockingGraph::build(black_box(&ds.collection), black_box(&blocks)))
+    });
+    let graph = BlockingGraph::build(&ds.collection, &blocks);
+    for weighting in [
+        WeightingScheme::Cbs,
+        WeightingScheme::Arcs,
+        WeightingScheme::Ecbs,
+    ] {
+        c.bench_function(
+            &format!("metablocking/wnp_{}_1000", weighting.name()),
+            |b| b.iter(|| PruningScheme::Wnp.prune(black_box(&graph), weighting)),
+        );
+    }
+}
+
+fn bench_simjoin(c: &mut Criterion) {
+    let ds = dataset(600);
+    for alg in [JoinAlgorithm::AllPairs, JoinAlgorithm::PPJoin] {
+        c.bench_function(&format!("simjoin/{}_600_t0.5", alg.name()), |b| {
+            b.iter(|| SimilarityJoin::new(0.5, alg).run(black_box(&ds.collection)))
+        });
+    }
+}
+
+fn bench_swoosh(c: &mut Criterion) {
+    let ds = dataset(200);
+    c.bench_function("iterative/r_swoosh_200", |b| {
+        b.iter_batched(
+            || {
+                er_core::merge::ProfileThresholdMatcher::new(
+                    er_core::similarity::SetMeasure::Overlap,
+                    0.7,
+                )
+            },
+            |m| er_iterative::r_swoosh(black_box(&ds.collection), &m),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_progressive(c: &mut Criterion) {
+    let ds = dataset(500);
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let candidates = blocks.distinct_pairs(&ds.collection);
+    c.bench_function("progressive/score_and_sort_500", |b| {
+        b.iter(|| {
+            let scored = er_progressive::hints::score_pairs(
+                black_box(&ds.collection),
+                black_box(&candidates),
+                er_core::similarity::SetMeasure::Jaccard,
+            );
+            er_progressive::hints::sorted_pair_list(&scored)
+        })
+    });
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let ds = dataset(1000);
+    c.bench_function("blocking/minhash_6x2_1000", |b| {
+        b.iter(|| er_blocking::minhash::MinHashBlocking::new(6, 2).build(black_box(&ds.collection)))
+    });
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let ds = dataset(300);
+    c.bench_function("iterative/incremental_insert_300", |b| {
+        b.iter(|| {
+            let mut r = er_iterative::incremental::IncrementalResolver::new(
+                er_core::merge::SharedTokenMatcher::new(3),
+            );
+            for e in ds.collection.iter() {
+                r.insert(e);
+            }
+            r.clusters().len()
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = dataset(500);
+    c.bench_function("pipeline/default_500", |b| {
+        b.iter(|| {
+            er_pipeline::Pipeline::builder()
+                .build()
+                .run(black_box(&ds.collection))
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tokenize, bench_similarity, bench_blocking, bench_metablocking, bench_simjoin, bench_swoosh, bench_progressive, bench_minhash, bench_incremental, bench_pipeline
+}
+criterion_main!(kernels);

@@ -1,0 +1,5 @@
+//! Runs the complete experiment suite (E1–E8). The output of this binary is
+//! what EXPERIMENTS.md records.
+fn main() {
+    er_bench::experiments::run_all();
+}

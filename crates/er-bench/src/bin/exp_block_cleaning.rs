@@ -1,0 +1,4 @@
+//! Runs experiment `e2_block_cleaning` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e2_block_cleaning();
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `e1_blocking_quality` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e1_blocking_quality();
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `e9_filtering_ablation` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e9_filtering_ablation();
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `e11_incremental` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e11_incremental();
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `e5_iterative` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e5_iterative();
+}

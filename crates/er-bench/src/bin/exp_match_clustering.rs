@@ -1,0 +1,4 @@
+//! Runs experiment `e10_match_clustering` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e10_match_clustering();
+}

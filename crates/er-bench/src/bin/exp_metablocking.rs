@@ -1,0 +1,4 @@
+//! Runs experiment `e3_metablocking` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e3_metablocking();
+}

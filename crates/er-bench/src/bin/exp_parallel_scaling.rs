@@ -1,0 +1,4 @@
+//! Runs experiment `e4_parallel_scaling` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e4_parallel_scaling();
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `e6_progressive` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e6_progressive();
+}

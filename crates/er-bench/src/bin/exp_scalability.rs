@@ -1,0 +1,4 @@
+//! Runs experiment `e7_scalability` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e7_scalability();
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `e8_simjoin` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e8_simjoin();
+}

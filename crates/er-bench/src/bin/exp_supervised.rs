@@ -1,0 +1,4 @@
+//! Runs experiment `e12_supervised` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e12_supervised();
+}

@@ -1,0 +1,4 @@
+//! Runs experiment `e13_tokenizer_ablation` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e13_tokenizer_ablation();
+}

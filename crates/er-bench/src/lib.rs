@@ -1,0 +1,113 @@
+//! # er-bench — the experiment harness
+//!
+//! One binary per experiment of DESIGN.md's index (`src/bin/exp_*.rs`), each
+//! regenerating the table/series of an evaluation family surveyed by the
+//! ICDE 2017 tutorial, plus Criterion microbenches over the hot kernels
+//! (`benches/kernels.rs`). `exp_all` runs every experiment in sequence —
+//! its output is the data recorded in EXPERIMENTS.md.
+//!
+//! This module holds the shared plumbing: deterministic dataset presets and
+//! plain-text table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use er_datagen::{CleanCleanConfig, DirtyConfig, NoiseModel};
+
+/// The dirty-ER preset used by most experiments (moderate noise, skewed
+/// tokens), sized by entity count.
+pub fn dirty_preset(entities: usize) -> DirtyConfig {
+    DirtyConfig {
+        entities,
+        duplicate_fraction: 0.4,
+        max_cluster_size: 3,
+        noise: NoiseModel::moderate(),
+        keep_attribute_fraction: 0.8,
+        seed: 0xBE9C_0017,
+        ..Default::default()
+    }
+}
+
+/// The clean–clean preset used by the meta-blocking experiment.
+pub fn clean_clean_preset(shared: usize) -> CleanCleanConfig {
+    CleanCleanConfig {
+        shared_entities: shared,
+        only_first: shared / 2,
+        only_second: shared / 2,
+        seed: 0xBE9C_0018,
+        ..Default::default()
+    }
+}
+
+/// A fixed-width plain-text table writer: prints a header once, then rows;
+/// every experiment prints through this so outputs are uniform and greppable.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Creates the table and prints its header row and a separator.
+    pub fn new(columns: &[(&str, usize)]) -> Self {
+        let widths: Vec<usize> = columns.iter().map(|(_, w)| *w).collect();
+        let mut header = String::new();
+        for ((name, w), i) in columns.iter().zip(0..) {
+            if i > 0 {
+                header.push(' ');
+            }
+            header.push_str(&format!("{name:>w$}"));
+        }
+        println!("{header}");
+        println!("{}", "-".repeat(header.len()));
+        Table { widths }
+    }
+
+    /// Prints one row of already-formatted cells, right-aligned per column.
+    pub fn row(&self, cells: &[String]) {
+        assert_eq!(cells.len(), self.widths.len(), "cell count mismatch");
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&self.widths).enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&format!("{cell:>w$}"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Formats a float with 3 decimals (metric columns).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 4 decimals (PQ-style small numbers).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = er_datagen::DirtyDataset::generate(&dirty_preset(100));
+        let b = er_datagen::DirtyDataset::generate(&dirty_preset(100));
+        assert_eq!(a.truth.len(), b.truth.len());
+        let c = er_datagen::CleanCleanDataset::generate(&clean_clean_preset(50));
+        assert_eq!(c.truth.len(), 50);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f4(0.00012), "0.0001");
+    }
+}
+
+pub mod experiments;

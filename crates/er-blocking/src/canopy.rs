@@ -1,0 +1,144 @@
+//! Canopy clustering blocking.
+//!
+//! Repeatedly pick a seed description, gather every remaining description
+//! whose cheap similarity to the seed exceeds the *loose* threshold into a
+//! canopy (block), and remove from the candidate pool those above the
+//! *tight* threshold. Canopies overlap, so recall survives threshold
+//! misjudgments. Seeds are taken in id order for determinism.
+
+use crate::block::{Block, BlockCollection};
+use er_core::collection::EntityCollection;
+use er_core::similarity::SetMeasure;
+use er_core::tokenize::Tokenizer;
+use std::collections::BTreeSet;
+
+/// Canopy clustering with a cheap token-set measure.
+#[derive(Clone, Debug)]
+pub struct CanopyBlocking {
+    measure: SetMeasure,
+    /// Loose threshold: join the canopy when `sim ≥ t_loose`.
+    t_loose: f64,
+    /// Tight threshold: leave the pool when `sim ≥ t_tight` (`≥ t_loose`).
+    t_tight: f64,
+    tokenizer: Tokenizer,
+}
+
+impl CanopyBlocking {
+    /// Creates the method.
+    ///
+    /// # Panics
+    /// Panics unless `0 < t_loose ≤ t_tight ≤ 1`.
+    pub fn new(measure: SetMeasure, t_loose: f64, t_tight: f64) -> Self {
+        assert!(
+            t_loose > 0.0,
+            "a zero loose threshold puts everything in one canopy"
+        );
+        assert!(
+            t_loose <= t_tight && t_tight <= 1.0,
+            "need 0 < t_loose ≤ t_tight ≤ 1"
+        );
+        CanopyBlocking {
+            measure,
+            t_loose,
+            t_tight,
+            tokenizer: Tokenizer::default(),
+        }
+    }
+
+    /// Builds the canopies as blocks.
+    pub fn build(&self, collection: &EntityCollection) -> BlockCollection {
+        let token_sets: Vec<BTreeSet<String>> = collection
+            .iter()
+            .map(|e| e.token_set(&self.tokenizer))
+            .collect();
+        let n = collection.len();
+        let mut in_pool = vec![true; n];
+        let mut blocks = Vec::new();
+        for seed in 0..n {
+            if !in_pool[seed] {
+                continue;
+            }
+            in_pool[seed] = false;
+            let mut members = vec![er_core::entity::EntityId(seed as u32)];
+            for other in 0..n {
+                if other == seed || !in_pool[other] {
+                    continue;
+                }
+                let sim = self.measure.eval(&token_sets[seed], &token_sets[other]);
+                if sim >= self.t_loose {
+                    members.push(er_core::entity::EntityId(other as u32));
+                    if sim >= self.t_tight {
+                        in_pool[other] = false;
+                    }
+                }
+            }
+            blocks.push(Block::new(format!("canopy:{seed}"), members));
+        }
+        BlockCollection::new(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityBuilder, EntityId, KbId};
+    use er_core::pair::Pair;
+
+    fn collection() -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "alpha beta gamma"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "alpha beta delta"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "omega psi chi"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "omega psi phi"));
+        c
+    }
+
+    #[test]
+    fn similar_entities_share_a_canopy() {
+        let c = collection();
+        let bc = CanopyBlocking::new(SetMeasure::Jaccard, 0.3, 0.6).build(&c);
+        let pairs = bc.distinct_pairs(&c);
+        assert!(pairs.contains(&Pair::new(EntityId(0), EntityId(1))));
+        assert!(pairs.contains(&Pair::new(EntityId(2), EntityId(3))));
+        assert!(!pairs.contains(&Pair::new(EntityId(0), EntityId(2))));
+    }
+
+    #[test]
+    fn tight_threshold_removes_from_pool() {
+        let c = collection();
+        // With tight = loose, near-duplicates never seed their own canopy.
+        let bc = CanopyBlocking::new(SetMeasure::Jaccard, 0.3, 0.3).build(&c);
+        // Canopies seeded at 0 and 2 swallow 1 and 3 respectively.
+        assert_eq!(bc.len(), 2);
+    }
+
+    #[test]
+    fn loose_canopies_overlap() {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "a b"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "b c"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "c d"));
+        // b-c joins both canopies (loose) but only leaves the pool at tight.
+        let bc = CanopyBlocking::new(SetMeasure::Jaccard, 0.3, 0.9).build(&c);
+        let idx = bc.entity_index(3);
+        assert!(!idx[1].is_empty());
+        let pairs = bc.distinct_pairs(&c);
+        assert!(pairs.contains(&Pair::new(EntityId(0), EntityId(1))));
+        assert!(pairs.contains(&Pair::new(EntityId(1), EntityId(2))));
+    }
+
+    #[test]
+    #[should_panic(expected = "t_loose")]
+    fn invalid_thresholds_rejected() {
+        let _ = CanopyBlocking::new(SetMeasure::Jaccard, 0.8, 0.5);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = EntityCollection::new(ResolutionMode::Dirty);
+        assert!(CanopyBlocking::new(SetMeasure::Jaccard, 0.5, 0.5)
+            .build(&c)
+            .is_empty());
+    }
+}

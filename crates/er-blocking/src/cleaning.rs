@@ -1,0 +1,221 @@
+//! Block cleaning: purging oversized blocks and per-entity block filtering.
+//!
+//! Token blocking on skewed data yields a few enormous blocks (frequent
+//! tokens) that contribute most comparisons but almost no unique matches.
+//! **Block purging** (\[20\]) removes blocks above a comparison-cardinality
+//! limit; the automatic limit here is the *mean-cardinality cutoff*: purge
+//! every block whose comparison cardinality exceeds `factor ×` the mean over
+//! all blocks. On the long-tailed cardinality distributions token blocking
+//! produces, the mean sits far above the median (it is dragged up by the
+//! tail), so the cutoff removes exactly the frequent-token giants while the
+//! discriminative small blocks — which carry the matches — survive intact.
+//! **Block filtering** (\[22\]) keeps each entity only in the `ratio` fraction
+//! of its smallest blocks, shrinking the big blocks from the inside.
+
+use crate::block::{Block, BlockCollection};
+use er_core::collection::EntityCollection;
+
+/// Removes every block whose comparison cardinality exceeds `limit`.
+pub fn purge_above(
+    blocks: &BlockCollection,
+    collection: &EntityCollection,
+    limit: u64,
+) -> BlockCollection {
+    blocks
+        .blocks()
+        .iter()
+        .filter(|b| b.comparisons(collection) <= limit)
+        .cloned()
+        .collect::<Vec<Block>>()
+        .into_iter()
+        .collect()
+}
+
+/// Computes the automatic purging limit: `factor ×` the mean block
+/// comparison cardinality (`factor > 0`). Returns `None` on an empty
+/// collection.
+pub fn auto_purge_limit(
+    blocks: &BlockCollection,
+    collection: &EntityCollection,
+    factor: f64,
+) -> Option<u64> {
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "factor must be positive"
+    );
+    if blocks.is_empty() {
+        return None;
+    }
+    let total: u64 = blocks.aggregate_comparisons(collection);
+    let mean = total as f64 / blocks.len() as f64;
+    Some((factor * mean).floor().max(1.0) as u64)
+}
+
+/// The default cutoff factor of [`auto_purge`]: one mean. On long-tailed
+/// distributions the mean already sits above almost every block, so this
+/// purges only the explosive tail.
+pub const DEFAULT_PURGE_FACTOR: f64 = 1.0;
+
+/// Applies automatic block purging with [`DEFAULT_PURGE_FACTOR`].
+pub fn auto_purge(blocks: &BlockCollection, collection: &EntityCollection) -> BlockCollection {
+    match auto_purge_limit(blocks, collection, DEFAULT_PURGE_FACTOR) {
+        Some(limit) => purge_above(blocks, collection, limit),
+        None => BlockCollection::default(),
+    }
+}
+
+/// Block filtering: every entity is retained only in the `⌈ratio·k⌉` least-
+/// cardinality of its `k` blocks; blocks are then rebuilt from the retained
+/// assignments.
+pub fn filter_blocks(
+    blocks: &BlockCollection,
+    collection: &EntityCollection,
+    ratio: f64,
+) -> BlockCollection {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let n = collection.len();
+    let index = blocks.entity_index(n);
+    let cards: Vec<u64> = blocks
+        .blocks()
+        .iter()
+        .map(|b| b.comparisons(collection))
+        .collect();
+    // For each entity: sort its blocks by cardinality asc, keep the prefix.
+    let mut keep: Vec<Vec<er_core::entity::EntityId>> = vec![Vec::new(); blocks.len()];
+    for (e, blist) in index.iter().enumerate() {
+        if blist.is_empty() {
+            continue;
+        }
+        let mut sorted: Vec<u32> = blist.clone();
+        sorted.sort_by_key(|&bi| (cards[bi as usize], bi));
+        let kept = ((ratio * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        for &bi in sorted.iter().take(kept) {
+            keep[bi as usize].push(er_core::entity::EntityId(e as u32));
+        }
+    }
+    blocks
+        .blocks()
+        .iter()
+        .zip(keep)
+        .map(|(b, members)| Block::new(b.key(), members))
+        .collect::<Vec<Block>>()
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityId, KbId};
+
+    fn collection(n: usize) -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..n {
+            c.push(KbId(0), vec![]);
+        }
+        c
+    }
+
+    fn block(key: &str, ids: std::ops::Range<u32>) -> Block {
+        Block::new(key, ids.map(EntityId).collect())
+    }
+
+    #[test]
+    fn purge_above_removes_large_blocks() {
+        let c = collection(20);
+        let bc = BlockCollection::new(vec![
+            block("small", 0..3), // 3 comparisons
+            block("big", 0..10),  // 45 comparisons
+        ]);
+        let purged = purge_above(&bc, &c, 10);
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged.blocks()[0].key(), "small");
+    }
+
+    #[test]
+    fn auto_limit_skewed_distribution() {
+        let c = collection(200);
+        // Many small blocks plus one giant block: the heuristic must keep the
+        // small ones and purge the giant.
+        let mut blocks: Vec<Block> = (0..30)
+            .map(|i| block(&format!("s{i}"), (i * 2)..(i * 2 + 2)))
+            .collect();
+        blocks.push(block("giant", 0..150));
+        let bc = BlockCollection::new(blocks);
+        let purged = auto_purge(&bc, &c);
+        assert_eq!(purged.len(), 30, "giant block purged");
+        assert!(purged.by_key("giant").is_none());
+    }
+
+    #[test]
+    fn auto_limit_uniform_distribution_keeps_everything() {
+        let c = collection(40);
+        let blocks: Vec<Block> = (0..10)
+            .map(|i| block(&format!("b{i}"), (i * 4)..(i * 4 + 4)))
+            .collect();
+        let bc = BlockCollection::new(blocks);
+        let purged = auto_purge(&bc, &c);
+        assert_eq!(purged.len(), 10, "uniform blocks all survive");
+    }
+
+    #[test]
+    fn auto_limit_empty() {
+        let c = collection(0);
+        assert_eq!(auto_purge_limit(&BlockCollection::default(), &c, 1.0), None);
+    }
+
+    #[test]
+    fn purging_preserves_small_block_pairs() {
+        let c = collection(100);
+        let bc = BlockCollection::new(vec![block("s", 0..2), block("g", 0..80)]);
+        let purged = auto_purge(&bc, &c);
+        let pairs = purged.distinct_pairs(&c);
+        assert!(pairs.contains(&er_core::pair::Pair::new(EntityId(0), EntityId(1))));
+    }
+
+    #[test]
+    fn filtering_keeps_smallest_blocks_per_entity() {
+        let c = collection(10);
+        // Entity 0 is in a small and a large block; ratio 0.5 keeps only the
+        // small one.
+        let bc = BlockCollection::new(vec![block("small", 0..2), block("large", 0..8)]);
+        let filtered = filter_blocks(&bc, &c, 0.5);
+        let idx = filtered.entity_index(10);
+        assert_eq!(idx[0], vec![0], "entity 0 kept only in `small`");
+        assert_eq!(idx[1], vec![0]);
+        // Entities 2..8 are only in `large`, which they keep (min 1 block).
+        assert!(idx[2].contains(&1));
+    }
+
+    #[test]
+    fn filtering_ratio_one_is_identity_on_assignments() {
+        let c = collection(10);
+        let bc = BlockCollection::new(vec![block("a", 0..4), block("b", 2..6)]);
+        let filtered = filter_blocks(&bc, &c, 1.0);
+        assert_eq!(filtered.assignments(), bc.assignments());
+        assert_eq!(
+            filtered.distinct_pairs(&c).len(),
+            bc.distinct_pairs(&c).len()
+        );
+    }
+
+    #[test]
+    fn filtering_reduces_comparisons() {
+        let c = collection(30);
+        let bc = BlockCollection::new(vec![block("a", 0..2), block("b", 0..20), block("c", 0..25)]);
+        let filtered = filter_blocks(&bc, &c, 0.4);
+        assert!(
+            filtered.aggregate_comparisons(&c) < bc.aggregate_comparisons(&c),
+            "filtering must shrink the comparison load"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn bad_ratio_rejected() {
+        let c = collection(2);
+        let _ = filter_blocks(&BlockCollection::default(), &c, 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Multidimensional overlapping blocks (MultiBlock, Isele et al. \[17\]).
+//!
+//! Link-discovery rules combine several similarity functions (name, label,
+//! geo, …). MultiBlock builds one blocking collection per function
+//! ("dimension"), then aggregates them: a candidate pair's score is the
+//! weighted number of dimensions in which the pair co-occurs in some block.
+//! Pairs reaching `min_score` survive — so a pair only needs to look similar
+//! under *enough* of the functions, and no single noisy dimension can flood
+//! the candidate set.
+
+use crate::block::BlockCollection;
+use er_core::collection::EntityCollection;
+use er_core::pair::Pair;
+use std::collections::BTreeMap;
+
+/// One blocking dimension: a collection built from one similarity aspect,
+/// with its aggregation weight.
+#[derive(Clone, Debug)]
+pub struct Dimension {
+    /// Label for reporting.
+    pub name: String,
+    /// The dimension's blocks.
+    pub blocks: BlockCollection,
+    /// Aggregation weight (> 0).
+    pub weight: f64,
+}
+
+impl Dimension {
+    /// Creates a dimension.
+    pub fn new(name: impl Into<String>, blocks: BlockCollection, weight: f64) -> Self {
+        assert!(weight > 0.0, "dimension weight must be positive");
+        Dimension {
+            name: name.into(),
+            blocks,
+            weight,
+        }
+    }
+}
+
+/// The multidimensional aggregation.
+#[derive(Clone, Debug)]
+pub struct MultiBlock {
+    dimensions: Vec<Dimension>,
+    /// Minimum aggregated score for a pair to survive.
+    min_score: f64,
+}
+
+impl MultiBlock {
+    /// Creates the aggregator.
+    ///
+    /// # Panics
+    /// Panics when no dimensions are given.
+    pub fn new(dimensions: Vec<Dimension>, min_score: f64) -> Self {
+        assert!(
+            !dimensions.is_empty(),
+            "MultiBlock needs at least one dimension"
+        );
+        MultiBlock {
+            dimensions,
+            min_score,
+        }
+    }
+
+    /// Scores every pair that co-occurs in at least one dimension: the sum of
+    /// weights of dimensions where the pair shares ≥ 1 block.
+    pub fn scored_pairs(&self, collection: &EntityCollection) -> BTreeMap<Pair, f64> {
+        let mut scores: BTreeMap<Pair, f64> = BTreeMap::new();
+        for dim in &self.dimensions {
+            for p in dim.blocks.distinct_pairs(collection) {
+                *scores.entry(p).or_insert(0.0) += dim.weight;
+            }
+        }
+        scores
+    }
+
+    /// The surviving candidate pairs (score ≥ `min_score`), best first.
+    pub fn candidate_pairs(&self, collection: &EntityCollection) -> Vec<Pair> {
+        let mut scored: Vec<(Pair, f64)> = self
+            .scored_pairs(collection)
+            .into_iter()
+            .filter(|(_, s)| *s >= self.min_score)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.into_iter().map(|(p, _)| p).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityId, KbId};
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    fn collection(n: usize) -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..n {
+            c.push(KbId(0), vec![]);
+        }
+        c
+    }
+
+    fn bc(blocks: Vec<Vec<u32>>) -> BlockCollection {
+        BlockCollection::new(
+            blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, ids)| {
+                    Block::new(format!("b{i}"), ids.into_iter().map(EntityId).collect())
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn scores_sum_dimension_weights() {
+        let c = collection(3);
+        let mb = MultiBlock::new(
+            vec![
+                Dimension::new("name", bc(vec![vec![0, 1]]), 1.0),
+                Dimension::new("geo", bc(vec![vec![0, 1, 2]]), 0.5),
+            ],
+            0.0,
+        );
+        let scores = mb.scored_pairs(&c);
+        assert!((scores[&Pair::new(id(0), id(1))] - 1.5).abs() < 1e-12);
+        assert!((scores[&Pair::new(id(0), id(2))] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_score_filters_single_dimension_pairs() {
+        let c = collection(3);
+        let mb = MultiBlock::new(
+            vec![
+                Dimension::new("name", bc(vec![vec![0, 1]]), 1.0),
+                Dimension::new("geo", bc(vec![vec![0, 1, 2]]), 1.0),
+            ],
+            2.0,
+        );
+        let pairs = mb.candidate_pairs(&c);
+        assert_eq!(
+            pairs,
+            vec![Pair::new(id(0), id(1))],
+            "only the 2-dimension pair survives"
+        );
+    }
+
+    #[test]
+    fn candidates_sorted_by_score_desc() {
+        let c = collection(4);
+        let mb = MultiBlock::new(
+            vec![
+                Dimension::new("a", bc(vec![vec![0, 1], vec![2, 3]]), 1.0),
+                Dimension::new("b", bc(vec![vec![0, 1]]), 1.0),
+            ],
+            1.0,
+        );
+        let pairs = mb.candidate_pairs(&c);
+        assert_eq!(
+            pairs[0],
+            Pair::new(id(0), id(1)),
+            "double-scored pair first"
+        );
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn multiple_shared_blocks_in_one_dimension_count_once() {
+        let c = collection(2);
+        let mb = MultiBlock::new(
+            vec![Dimension::new("a", bc(vec![vec![0, 1], vec![0, 1]]), 1.0)],
+            0.0,
+        );
+        let scores = mb.scored_pairs(&c);
+        assert!((scores[&Pair::new(id(0), id(1))] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_dimensions_rejected() {
+        let _ = MultiBlock::new(vec![], 1.0);
+    }
+}

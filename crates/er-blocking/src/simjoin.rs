@@ -1,0 +1,384 @@
+//! String-similarity self-joins as blocking (\[5\], \[28\]).
+//!
+//! Finds all pairs of descriptions whose token-set Jaccard similarity
+//! reaches a threshold `t`, without comparing all pairs. Tokens are globally
+//! ordered by ascending frequency; every record indexes only a short
+//! *prefix* of its rarest tokens — any pair with `J ≥ t` must collide on a
+//! prefix token (prefix filter). **AllPairs** adds the length filter;
+//! **PPJoin** adds the positional filter, pruning candidates whose best
+//! possible remaining overlap cannot reach the required one.
+
+use er_core::collection::EntityCollection;
+use er_core::pair::Pair;
+use er_core::tokenize::Tokenizer;
+use std::collections::BTreeMap;
+
+/// Which candidate-pruning filters to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinAlgorithm {
+    /// Exhaustive: verify every admissible pair (the quadratic reference).
+    Naive,
+    /// Prefix + length filters.
+    AllPairs,
+    /// Prefix + length + positional filters.
+    PPJoin,
+}
+
+impl JoinAlgorithm {
+    /// Name for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinAlgorithm::Naive => "naive",
+            JoinAlgorithm::AllPairs => "allpairs",
+            JoinAlgorithm::PPJoin => "ppjoin",
+        }
+    }
+}
+
+/// Result of a join run: the matching pairs and the work done.
+#[derive(Clone, Debug)]
+pub struct JoinOutput {
+    /// Pairs with `J ≥ t`, with their exact Jaccard, sorted by pair.
+    pub pairs: Vec<(Pair, f64)>,
+    /// Candidate pairs that reached verification.
+    pub candidates_verified: u64,
+}
+
+/// Jaccard self-join over whole-description token sets.
+#[derive(Clone, Debug)]
+pub struct SimilarityJoin {
+    threshold: f64,
+    algorithm: JoinAlgorithm,
+    tokenizer: Tokenizer,
+}
+
+/// A record prepared for joining: entity index + tokens as ints sorted by
+/// global (frequency, token) order.
+struct Record {
+    entity: u32,
+    tokens: Vec<u32>,
+}
+
+impl SimilarityJoin {
+    /// Creates a join with Jaccard threshold `t ∈ (0, 1]`.
+    pub fn new(threshold: f64, algorithm: JoinAlgorithm) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        SimilarityJoin {
+            threshold,
+            algorithm,
+            tokenizer: Tokenizer::default(),
+        }
+    }
+
+    /// Runs the self-join over a collection.
+    pub fn run(&self, collection: &EntityCollection) -> JoinOutput {
+        let records = self.prepare(collection);
+        match self.algorithm {
+            JoinAlgorithm::Naive => self.run_naive(collection, &records),
+            JoinAlgorithm::AllPairs => self.run_indexed(collection, &records, false),
+            JoinAlgorithm::PPJoin => self.run_indexed(collection, &records, true),
+        }
+    }
+
+    /// Tokenizes and converts to frequency-ordered integer token lists,
+    /// sorted by record length (ascending) as the indexed algorithms require.
+    fn prepare(&self, collection: &EntityCollection) -> Vec<Record> {
+        let mut doc_freq: BTreeMap<String, u32> = BTreeMap::new();
+        let token_sets: Vec<Vec<String>> = collection
+            .iter()
+            .map(|e| {
+                let s = e.token_set(&self.tokenizer);
+                for t in &s {
+                    *doc_freq.entry(t.clone()).or_insert(0) += 1;
+                }
+                s.into_iter().collect()
+            })
+            .collect();
+        // Global order: ascending frequency, ties by token text.
+        let mut vocab: Vec<(&String, &u32)> = doc_freq.iter().collect();
+        vocab.sort_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)));
+        let rank: BTreeMap<&String, u32> = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (*t, i as u32))
+            .collect();
+        let mut records: Vec<Record> = token_sets
+            .iter()
+            .enumerate()
+            .map(|(i, toks)| {
+                let mut ids: Vec<u32> = toks.iter().map(|t| rank[t]).collect();
+                ids.sort_unstable();
+                Record {
+                    entity: i as u32,
+                    tokens: ids,
+                }
+            })
+            .collect();
+        records.sort_by_key(|r| (r.tokens.len(), r.entity));
+        records
+    }
+
+    fn run_naive(&self, collection: &EntityCollection, records: &[Record]) -> JoinOutput {
+        let mut pairs = Vec::new();
+        let mut verified = 0u64;
+        for i in 0..records.len() {
+            for j in (i + 1)..records.len() {
+                let (a, b) = (&records[i], &records[j]);
+                if !collection.is_comparable(
+                    er_core::entity::EntityId(a.entity),
+                    er_core::entity::EntityId(b.entity),
+                ) {
+                    continue;
+                }
+                verified += 1;
+                let sim = jaccard_ints(&a.tokens, &b.tokens);
+                if sim >= self.threshold {
+                    pairs.push((
+                        Pair::new(
+                            er_core::entity::EntityId(a.entity),
+                            er_core::entity::EntityId(b.entity),
+                        ),
+                        sim,
+                    ));
+                }
+            }
+        }
+        pairs.sort_by_key(|a| a.0);
+        JoinOutput {
+            pairs,
+            candidates_verified: verified,
+        }
+    }
+
+    fn run_indexed(
+        &self,
+        collection: &EntityCollection,
+        records: &[Record],
+        positional: bool,
+    ) -> JoinOutput {
+        let t = self.threshold;
+        // Inverted index: token → list of (record index, position).
+        let mut index: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new();
+        let mut pairs = Vec::new();
+        let mut verified = 0u64;
+        for (ri, rec) in records.iter().enumerate() {
+            let len_x = rec.tokens.len();
+            if len_x == 0 {
+                continue;
+            }
+            // Prefix length for Jaccard: |x| − ⌈t·|x|⌉ + 1.
+            let prefix = len_x - ceil_eps(t * len_x as f64) as usize + 1;
+            // Accumulate per-candidate shared-prefix counts.
+            let mut overlap_count: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut pruned: std::collections::BTreeSet<usize> = Default::default();
+            for (pos_x, &w) in rec.tokens.iter().take(prefix).enumerate() {
+                if let Some(postings) = index.get(&w) {
+                    for &(cj, pos_y) in postings {
+                        let len_y = records[cj].tokens.len();
+                        // Length filter: |y| ≥ t·|x| (records are indexed in
+                        // ascending length, so y is never longer than x).
+                        if (len_y as f64) < t * len_x as f64 - 1e-9 {
+                            continue;
+                        }
+                        if pruned.contains(&cj) {
+                            continue;
+                        }
+                        if positional {
+                            // Required overlap α = ⌈t/(1+t)·(|x|+|y|)⌉.
+                            let alpha = ceil_eps((t / (1.0 + t)) * (len_x + len_y) as f64) as usize;
+                            let seen = overlap_count.get(&cj).copied().unwrap_or(0);
+                            let ubound = 1 + (len_x - pos_x - 1).min(len_y - pos_y - 1);
+                            if seen + ubound < alpha {
+                                pruned.insert(cj);
+                                overlap_count.remove(&cj);
+                                continue;
+                            }
+                        }
+                        *overlap_count.entry(cj).or_insert(0) += 1;
+                    }
+                }
+            }
+            // Verify candidates.
+            for (&cj, _) in overlap_count.iter() {
+                let cand = &records[cj];
+                if !collection.is_comparable(
+                    er_core::entity::EntityId(rec.entity),
+                    er_core::entity::EntityId(cand.entity),
+                ) {
+                    continue;
+                }
+                verified += 1;
+                let sim = jaccard_ints(&rec.tokens, &cand.tokens);
+                if sim >= t {
+                    pairs.push((
+                        Pair::new(
+                            er_core::entity::EntityId(rec.entity),
+                            er_core::entity::EntityId(cand.entity),
+                        ),
+                        sim,
+                    ));
+                }
+            }
+            // Index this record's prefix.
+            for (pos, &w) in rec.tokens.iter().take(prefix).enumerate() {
+                index.entry(w).or_default().push((ri, pos));
+            }
+        }
+        pairs.sort_by_key(|a| a.0);
+        JoinOutput {
+            pairs,
+            candidates_verified: verified,
+        }
+    }
+}
+
+/// Ceiling with a tolerance for floating-point round-up noise: `2.0 + 4e-16`
+/// must behave as 2, not 3, or the filters turn lossy (e.g. the required
+/// overlap `⌈t/(1+t)·(|x|+|y|)⌉` for t = 0.4, |x|+|y| = 7).
+fn ceil_eps(x: f64) -> f64 {
+    (x - 1e-9).ceil()
+}
+
+/// Exact Jaccard of two sorted integer sets.
+fn jaccard_ints(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityBuilder, EntityId, KbId};
+
+    fn collection(values: &[&str]) -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for v in values {
+            c.push_entity(KbId(0), EntityBuilder::new().attr("n", *v));
+        }
+        c
+    }
+
+    fn sample() -> EntityCollection {
+        collection(&[
+            "alpha beta gamma delta",
+            "alpha beta gamma epsilon",
+            "zeta eta theta iota",
+            "zeta eta theta kappa",
+            "alpha zeta unrelated thing",
+        ])
+    }
+
+    #[test]
+    fn naive_finds_expected_pairs() {
+        let c = sample();
+        let out = SimilarityJoin::new(0.5, JoinAlgorithm::Naive).run(&c);
+        let found: Vec<Pair> = out.pairs.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            found,
+            vec![
+                Pair::new(EntityId(0), EntityId(1)),
+                Pair::new(EntityId(2), EntityId(3)),
+            ]
+        );
+        for (_, s) in &out.pairs {
+            assert!((0.6 - s).abs() < 1e-12, "3/5 overlap");
+        }
+    }
+
+    #[test]
+    fn allpairs_and_ppjoin_equal_naive() {
+        let c = sample();
+        for t in [0.3, 0.5, 0.7, 0.9] {
+            let naive = SimilarityJoin::new(t, JoinAlgorithm::Naive).run(&c);
+            let ap = SimilarityJoin::new(t, JoinAlgorithm::AllPairs).run(&c);
+            let pp = SimilarityJoin::new(t, JoinAlgorithm::PPJoin).run(&c);
+            let key = |o: &JoinOutput| o.pairs.iter().map(|(p, _)| *p).collect::<Vec<_>>();
+            assert_eq!(key(&naive), key(&ap), "allpairs t={t}");
+            assert_eq!(key(&naive), key(&pp), "ppjoin t={t}");
+        }
+    }
+
+    #[test]
+    fn filters_reduce_verifications() {
+        let c = sample();
+        let naive = SimilarityJoin::new(0.5, JoinAlgorithm::Naive).run(&c);
+        let ap = SimilarityJoin::new(0.5, JoinAlgorithm::AllPairs).run(&c);
+        let pp = SimilarityJoin::new(0.5, JoinAlgorithm::PPJoin).run(&c);
+        assert!(ap.candidates_verified < naive.candidates_verified);
+        assert!(pp.candidates_verified <= ap.candidates_verified);
+    }
+
+    #[test]
+    fn exact_duplicates_at_threshold_one() {
+        let c = collection(&["same tokens here", "same tokens here", "other stuff"]);
+        let out = SimilarityJoin::new(1.0, JoinAlgorithm::PPJoin).run(&c);
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(out.pairs[0].0, Pair::new(EntityId(0), EntityId(1)));
+        assert_eq!(out.pairs[0].1, 1.0);
+    }
+
+    #[test]
+    fn clean_clean_join_only_crosses_kbs() {
+        let mut c = EntityCollection::new(ResolutionMode::CleanClean);
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "alpha beta"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "alpha beta"));
+        c.push_entity(KbId(1), EntityBuilder::new().attr("n", "alpha beta"));
+        for alg in [
+            JoinAlgorithm::Naive,
+            JoinAlgorithm::AllPairs,
+            JoinAlgorithm::PPJoin,
+        ] {
+            let out = SimilarityJoin::new(0.9, alg).run(&c);
+            let found: Vec<Pair> = out.pairs.iter().map(|(p, _)| *p).collect();
+            assert_eq!(
+                found,
+                vec![
+                    Pair::new(EntityId(0), EntityId(2)),
+                    Pair::new(EntityId(1), EntityId(2)),
+                ],
+                "{}",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_collections() {
+        let empty = collection(&[]);
+        let one = collection(&["solo"]);
+        for alg in [
+            JoinAlgorithm::Naive,
+            JoinAlgorithm::AllPairs,
+            JoinAlgorithm::PPJoin,
+        ] {
+            assert!(SimilarityJoin::new(0.5, alg).run(&empty).pairs.is_empty());
+            assert!(SimilarityJoin::new(0.5, alg).run(&one).pairs.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        let _ = SimilarityJoin::new(0.0, JoinAlgorithm::PPJoin);
+    }
+}

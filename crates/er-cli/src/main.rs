@@ -1,0 +1,442 @@
+//! `er` — the command-line interface of the webscale-er workspace.
+//!
+//! ```text
+//! er generate --kind dirty --entities 1000 --noise moderate --seed 7 --out data/demo
+//! er resolve  --collection data/demo.collection.txt --truth data/demo.truth.txt \
+//!             --blocking token --weighting arcs --pruning wnp --threshold 0.4
+//! ```
+//!
+//! `generate` writes `<out>.collection.txt` and `<out>.truth.txt` in the
+//! `er_core::io` text format; `resolve` runs blocking → (optional)
+//! meta-blocking → threshold matching → clustering and, when ground truth is
+//! supplied, prints PC/PQ/RR for the candidates and precision/recall/F1 for
+//! the final matches. Argument parsing is hand-rolled to keep the workspace
+//! dependency-light.
+
+use er_blocking::attribute_clustering::AttributeClusteringBlocking;
+use er_blocking::sorted_neighborhood::{SortKey, SortedNeighborhood};
+use er_blocking::TokenBlocking;
+use er_core::collection::EntityCollection;
+use er_core::matching::ThresholdMatcher;
+use er_core::metrics::{BlockingQuality, MatchQuality};
+use er_core::pair::Pair;
+use er_core::similarity::SetMeasure;
+use er_datagen::{
+    CleanCleanConfig, CleanCleanDataset, DirtyConfig, DirtyDataset, LodConfig, LodDataset,
+    NoiseModel,
+};
+use er_metablocking::{meta_block, PruningScheme, WeightingScheme};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("resolve") => cmd_resolve(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try `er help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "er — entity resolution for the Web of data\n\n\
+         USAGE:\n  er generate --kind dirty|cleanclean|lod [--entities N] [--noise LEVEL]\n\
+         \x20            [--seed S] --out PREFIX\n\
+         \x20 er resolve --collection FILE [--truth FILE]\n\
+         \x20            [--blocking token|attrcluster|sn|minhash]\n\
+         \x20            [--weighting cbs|ecbs|js|ejs|arcs] [--pruning wep|cep|wnp|cnp|none]\n\
+         \x20            [--threshold T] [--clustering closure|center|umc]\n\
+         \x20            [--show-matches N]\n\n\
+         NOISE LEVELS: clean, light, moderate (default), heavy"
+    );
+}
+
+/// Parses `--key value` flags into a map, rejecting unknown keys.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown flag --{key} (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn noise_from(name: &str) -> Result<NoiseModel, String> {
+    NoiseModel::sweep()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, m)| m)
+        .ok_or_else(|| format!("unknown noise level {name:?}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["kind", "entities", "noise", "seed", "out"])?;
+    let kind = flags.get("kind").map(String::as_str).unwrap_or("dirty");
+    let entities: usize = flags
+        .get("entities")
+        .map(|v| v.parse().map_err(|_| format!("bad --entities {v:?}")))
+        .transpose()?
+        .unwrap_or(1000);
+    let noise = noise_from(flags.get("noise").map(String::as_str).unwrap_or("moderate"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed {v:?}")))
+        .transpose()?
+        .unwrap_or(42);
+    let out = flags.get("out").ok_or("--out PREFIX is required")?;
+
+    let (collection, truth) = match kind {
+        "dirty" => {
+            let ds = DirtyDataset::generate(&DirtyConfig {
+                entities,
+                noise,
+                seed,
+                ..Default::default()
+            });
+            (ds.collection, ds.truth)
+        }
+        "cleanclean" => {
+            let ds = CleanCleanDataset::generate(&CleanCleanConfig {
+                shared_entities: entities / 2,
+                only_first: entities / 4,
+                only_second: entities / 4,
+                noise_second: noise,
+                seed,
+                ..Default::default()
+            });
+            (ds.collection, ds.truth)
+        }
+        "lod" => {
+            let ds = LodDataset::generate(&LodConfig {
+                universe: entities,
+                seed,
+                ..Default::default()
+            });
+            (ds.collection, ds.truth)
+        }
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+
+    let cpath = format!("{out}.collection.txt");
+    let tpath = format!("{out}.truth.txt");
+    let mut cf = std::fs::File::create(&cpath).map_err(|e| format!("{cpath}: {e}"))?;
+    er_core::io::write_collection(&mut cf, &collection).map_err(|e| e.to_string())?;
+    let mut tf = std::fs::File::create(&tpath).map_err(|e| format!("{tpath}: {e}"))?;
+    er_core::io::write_truth(&mut tf, &truth).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} descriptions to {cpath} and {} truth pairs to {tpath}",
+        collection.len(),
+        truth.len()
+    );
+    Ok(())
+}
+
+fn cmd_resolve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "collection",
+            "truth",
+            "blocking",
+            "weighting",
+            "pruning",
+            "threshold",
+            "clustering",
+            "show-matches",
+        ],
+    )?;
+    let cpath = flags
+        .get("collection")
+        .ok_or("--collection FILE is required")?;
+    let f = std::fs::File::open(cpath).map_err(|e| format!("{cpath}: {e}"))?;
+    let collection: EntityCollection =
+        er_core::io::read_collection(&mut std::io::BufReader::new(f)).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {} descriptions ({:?})",
+        collection.len(),
+        collection.mode()
+    );
+
+    let truth = flags
+        .get("truth")
+        .map(|tpath| -> Result<_, String> {
+            let f = std::fs::File::open(tpath).map_err(|e| format!("{tpath}: {e}"))?;
+            er_core::io::read_truth(&mut std::io::BufReader::new(f)).map_err(|e| e.to_string())
+        })
+        .transpose()?;
+
+    // Blocking.
+    let blocking = flags.get("blocking").map(String::as_str).unwrap_or("token");
+    let (blocks, candidates): (Option<er_blocking::BlockCollection>, Vec<Pair>) = match blocking {
+        "token" => {
+            let b = TokenBlocking::new().build(&collection);
+            let p = b.distinct_pairs(&collection);
+            (Some(b), p)
+        }
+        "attrcluster" => {
+            let b = AttributeClusteringBlocking::new().build(&collection);
+            let p = b.distinct_pairs(&collection);
+            (Some(b), p)
+        }
+        "sn" => (
+            None,
+            SortedNeighborhood::new(SortKey::FlattenedValue, 10).candidate_pairs(&collection),
+        ),
+        "minhash" => {
+            let b = er_blocking::minhash::MinHashBlocking::new(8, 2).build(&collection);
+            let p = b.distinct_pairs(&collection);
+            (Some(b), p)
+        }
+        other => return Err(format!("unknown --blocking {other:?}")),
+    };
+    println!(
+        "blocking [{blocking}]: {} candidate comparisons",
+        candidates.len()
+    );
+
+    // Meta-blocking (only for block-based methods).
+    let pruning = flags.get("pruning").map(String::as_str).unwrap_or("wnp");
+    let candidates = if pruning == "none" {
+        candidates
+    } else if let Some(blocks) = &blocks {
+        let weighting = match flags.get("weighting").map(String::as_str).unwrap_or("arcs") {
+            "cbs" => WeightingScheme::Cbs,
+            "ecbs" => WeightingScheme::Ecbs,
+            "js" => WeightingScheme::Js,
+            "ejs" => WeightingScheme::Ejs,
+            "arcs" => WeightingScheme::Arcs,
+            other => return Err(format!("unknown --weighting {other:?}")),
+        };
+        let pruning = match pruning {
+            "wep" => PruningScheme::Wep,
+            "cep" => PruningScheme::Cep,
+            "wnp" => PruningScheme::Wnp,
+            "cnp" => PruningScheme::Cnp,
+            other => return Err(format!("unknown --pruning {other:?}")),
+        };
+        let kept = meta_block(&collection, blocks, weighting, pruning);
+        println!(
+            "meta-blocking [{}/{}]: {} comparisons kept",
+            weighting.name(),
+            pruning.name(),
+            kept.len()
+        );
+        kept
+    } else {
+        candidates
+    };
+
+    if let Some(t) = &truth {
+        let q = BlockingQuality::measure(&candidates, t, collection.total_possible_comparisons());
+        println!(
+            "candidate quality: PC {:.3}  PQ {:.4}  RR {:.3}",
+            q.pc(),
+            q.pq(),
+            q.rr()
+        );
+    }
+
+    // Matching + clustering.
+    let threshold: f64 = flags
+        .get("threshold")
+        .map(|v| v.parse().map_err(|_| format!("bad --threshold {v:?}")))
+        .transpose()?
+        .unwrap_or(0.4);
+    let matcher = ThresholdMatcher::new(SetMeasure::Jaccard, threshold);
+    // Retain scores for the score-aware clustering options.
+    let scored: Vec<(Pair, f64)> = candidates
+        .iter()
+        .filter_map(|&p| {
+            let d = er_core::matching::compare_pair(&collection, &matcher, p);
+            d.is_match.then_some((p, d.score))
+        })
+        .collect();
+    let clustering = flags
+        .get("clustering")
+        .map(String::as_str)
+        .unwrap_or("closure");
+    let (matches, clusters) = match clustering {
+        "closure" => {
+            let matches: Vec<Pair> = scored.iter().map(|(p, _)| *p).collect();
+            let clusters = er_core::clusters::components_from_matches(collection.len(), &matches);
+            (matches, clusters)
+        }
+        "center" => {
+            let clusters =
+                er_core::match_clustering::center_clustering(collection.len(), &scored, 0.0);
+            let matches: Vec<Pair> =
+                er_core::ground_truth::GroundTruth::from_clusters(clusters.iter())
+                    .iter()
+                    .collect();
+            (matches, clusters)
+        }
+        "umc" => {
+            let matches =
+                er_core::match_clustering::unique_mapping_clustering(&collection, &scored, 0.0);
+            let clusters = er_core::clusters::components_from_matches(collection.len(), &matches);
+            (matches, clusters)
+        }
+        other => return Err(format!("unknown --clustering {other:?}")),
+    };
+    let non_singleton = clusters.iter().filter(|c| c.len() > 1).count();
+    println!(
+        "matching [jaccard >= {threshold}]: {} match pairs, {} multi-description entities",
+        matches.len(),
+        non_singleton
+    );
+    if let Some(t) = &truth {
+        let q = MatchQuality::measure(collection.len(), &matches, t);
+        println!(
+            "match quality: precision {:.3}  recall {:.3}  F1 {:.3}",
+            q.precision(),
+            q.recall(),
+            q.f1()
+        );
+    }
+    let show: usize = flags
+        .get("show-matches")
+        .map(|v| v.parse().map_err(|_| format!("bad --show-matches {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    for p in matches.iter().take(show) {
+        let name = |id: er_core::entity::EntityId| {
+            collection
+                .entity(id)
+                .attributes()
+                .first()
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("<empty>")
+                .to_string()
+        };
+        println!("  {:?}: {:?} == {:?}", p, name(p.first()), name(p.second()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_happy_path() {
+        let f = parse_flags(&s(&["--kind", "dirty", "--out", "x"]), &["kind", "out"]).unwrap();
+        assert_eq!(f["kind"], "dirty");
+        assert_eq!(f["out"], "x");
+    }
+
+    #[test]
+    fn parse_flags_rejects_unknown_and_dangling() {
+        assert!(parse_flags(&s(&["--bogus", "1"]), &["kind"]).is_err());
+        assert!(parse_flags(&s(&["--kind"]), &["kind"]).is_err());
+        assert!(parse_flags(&s(&["kind", "dirty"]), &["kind"]).is_err());
+    }
+
+    #[test]
+    fn noise_levels_resolve() {
+        for n in ["clean", "light", "moderate", "heavy"] {
+            assert!(noise_from(n).is_ok());
+        }
+        assert!(noise_from("extreme").is_err());
+    }
+
+    #[test]
+    fn generate_and_resolve_round_trip() {
+        let dir = std::env::temp_dir().join("er_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("demo").to_string_lossy().to_string();
+        cmd_generate(&s(&[
+            "--kind",
+            "dirty",
+            "--entities",
+            "150",
+            "--noise",
+            "light",
+            "--seed",
+            "5",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--truth",
+            &format!("{prefix}.truth.txt"),
+            "--threshold",
+            "0.5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn resolve_with_umc_and_minhash() {
+        let dir = std::env::temp_dir().join("er_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("cc").to_string_lossy().to_string();
+        cmd_generate(&s(&[
+            "--kind",
+            "cleanclean",
+            "--entities",
+            "120",
+            "--noise",
+            "light",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--truth",
+            &format!("{prefix}.truth.txt"),
+            "--blocking",
+            "minhash",
+            "--clustering",
+            "umc",
+        ]))
+        .unwrap();
+        let err = cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--clustering",
+            "bogus",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("clustering"));
+    }
+
+    #[test]
+    fn resolve_missing_file_errors() {
+        let err = cmd_resolve(&s(&["--collection", "/nonexistent/file.txt"])).unwrap_err();
+        assert!(err.contains("/nonexistent/file.txt"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Collections of entity descriptions and resolution modes.
+
+use crate::entity::{Entity, EntityId, KbId};
+use crate::pair::Pair;
+use std::collections::BTreeMap;
+
+/// How a collection is to be resolved, following the standard distinction
+/// surveyed in the tutorial (and formalized in \[13\]):
+///
+/// * **Dirty** ER: one collection that may contain duplicates anywhere; every
+///   pair of descriptions is a potential match.
+/// * **Clean–clean** ER (record linkage): each KB is internally
+///   duplicate-free, so only pairs whose members come from *different* KBs
+///   are potential matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolutionMode {
+    /// Duplicates may occur between any two descriptions.
+    Dirty,
+    /// Matches only occur across knowledge bases, never within one.
+    CleanClean,
+}
+
+/// A collection of entity descriptions with dense ids, the unit every
+/// pipeline stage operates on.
+#[derive(Clone, Debug)]
+pub struct EntityCollection {
+    entities: Vec<Entity>,
+    mode: ResolutionMode,
+}
+
+impl EntityCollection {
+    /// Creates an empty collection with the given resolution mode.
+    pub fn new(mode: ResolutionMode) -> Self {
+        EntityCollection {
+            entities: Vec::new(),
+            mode,
+        }
+    }
+
+    /// The resolution mode.
+    pub fn mode(&self) -> ResolutionMode {
+        self.mode
+    }
+
+    /// Appends a description built from attribute–value pairs, assigning the
+    /// next dense id. Returns the assigned id.
+    pub fn push(&mut self, kb: KbId, attributes: Vec<(String, String)>) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(Entity::new(id, kb, attributes));
+        id
+    }
+
+    /// Appends a pre-built entity, re-assigning its id to the next dense id.
+    /// Returns the assigned id.
+    pub fn push_entity(&mut self, kb: KbId, builder: crate::entity::EntityBuilder) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(builder.build(id, kb));
+        id
+    }
+
+    /// Number of descriptions.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Looks up a description by id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this collection.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// Iterator over all descriptions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.iter()
+    }
+
+    /// Iterator over all ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.entities.len() as u32).map(EntityId)
+    }
+
+    /// The distinct KB ids present, with their description counts.
+    pub fn kb_sizes(&self) -> BTreeMap<KbId, usize> {
+        let mut m = BTreeMap::new();
+        for e in &self.entities {
+            *m.entry(e.kb()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Whether the pair `(a, b)` is admissible under the resolution mode:
+    /// always in dirty ER, only across KBs in clean–clean ER.
+    pub fn is_comparable(&self, a: EntityId, b: EntityId) -> bool {
+        match self.mode {
+            ResolutionMode::Dirty => a != b,
+            ResolutionMode::CleanClean => a != b && self.entity(a).kb() != self.entity(b).kb(),
+        }
+    }
+
+    /// Admissible version of [`Pair::try_new`]: `None` when the pair is not
+    /// comparable under the resolution mode.
+    pub fn comparable_pair(&self, a: EntityId, b: EntityId) -> Option<Pair> {
+        if self.is_comparable(a, b) {
+            Some(Pair::new(a, b))
+        } else {
+            None
+        }
+    }
+
+    /// The number of admissible comparisons in the brute-force quadratic
+    /// baseline — the denominator of the *reduction ratio* metric.
+    ///
+    /// Dirty: `n·(n−1)/2`. Clean–clean: the sum of `|KBᵢ|·|KBⱼ|` over KB
+    /// pairs `i < j`.
+    pub fn total_possible_comparisons(&self) -> u64 {
+        match self.mode {
+            ResolutionMode::Dirty => {
+                let n = self.entities.len() as u64;
+                n * n.saturating_sub(1) / 2
+            }
+            ResolutionMode::CleanClean => {
+                let sizes: Vec<u64> = self.kb_sizes().values().map(|&c| c as u64).collect();
+                let total: u64 = sizes.iter().sum();
+                let sum_sq: u64 = sizes.iter().map(|s| s * s).sum();
+                (total * total - sum_sq) / 2
+            }
+        }
+    }
+
+    /// Enumerates every admissible pair — the quadratic baseline itself. Only
+    /// sensible on small collections; experiment harnesses use it as the
+    /// exhaustive reference.
+    pub fn all_pairs(&self) -> Vec<Pair> {
+        let n = self.entities.len() as u32;
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.is_comparable(EntityId(i), EntityId(j)) {
+                    out.push(Pair::new(EntityId(i), EntityId(j)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityBuilder;
+
+    fn two_kb_collection() -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::CleanClean);
+        for i in 0..3 {
+            c.push_entity(KbId(0), EntityBuilder::new().attr("n", format!("a{i}")));
+        }
+        for i in 0..2 {
+            c.push_entity(KbId(1), EntityBuilder::new().attr("n", format!("b{i}")));
+        }
+        c
+    }
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let c = two_kb_collection();
+        assert_eq!(c.len(), 5);
+        for (i, e) in c.iter().enumerate() {
+            assert_eq!(e.id(), EntityId(i as u32));
+        }
+    }
+
+    #[test]
+    fn kb_sizes_counts_per_source() {
+        let c = two_kb_collection();
+        let sizes = c.kb_sizes();
+        assert_eq!(sizes[&KbId(0)], 3);
+        assert_eq!(sizes[&KbId(1)], 2);
+    }
+
+    #[test]
+    fn clean_clean_comparability() {
+        let c = two_kb_collection();
+        assert!(!c.is_comparable(EntityId(0), EntityId(1))); // same KB
+        assert!(c.is_comparable(EntityId(0), EntityId(3))); // cross KB
+        assert!(!c.is_comparable(EntityId(2), EntityId(2))); // self
+    }
+
+    #[test]
+    fn dirty_comparability() {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        c.push(KbId(0), vec![]);
+        c.push(KbId(0), vec![]);
+        assert!(c.is_comparable(EntityId(0), EntityId(1)));
+        assert!(!c.is_comparable(EntityId(0), EntityId(0)));
+    }
+
+    #[test]
+    fn total_comparisons_dirty() {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..10 {
+            c.push(KbId(0), vec![]);
+        }
+        assert_eq!(c.total_possible_comparisons(), 45);
+        assert_eq!(c.all_pairs().len(), 45);
+    }
+
+    #[test]
+    fn total_comparisons_clean_clean() {
+        let c = two_kb_collection();
+        // 3 * 2 cross-KB pairs.
+        assert_eq!(c.total_possible_comparisons(), 6);
+        assert_eq!(c.all_pairs().len(), 6);
+    }
+
+    #[test]
+    fn total_comparisons_three_kbs() {
+        let mut c = EntityCollection::new(ResolutionMode::CleanClean);
+        for kb in 0..3u16 {
+            for _ in 0..(kb + 2) {
+                c.push(KbId(kb), vec![]);
+            }
+        }
+        // sizes 2,3,4 → 2*3 + 2*4 + 3*4 = 26
+        assert_eq!(c.total_possible_comparisons(), 26);
+        assert_eq!(c.all_pairs().len(), 26);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = EntityCollection::new(ResolutionMode::Dirty);
+        assert!(c.is_empty());
+        assert_eq!(c.total_possible_comparisons(), 0);
+        assert!(c.all_pairs().is_empty());
+    }
+}

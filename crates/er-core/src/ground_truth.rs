@@ -1,0 +1,144 @@
+//! Ground truth: the reference set of matching pairs used for evaluation.
+
+use crate::clusters::UnionFind;
+use crate::entity::EntityId;
+use crate::pair::Pair;
+use std::collections::BTreeSet;
+
+/// The set of truly-matching pairs of a collection, always stored
+/// transitively closed (if a≡b and b≡c then a≡c is also a truth pair), since
+/// matching is an equivalence over real-world identity.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    pairs: BTreeSet<Pair>,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from raw matching pairs, closing them
+    /// transitively.
+    pub fn from_pairs<I: IntoIterator<Item = Pair>>(pairs: I) -> Self {
+        let pairs: Vec<Pair> = pairs.into_iter().collect();
+        let max_id = pairs
+            .iter()
+            .map(|p| p.second().0)
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0);
+        let mut uf = UnionFind::new(max_id);
+        for p in &pairs {
+            uf.union(p.first().index(), p.second().index());
+        }
+        Self::from_clusters(uf.clusters().into_iter().map(|members| {
+            members
+                .into_iter()
+                .map(|i| EntityId(i as u32))
+                .collect::<Vec<_>>()
+        }))
+    }
+
+    /// Builds ground truth from duplicate clusters: every within-cluster pair
+    /// becomes a truth pair.
+    pub fn from_clusters<I, C>(clusters: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: AsRef<[EntityId]>,
+    {
+        let mut pairs = BTreeSet::new();
+        for cluster in clusters {
+            let members = cluster.as_ref();
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if let Some(p) = Pair::try_new(members[i], members[j]) {
+                        pairs.insert(p);
+                    }
+                }
+            }
+        }
+        GroundTruth { pairs }
+    }
+
+    /// Whether a pair is a true match.
+    pub fn contains(&self, pair: Pair) -> bool {
+        self.pairs.contains(&pair)
+    }
+
+    /// Number of truth pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when there are no matching pairs at all.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterator over all truth pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Counts how many of `candidates` are true matches (each distinct
+    /// candidate counted once).
+    pub fn true_positives<'a, I: IntoIterator<Item = &'a Pair>>(&self, candidates: I) -> usize {
+        let distinct: BTreeSet<Pair> = candidates.into_iter().copied().collect();
+        distinct.iter().filter(|p| self.contains(**p)).count()
+    }
+}
+
+impl FromIterator<Pair> for GroundTruth {
+    fn from_iter<T: IntoIterator<Item = Pair>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    #[test]
+    fn from_pairs_closes_transitively() {
+        let gt = GroundTruth::from_pairs(vec![Pair::new(id(0), id(1)), Pair::new(id(1), id(2))]);
+        assert_eq!(gt.len(), 3);
+        assert!(gt.contains(Pair::new(id(0), id(2))));
+    }
+
+    #[test]
+    fn from_clusters_enumerates_all_pairs() {
+        let gt = GroundTruth::from_clusters(vec![
+            vec![id(0), id(1), id(2)],
+            vec![id(5), id(6)],
+            vec![id(9)],
+        ]);
+        assert_eq!(gt.len(), 4);
+        assert!(gt.contains(Pair::new(id(0), id(2))));
+        assert!(gt.contains(Pair::new(id(5), id(6))));
+        assert!(!gt.contains(Pair::new(id(0), id(5))));
+    }
+
+    #[test]
+    fn true_positives_deduplicates() {
+        let gt = GroundTruth::from_clusters(vec![vec![id(0), id(1)]]);
+        let p = Pair::new(id(0), id(1));
+        let q = Pair::new(id(2), id(3));
+        assert_eq!(gt.true_positives([&p, &p, &q]), 1);
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::default();
+        assert!(gt.is_empty());
+        assert_eq!(gt.len(), 0);
+        assert_eq!(gt.true_positives([]), 0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_pairs() {
+        let gt = GroundTruth::from_pairs(vec![Pair::new(id(5), id(4)), Pair::new(id(1), id(0))]);
+        let v: Vec<Pair> = gt.iter().collect();
+        assert_eq!(v, vec![Pair::new(id(0), id(1)), Pair::new(id(4), id(5))]);
+    }
+}

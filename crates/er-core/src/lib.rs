@@ -1,0 +1,52 @@
+//! # er-core — foundations for web-scale entity resolution
+//!
+//! This crate provides the shared substrate used by every other crate in the
+//! `webscale-er` workspace, reproducing the framework of the ICDE 2017
+//! tutorial *"Web-scale Blocking, Iterative and Progressive Entity
+//! Resolution"* (Stefanidis, Christophides, Efthymiou):
+//!
+//! * a schema-free **data model** for entity descriptions as found in the Web
+//!   of data — bags of attribute–value pairs with no global schema
+//!   ([`entity`], [`collection`]);
+//! * **tokenization and normalization** of attribute values ([`tokenize`]);
+//! * a library of **similarity functions** over strings and token sets
+//!   ([`similarity`]);
+//! * **matching** abstractions — threshold matchers, rule matchers and a
+//!   ground-truth oracle — with comparison accounting ([`matching`]);
+//! * **merging** of matched descriptions satisfying the ICAR properties
+//!   required by the Swoosh family of algorithms ([`merge`]);
+//! * **clustering** of pairwise match decisions into entities via union–find
+//!   ([`clusters`]), plus the score-aware clusterings of the clean–clean
+//!   literature — unique-mapping, center and merge-center ([`match_clustering`]);
+//! * plain-text **persistence** for collections and ground truth ([`io`]);
+//! * **ground truth** handling and the **evaluation metrics** used across the
+//!   blocking / meta-blocking / progressive ER literature: pair completeness
+//!   (PC), pairs quality (PQ), reduction ratio (RR) and progressive recall
+//!   curves ([`ground_truth`], [`metrics`]).
+//!
+//! Downstream crates build the tutorial's pipeline on top of this: blocking
+//! (`er-blocking`), meta-blocking (`er-metablocking`), parallel execution
+//! (`er-mapreduce`), iterative ER (`er-iterative`) and progressive ER
+//! (`er-progressive`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clusters;
+pub mod collection;
+pub mod entity;
+pub mod ground_truth;
+pub mod io;
+pub mod match_clustering;
+pub mod matching;
+pub mod merge;
+pub mod metrics;
+pub mod pair;
+pub mod similarity;
+pub mod tokenize;
+
+pub use collection::{EntityCollection, ResolutionMode};
+pub use entity::{Entity, EntityId, KbId};
+pub use ground_truth::GroundTruth;
+pub use matching::{CountingMatcher, Matcher};
+pub use pair::Pair;

@@ -1,0 +1,298 @@
+//! Clustering *scored* match candidates into entities.
+//!
+//! [`crate::clusters`] closes accepted pairwise decisions transitively —
+//! correct when the matcher is precise. When matcher scores are noisy,
+//! transitive closure chains errors into giant clusters; the clean–clean ER
+//! literature instead uses constrained clusterings over the *scored* edge
+//! list, all implemented here:
+//!
+//! * [`unique_mapping_clustering`] — clean–clean ER: each description can
+//!   match at most one description of another KB, so the best-scoring
+//!   consistent 1–1 mapping is extracted greedily.
+//! * [`center_clustering`] — dirty ER: scan edges best-first; the first
+//!   endpoint of a fresh edge becomes a cluster *center*, others attach to
+//!   centers only.
+//! * [`merge_center_clustering`] — like center clustering but merges two
+//!   clusters when an edge connects their members, trading precision for
+//!   recall.
+
+use crate::collection::EntityCollection;
+use crate::entity::EntityId;
+use crate::pair::Pair;
+
+/// Sorts scored pairs by descending score (ties by pair order). NaN scores
+/// are rejected.
+fn sorted_desc(scored: &[(Pair, f64)]) -> Vec<(Pair, f64)> {
+    assert!(
+        scored.iter().all(|(_, s)| !s.is_nan()),
+        "match scores must not be NaN"
+    );
+    let mut v = scored.to_vec();
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("match scores must not be NaN")
+            .then(a.0.cmp(&b.0))
+    });
+    v
+}
+
+/// Unique Mapping Clustering for clean–clean ER: walks the scored pairs
+/// best-first and accepts a pair iff **neither** endpoint was matched before
+/// and the pair crosses KBs; accepted pairs form a partial 1–1 mapping.
+/// Pairs below `min_score` are ignored.
+pub fn unique_mapping_clustering(
+    collection: &EntityCollection,
+    scored: &[(Pair, f64)],
+    min_score: f64,
+) -> Vec<Pair> {
+    let mut matched = vec![false; collection.len()];
+    let mut out = Vec::new();
+    for (pair, score) in sorted_desc(scored) {
+        if score < min_score {
+            break;
+        }
+        let (a, b) = pair.ids();
+        if matched[a.index()] || matched[b.index()] {
+            continue;
+        }
+        if !collection.is_comparable(a, b) {
+            continue;
+        }
+        matched[a.index()] = true;
+        matched[b.index()] = true;
+        out.push(pair);
+    }
+    out.sort();
+    out
+}
+
+/// Center clustering for dirty ER: edges are scanned best-first; when both
+/// endpoints are unassigned, the *first* (smaller id) becomes a center and
+/// the other its member; an unassigned endpoint may also join an existing
+/// **center** (never a mere member). Returns clusters including singletons.
+pub fn center_clustering(
+    n_entities: usize,
+    scored: &[(Pair, f64)],
+    min_score: f64,
+) -> Vec<Vec<EntityId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Role {
+        Free,
+        Center(u32),
+        Member(u32),
+    }
+    let mut role = vec![Role::Free; n_entities];
+    for (pair, score) in sorted_desc(scored) {
+        if score < min_score {
+            break;
+        }
+        let (a, b) = (pair.first(), pair.second());
+        match (role[a.index()], role[b.index()]) {
+            (Role::Free, Role::Free) => {
+                role[a.index()] = Role::Center(a.0);
+                role[b.index()] = Role::Member(a.0);
+            }
+            (Role::Center(c), Role::Free) => role[b.index()] = Role::Member(c),
+            (Role::Free, Role::Center(c)) => role[a.index()] = Role::Member(c),
+            _ => {} // members absorb nothing; center-center edges are skipped
+        }
+    }
+    collect_clusters(n_entities, |i| match role[i] {
+        Role::Free => i as u32,
+        Role::Center(c) | Role::Member(c) => c,
+    })
+}
+
+/// Merge-center clustering: like [`center_clustering`], but an edge that
+/// involves a **center** can also *merge* clusters — a center–member edge
+/// merges the two clusters, a center–center edge likewise. Member–member and
+/// member–free edges are still ignored (similarity is only trusted against
+/// centers), which keeps it strictly between center clustering and full
+/// transitive closure: higher recall than the former, higher precision than
+/// the latter.
+pub fn merge_center_clustering(
+    n_entities: usize,
+    scored: &[(Pair, f64)],
+    min_score: f64,
+) -> Vec<Vec<EntityId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Role {
+        Free,
+        Center,
+        Member,
+    }
+    let mut role = vec![Role::Free; n_entities];
+    let mut uf = crate::clusters::UnionFind::new(n_entities);
+    for (pair, score) in sorted_desc(scored) {
+        if score < min_score {
+            break;
+        }
+        let (a, b) = (pair.first().index(), pair.second().index());
+        match (role[a], role[b]) {
+            (Role::Free, Role::Free) => {
+                role[a] = Role::Center;
+                role[b] = Role::Member;
+                uf.union(a, b);
+            }
+            (Role::Center, Role::Free) => {
+                role[b] = Role::Member;
+                uf.union(a, b);
+            }
+            (Role::Free, Role::Center) => {
+                role[a] = Role::Member;
+                uf.union(a, b);
+            }
+            // The "merge" cases: a center vouches for the connection.
+            (Role::Center, Role::Member | Role::Center) | (Role::Member, Role::Center) => {
+                uf.union(a, b);
+            }
+            // Member–member / member–free: no center involved, no trust.
+            _ => {}
+        }
+    }
+    let roots: Vec<u32> = (0..n_entities).map(|i| uf.find(i) as u32).collect();
+    collect_clusters(n_entities, |i| roots[i])
+}
+
+fn collect_clusters<F: Fn(usize) -> u32>(n: usize, root_of: F) -> Vec<Vec<EntityId>> {
+    let mut by_root: std::collections::BTreeMap<u32, Vec<EntityId>> =
+        std::collections::BTreeMap::new();
+    for i in 0..n {
+        by_root
+            .entry(root_of(i))
+            .or_default()
+            .push(EntityId(i as u32));
+    }
+    let mut out: Vec<Vec<EntityId>> = by_root.into_values().collect();
+    for c in &mut out {
+        c.sort();
+    }
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::ResolutionMode;
+    use crate::entity::KbId;
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    fn cc_collection(kb0: usize, kb1: usize) -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::CleanClean);
+        for _ in 0..kb0 {
+            c.push(KbId(0), vec![]);
+        }
+        for _ in 0..kb1 {
+            c.push(KbId(1), vec![]);
+        }
+        c
+    }
+
+    #[test]
+    fn umc_extracts_best_one_to_one_mapping() {
+        // kb0: {0,1}, kb1: {2,3}. Edge scores force the greedy order.
+        let c = cc_collection(2, 2);
+        let scored = vec![
+            (Pair::new(id(0), id(2)), 0.9),
+            (Pair::new(id(0), id(3)), 0.8), // blocked: 0 already matched
+            (Pair::new(id(1), id(3)), 0.7),
+        ];
+        let out = unique_mapping_clustering(&c, &scored, 0.0);
+        assert_eq!(out, vec![Pair::new(id(0), id(2)), Pair::new(id(1), id(3))]);
+    }
+
+    #[test]
+    fn umc_ignores_same_kb_and_low_scores() {
+        let c = cc_collection(2, 2);
+        let scored = vec![
+            (Pair::new(id(0), id(1)), 0.99), // same KB
+            (Pair::new(id(0), id(2)), 0.3),  // below threshold
+        ];
+        let out = unique_mapping_clustering(&c, &scored, 0.5);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn umc_prevents_error_chaining() {
+        // One noisy high edge must not absorb everything: each entity is
+        // used once, so the damage is bounded to one wrong pair.
+        let c = cc_collection(2, 2);
+        let scored = vec![
+            (Pair::new(id(0), id(2)), 0.95), // wrong but highest
+            (Pair::new(id(0), id(3)), 0.90), // the true pair for 0 — blocked
+            (Pair::new(id(1), id(2)), 0.85), // true pair for 2 — blocked
+            (Pair::new(id(1), id(3)), 0.80),
+        ];
+        let out = unique_mapping_clustering(&c, &scored, 0.0);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Pair::new(id(0), id(2))));
+        assert!(out.contains(&Pair::new(id(1), id(3))));
+    }
+
+    #[test]
+    fn center_clustering_attaches_to_centers_only() {
+        // 0-1 strongest (0 center), then 1-2: 1 is a member → 2 stays free;
+        // then 2-3 fresh: 2 becomes center of 3.
+        let scored = vec![
+            (Pair::new(id(0), id(1)), 0.9),
+            (Pair::new(id(1), id(2)), 0.8),
+            (Pair::new(id(2), id(3)), 0.7),
+        ];
+        let clusters = center_clustering(4, &scored, 0.0);
+        assert_eq!(clusters, vec![vec![id(0), id(1)], vec![id(2), id(3)]]);
+    }
+
+    #[test]
+    fn merge_center_merges_via_center_member_edges() {
+        // Two clusters form; then the center 0 links to member 3: clusters
+        // merge. Center clustering would ignore that edge.
+        let scored = vec![
+            (Pair::new(id(0), id(1)), 0.9),
+            (Pair::new(id(2), id(3)), 0.85),
+            (Pair::new(id(0), id(3)), 0.8),
+        ];
+        let merged = merge_center_clustering(4, &scored, 0.0);
+        assert_eq!(merged, vec![vec![id(0), id(1), id(2), id(3)]]);
+        let plain = center_clustering(4, &scored, 0.0);
+        assert_eq!(plain, vec![vec![id(0), id(1)], vec![id(2), id(3)]]);
+    }
+
+    #[test]
+    fn merge_center_ignores_member_member_edges() {
+        let scored = vec![
+            (Pair::new(id(0), id(1)), 0.9),
+            (Pair::new(id(2), id(3)), 0.85),
+            (Pair::new(id(1), id(3)), 0.8), // member–member: no center vouches
+        ];
+        let clusters = merge_center_clustering(4, &scored, 0.0);
+        assert_eq!(clusters, vec![vec![id(0), id(1)], vec![id(2), id(3)]]);
+    }
+
+    #[test]
+    fn min_score_cuts_the_tail() {
+        let scored = vec![
+            (Pair::new(id(0), id(1)), 0.9),
+            (Pair::new(id(2), id(3)), 0.2),
+        ];
+        let clusters = center_clustering(4, &scored, 0.5);
+        assert_eq!(clusters, vec![vec![id(0), id(1)], vec![id(2)], vec![id(3)]]);
+    }
+
+    #[test]
+    fn singletons_are_reported() {
+        let clusters = center_clustering(3, &[], 0.0);
+        assert_eq!(clusters.len(), 3);
+        let clusters = merge_center_clustering(2, &[], 0.0);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected() {
+        let _ = center_clustering(2, &[(Pair::new(id(0), id(1)), f64::NAN)], 0.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Evaluation metrics of the blocking / meta-blocking / progressive ER
+//! literature.
+//!
+//! * **PC** (pair completeness, a.k.a. recall of blocking): fraction of truth
+//!   pairs that appear among the candidate comparisons.
+//! * **PQ** (pairs quality, a.k.a. precision of blocking): fraction of
+//!   candidate comparisons that are truth pairs.
+//! * **RR** (reduction ratio): fraction of the brute-force comparison count
+//!   avoided.
+//! * **precision / recall / F1** of a final match set against ground truth.
+//! * **progressive recall curves**: recall as a function of comparisons
+//!   executed, with normalized area under the curve — the headline metric of
+//!   progressive ER (\[1\], \[23\], \[26\]).
+
+use crate::clusters::transitive_closure;
+use crate::ground_truth::GroundTruth;
+use crate::pair::Pair;
+use std::collections::BTreeSet;
+
+/// Quality of a candidate-comparison set (the output of blocking or
+/// meta-blocking) against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockingQuality {
+    /// Distinct candidate comparisons.
+    pub comparisons: u64,
+    /// Truth pairs covered by the candidates.
+    pub detected_matches: u64,
+    /// Total truth pairs.
+    pub total_matches: u64,
+    /// Brute-force comparison count (RR denominator).
+    pub brute_force_comparisons: u64,
+}
+
+impl BlockingQuality {
+    /// Measures a candidate set. Candidates are deduplicated first, matching
+    /// how the literature counts *distinct* comparisons.
+    pub fn measure(candidates: &[Pair], truth: &GroundTruth, brute_force_comparisons: u64) -> Self {
+        let distinct: BTreeSet<Pair> = candidates.iter().copied().collect();
+        let detected = distinct.iter().filter(|p| truth.contains(**p)).count() as u64;
+        BlockingQuality {
+            comparisons: distinct.len() as u64,
+            detected_matches: detected,
+            total_matches: truth.len() as u64,
+            brute_force_comparisons,
+        }
+    }
+
+    /// Pair completeness `detected / total` (1 when there is nothing to find).
+    pub fn pc(&self) -> f64 {
+        if self.total_matches == 0 {
+            1.0
+        } else {
+            self.detected_matches as f64 / self.total_matches as f64
+        }
+    }
+
+    /// Pairs quality `detected / comparisons` (0 for an empty candidate set).
+    pub fn pq(&self) -> f64 {
+        if self.comparisons == 0 {
+            0.0
+        } else {
+            self.detected_matches as f64 / self.comparisons as f64
+        }
+    }
+
+    /// Reduction ratio `1 − comparisons / brute_force` (clamped at 0 when a
+    /// method somehow suggests more than brute force, which redundancy-heavy
+    /// blocking can).
+    pub fn rr(&self) -> f64 {
+        if self.brute_force_comparisons == 0 {
+            return 0.0;
+        }
+        (1.0 - self.comparisons as f64 / self.brute_force_comparisons as f64).max(0.0)
+    }
+
+    /// Harmonic mean of PC and RR, a common single-number summary of a
+    /// blocking scheme's trade-off.
+    pub fn f_measure(&self) -> f64 {
+        harmonic_mean(self.pc(), self.rr())
+    }
+}
+
+/// Quality of a final match decision set (after the matching phase),
+/// evaluated under transitive closure: matchers output pairwise decisions,
+/// but identity is an equivalence, so implied pairs count as found.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchQuality {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl MatchQuality {
+    /// Measures a raw (not necessarily closed) match-pair set over a
+    /// collection of `n` entities.
+    pub fn measure(n: usize, matches: &[Pair], truth: &GroundTruth) -> Self {
+        let closed = transitive_closure(n, matches);
+        let tp = closed.iter().filter(|p| truth.contains(**p)).count() as u64;
+        MatchQuality {
+            tp,
+            fp: closed.len() as u64 - tp,
+            fn_: truth.len() as u64 - tp,
+        }
+    }
+
+    /// Precision `tp / (tp + fp)` (1 when nothing was declared).
+    pub fn precision(&self) -> f64 {
+        let declared = self.tp + self.fp;
+        if declared == 0 {
+            1.0
+        } else {
+            self.tp as f64 / declared as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)` (1 when there was nothing to find).
+    pub fn recall(&self) -> f64 {
+        let actual = self.tp + self.fn_;
+        if actual == 0 {
+            1.0
+        } else {
+            self.tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        harmonic_mean(self.precision(), self.recall())
+    }
+}
+
+/// Cluster-level quality: compares output clusters against ground-truth
+/// clusters as *whole sets* — the "closed cluster" view several ER papers
+/// report alongside pairwise metrics, because a cluster with one wrong
+/// member is a different entity even though most of its pairs are right.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterQuality {
+    /// Output clusters that exactly equal some truth cluster.
+    pub exact: u64,
+    /// Output clusters (non-singletons).
+    pub output_clusters: u64,
+    /// Truth clusters (non-singletons).
+    pub truth_clusters: u64,
+}
+
+impl ClusterQuality {
+    /// Measures output clusters against truth clusters. Singletons are
+    /// ignored on both sides (every unmatched description is trivially its
+    /// own exact cluster).
+    pub fn measure<C1, C2>(output: &[C1], truth: &[C2]) -> Self
+    where
+        C1: AsRef<[crate::entity::EntityId]>,
+        C2: AsRef<[crate::entity::EntityId]>,
+    {
+        let out_set: BTreeSet<Vec<crate::entity::EntityId>> = output
+            .iter()
+            .map(|c| {
+                let mut v = c.as_ref().to_vec();
+                v.sort();
+                v
+            })
+            .filter(|c| c.len() >= 2)
+            .collect();
+        let truth_set: BTreeSet<Vec<crate::entity::EntityId>> = truth
+            .iter()
+            .map(|c| {
+                let mut v = c.as_ref().to_vec();
+                v.sort();
+                v
+            })
+            .filter(|c| c.len() >= 2)
+            .collect();
+        let exact = out_set.intersection(&truth_set).count() as u64;
+        ClusterQuality {
+            exact,
+            output_clusters: out_set.len() as u64,
+            truth_clusters: truth_set.len() as u64,
+        }
+    }
+
+    /// Cluster precision: exact / output (1 when nothing was output).
+    pub fn precision(&self) -> f64 {
+        if self.output_clusters == 0 {
+            1.0
+        } else {
+            self.exact as f64 / self.output_clusters as f64
+        }
+    }
+
+    /// Cluster recall: exact / truth (1 when there was nothing to find).
+    pub fn recall(&self) -> f64 {
+        if self.truth_clusters == 0 {
+            1.0
+        } else {
+            self.exact as f64 / self.truth_clusters as f64
+        }
+    }
+
+    /// Cluster F1.
+    pub fn f1(&self) -> f64 {
+        harmonic_mean(self.precision(), self.recall())
+    }
+}
+
+/// Harmonic mean of two rates, 0 when either is 0.
+pub fn harmonic_mean(a: f64, b: f64) -> f64 {
+    if a + b == 0.0 {
+        0.0
+    } else {
+        2.0 * a * b / (a + b)
+    }
+}
+
+/// A progressive-recall curve: recall after each executed comparison.
+///
+/// Built by a progressive resolver as it works through its schedule; the
+/// normalized AUC summarizes "how early" matches are found, the quantity
+/// progressive ER maximizes under a budget.
+#[derive(Clone, Debug, Default)]
+pub struct ProgressiveCurve {
+    /// `points[k] = ` truth matches found after `k+1` comparisons.
+    found_after: Vec<u64>,
+    total_matches: u64,
+}
+
+impl ProgressiveCurve {
+    /// Creates an empty curve for a task with `total_matches` truth pairs.
+    pub fn new(total_matches: u64) -> Self {
+        ProgressiveCurve {
+            found_after: Vec::new(),
+            total_matches,
+        }
+    }
+
+    /// Records one executed comparison; `found_match` says whether it (newly)
+    /// revealed a truth pair.
+    pub fn record(&mut self, found_match: bool) {
+        let prev = self.found_after.last().copied().unwrap_or(0);
+        self.found_after.push(prev + u64::from(found_match));
+    }
+
+    /// Comparisons executed.
+    pub fn comparisons(&self) -> u64 {
+        self.found_after.len() as u64
+    }
+
+    /// Matches found within the first `budget` comparisons.
+    pub fn found_within(&self, budget: u64) -> u64 {
+        if budget == 0 || self.found_after.is_empty() {
+            return 0;
+        }
+        let idx = (budget as usize).min(self.found_after.len());
+        self.found_after[idx - 1]
+    }
+
+    /// Recall within the first `budget` comparisons.
+    pub fn recall_at(&self, budget: u64) -> f64 {
+        if self.total_matches == 0 {
+            return 1.0;
+        }
+        self.found_within(budget) as f64 / self.total_matches as f64
+    }
+
+    /// Final recall over the whole executed schedule.
+    pub fn final_recall(&self) -> f64 {
+        self.recall_at(self.comparisons())
+    }
+
+    /// Normalized area under the recall-vs-comparisons curve over the first
+    /// `horizon` comparisons (1.0 = all matches found instantly). Budgets
+    /// beyond the executed schedule extend the curve flat, matching how the
+    /// literature plots truncated runs.
+    pub fn auc(&self, horizon: u64) -> f64 {
+        if horizon == 0 || self.total_matches == 0 {
+            return if self.total_matches == 0 { 1.0 } else { 0.0 };
+        }
+        let mut area = 0.0;
+        for k in 1..=horizon {
+            area += self.recall_at(k);
+        }
+        area / horizon as f64
+    }
+
+    /// Down-samples the curve to at most `points` evenly spaced
+    /// `(comparisons, recall)` pairs for plotting/printing.
+    pub fn sampled(&self, points: usize) -> Vec<(u64, f64)> {
+        let n = self.comparisons();
+        if n == 0 || points == 0 {
+            return Vec::new();
+        }
+        let step = (n as usize).div_ceil(points).max(1);
+        let mut out: Vec<(u64, f64)> = (1..=n)
+            .step_by(step)
+            .map(|k| (k, self.recall_at(k)))
+            .collect();
+        if out.last().map(|&(k, _)| k) != Some(n) {
+            out.push((n, self.recall_at(n)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityId;
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth::from_clusters(vec![vec![id(0), id(1)], vec![id(2), id(3)]])
+    }
+
+    #[test]
+    fn blocking_quality_counts() {
+        let t = truth();
+        let candidates = vec![
+            Pair::new(id(0), id(1)), // match
+            Pair::new(id(0), id(2)), // non-match
+            Pair::new(id(0), id(1)), // duplicate suggestion: counted once
+        ];
+        let q = BlockingQuality::measure(&candidates, &t, 6);
+        assert_eq!(q.comparisons, 2);
+        assert_eq!(q.detected_matches, 1);
+        assert!((q.pc() - 0.5).abs() < 1e-12);
+        assert!((q.pq() - 0.5).abs() < 1e-12);
+        assert!((q.rr() - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+        assert!(q.f_measure() > 0.0);
+    }
+
+    #[test]
+    fn blocking_quality_edge_cases() {
+        let empty_truth = GroundTruth::default();
+        let q = BlockingQuality::measure(&[], &empty_truth, 0);
+        assert_eq!(q.pc(), 1.0);
+        assert_eq!(q.pq(), 0.0);
+        assert_eq!(q.rr(), 0.0);
+    }
+
+    #[test]
+    fn rr_clamps_at_zero() {
+        let q = BlockingQuality {
+            comparisons: 10,
+            detected_matches: 0,
+            total_matches: 0,
+            brute_force_comparisons: 5,
+        };
+        assert_eq!(q.rr(), 0.0);
+    }
+
+    #[test]
+    fn match_quality_uses_transitive_closure() {
+        let t = GroundTruth::from_clusters(vec![vec![id(0), id(1), id(2)]]);
+        // Declaring (0,1) and (1,2) implies (0,2): full recall.
+        let m = MatchQuality::measure(3, &[Pair::new(id(0), id(1)), Pair::new(id(1), id(2))], &t);
+        assert_eq!(m.tp, 3);
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.fn_, 0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn match_quality_counts_false_positives() {
+        let t = truth();
+        let m = MatchQuality::measure(4, &[Pair::new(id(0), id(2))], &t);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 2);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn match_quality_empty_cases() {
+        let m = MatchQuality::measure(4, &[], &GroundTruth::default());
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn cluster_quality_counts_exact_clusters() {
+        let output = vec![vec![id(0), id(1)], vec![id(2), id(3), id(4)], vec![id(5)]];
+        let truth = vec![vec![id(0), id(1)], vec![id(2), id(3)], vec![id(6), id(7)]];
+        let q = ClusterQuality::measure(&output, &truth);
+        assert_eq!(q.exact, 1, "only {{0,1}} matches exactly");
+        assert_eq!(q.output_clusters, 2, "singleton ignored");
+        assert_eq!(q.truth_clusters, 3);
+        assert!((q.precision() - 0.5).abs() < 1e-12);
+        assert!((q.recall() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(q.f1() > 0.0);
+    }
+
+    #[test]
+    fn cluster_quality_member_order_is_irrelevant() {
+        let output = vec![vec![id(1), id(0)]];
+        let truth = vec![vec![id(0), id(1)]];
+        let q = ClusterQuality::measure(&output, &truth);
+        assert_eq!(q.exact, 1);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn cluster_quality_empty_cases() {
+        let none: Vec<Vec<EntityId>> = vec![];
+        let q = ClusterQuality::measure(&none, &none);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        let q2 = ClusterQuality::measure(&none, &[vec![id(0), id(1)]]);
+        assert_eq!(q2.recall(), 0.0);
+        assert_eq!(q2.precision(), 1.0);
+    }
+
+    #[test]
+    fn progressive_curve_recall_and_budget() {
+        let mut c = ProgressiveCurve::new(2);
+        c.record(true);
+        c.record(false);
+        c.record(true);
+        assert_eq!(c.comparisons(), 3);
+        assert_eq!(c.found_within(0), 0);
+        assert_eq!(c.found_within(1), 1);
+        assert_eq!(c.found_within(2), 1);
+        assert_eq!(c.found_within(3), 2);
+        assert_eq!(c.found_within(99), 2, "budget beyond schedule is flat");
+        assert!((c.recall_at(1) - 0.5).abs() < 1e-12);
+        assert_eq!(c.final_recall(), 1.0);
+    }
+
+    #[test]
+    fn progressive_auc_prefers_early_matches() {
+        let mut early = ProgressiveCurve::new(2);
+        for found in [true, true, false, false] {
+            early.record(found);
+        }
+        let mut late = ProgressiveCurve::new(2);
+        for found in [false, false, true, true] {
+            late.record(found);
+        }
+        assert!(early.auc(4) > late.auc(4));
+        assert_eq!(early.final_recall(), late.final_recall());
+    }
+
+    #[test]
+    fn progressive_auc_edge_cases() {
+        let c = ProgressiveCurve::new(0);
+        assert_eq!(c.auc(10), 1.0);
+        assert_eq!(c.recall_at(5), 1.0);
+        let c2 = ProgressiveCurve::new(3);
+        assert_eq!(c2.auc(0), 0.0);
+    }
+
+    #[test]
+    fn sampled_curve_ends_at_final_point() {
+        let mut c = ProgressiveCurve::new(5);
+        for i in 0..100 {
+            c.record(i % 20 == 0);
+        }
+        let s = c.sampled(10);
+        assert!(s.len() <= 11);
+        assert_eq!(s.last().unwrap().0, 100);
+        // Monotone non-decreasing recall.
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

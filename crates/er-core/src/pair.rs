@@ -1,0 +1,159 @@
+//! Canonical unordered pairs of entity identifiers.
+//!
+//! Throughout the ER literature a *comparison* is an unordered pair of
+//! descriptions. Storing pairs canonically (smaller id first) lets candidate
+//! sets, ground truth and match sets be compared with plain set operations
+//! and makes redundancy elimination (the heart of meta-blocking) a simple
+//! dedup.
+
+use crate::entity::EntityId;
+
+/// An unordered pair of entity ids, stored canonically with `first < second`.
+///
+/// Construction via [`Pair::new`] normalizes the order; a pair of an entity
+/// with itself is not representable (construction panics), mirroring the
+/// convention that an entity is never compared with itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pair {
+    first: EntityId,
+    second: EntityId,
+}
+
+impl Pair {
+    /// Creates a canonical pair from two distinct entity ids.
+    ///
+    /// # Panics
+    /// Panics if `a == b`: self-comparisons are meaningless in ER and almost
+    /// always indicate a bug in a blocking or scheduling algorithm.
+    pub fn new(a: EntityId, b: EntityId) -> Self {
+        assert!(a != b, "a pair must consist of two distinct entities");
+        if a < b {
+            Pair {
+                first: a,
+                second: b,
+            }
+        } else {
+            Pair {
+                first: b,
+                second: a,
+            }
+        }
+    }
+
+    /// Creates a pair if the ids are distinct, `None` otherwise.
+    pub fn try_new(a: EntityId, b: EntityId) -> Option<Self> {
+        if a == b {
+            None
+        } else {
+            Some(Self::new(a, b))
+        }
+    }
+
+    /// The smaller of the two ids.
+    pub fn first(&self) -> EntityId {
+        self.first
+    }
+
+    /// The larger of the two ids.
+    pub fn second(&self) -> EntityId {
+        self.second
+    }
+
+    /// Both ids as a `(first, second)` tuple with `first < second`.
+    pub fn ids(&self) -> (EntityId, EntityId) {
+        (self.first, self.second)
+    }
+
+    /// Returns `true` if `id` is one of the two members.
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.first == id || self.second == id
+    }
+
+    /// Given one member of the pair, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member of the pair.
+    pub fn other(&self, id: EntityId) -> EntityId {
+        if id == self.first {
+            self.second
+        } else if id == self.second {
+            self.first
+        } else {
+            panic!("entity {id:?} is not a member of pair {self:?}")
+        }
+    }
+}
+
+impl std::fmt::Debug for Pair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.first.0, self.second.0)
+    }
+}
+
+impl From<(EntityId, EntityId)> for Pair {
+    fn from((a, b): (EntityId, EntityId)) -> Self {
+        Pair::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    #[test]
+    fn canonical_order() {
+        assert_eq!(Pair::new(id(5), id(2)), Pair::new(id(2), id(5)));
+        assert_eq!(Pair::new(id(5), id(2)).first(), id(2));
+        assert_eq!(Pair::new(id(5), id(2)).second(), id(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_pair_panics() {
+        let _ = Pair::new(id(3), id(3));
+    }
+
+    #[test]
+    fn try_new_rejects_self_pair() {
+        assert!(Pair::try_new(id(3), id(3)).is_none());
+        assert!(Pair::try_new(id(3), id(4)).is_some());
+    }
+
+    #[test]
+    fn contains_and_other() {
+        let p = Pair::new(id(7), id(3));
+        assert!(p.contains(id(3)));
+        assert!(p.contains(id(7)));
+        assert!(!p.contains(id(4)));
+        assert_eq!(p.other(id(3)), id(7));
+        assert_eq!(p.other(id(7)), id(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn other_panics_for_non_member() {
+        Pair::new(id(1), id(2)).other(id(9));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_canonical_ids() {
+        let mut v = vec![
+            Pair::new(id(3), id(4)),
+            Pair::new(id(1), id(9)),
+            Pair::new(id(1), id(2)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Pair::new(id(1), id(2)),
+                Pair::new(id(1), id(9)),
+                Pair::new(id(3), id(4)),
+            ]
+        );
+    }
+}

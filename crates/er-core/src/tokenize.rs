@@ -1,0 +1,218 @@
+//! Value normalization and tokenization.
+//!
+//! Every blocking method surveyed in §II of the tutorial starts from tokens
+//! of attribute values: token blocking keys blocks on single tokens,
+//! similarity joins build prefix indexes over token sets, sorted neighborhood
+//! sorts on token-derived keys, q-grams blocking keys on character n-grams.
+//! Centralizing normalization here guarantees all of them see the same view
+//! of the data.
+
+/// Lower-cases a string and replaces every non-alphanumeric character with a
+/// space, collapsing runs of whitespace.
+///
+/// ```
+/// assert_eq!(er_core::tokenize::normalize("  Alan—Turing!! (1912)"), "alan turing 1912");
+/// ```
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Configurable word tokenizer with optional stopword removal and minimum
+/// token length.
+#[derive(Clone, Debug)]
+pub struct Tokenizer {
+    min_len: usize,
+    stopwords: Vec<String>,
+}
+
+impl Default for Tokenizer {
+    /// The default used throughout the workspace: tokens of length ≥ 1 and a
+    /// small English stopword list (articles/prepositions that would create
+    /// enormous, useless blocks).
+    fn default() -> Self {
+        Tokenizer {
+            min_len: 1,
+            stopwords: ["the", "a", "an", "of", "and", "or", "in", "on", "at", "to"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer with no stopwords and no length threshold.
+    pub fn raw() -> Self {
+        Tokenizer {
+            min_len: 1,
+            stopwords: Vec::new(),
+        }
+    }
+
+    /// Sets the minimum kept token length.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Replaces the stopword list.
+    pub fn with_stopwords<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.stopwords = words.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Tokenizes a raw value: normalize, split on whitespace, drop stopwords
+    /// and too-short tokens. Duplicates are preserved (callers wanting sets
+    /// collect into one).
+    pub fn tokens(&self, value: &str) -> Vec<String> {
+        normalize(value)
+            .split_whitespace()
+            .filter(|t| t.chars().count() >= self.min_len)
+            .filter(|t| !self.stopwords.iter().any(|s| s == t))
+            .map(|t| t.to_string())
+            .collect()
+    }
+}
+
+/// Character q-grams of a normalized string, with `q-1` padding characters
+/// (`#`) on each side, as used by q-grams blocking and q-gram similarity.
+///
+/// Returns the empty vector for an empty (post-normalization) string.
+///
+/// ```
+/// let g = er_core::tokenize::qgrams("ab", 3);
+/// assert_eq!(g, vec!["##a", "#ab", "ab#", "b##"]);
+/// ```
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be at least 1");
+    let norm = normalize(s);
+    if norm.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+        .chain(norm.chars())
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect();
+    if padded.len() < q {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// All suffixes of a normalized, whitespace-stripped string with length at
+/// least `min_len` — the keys of suffix-array blocking.
+pub fn suffixes(s: &str, min_len: usize) -> Vec<String> {
+    let compact: String = normalize(s)
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    let chars: Vec<char> = compact.chars().collect();
+    if chars.len() < min_len {
+        return Vec::new();
+    }
+    (0..=chars.len() - min_len)
+        .map(|i| chars[i..].iter().collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_punctuation_and_case() {
+        assert_eq!(normalize("Hello, World!"), "hello world");
+        assert_eq!(normalize("a--b__c"), "a b c");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("***"), "");
+    }
+
+    #[test]
+    fn normalize_handles_unicode() {
+        assert_eq!(normalize("Müller-Straße"), "müller straße");
+    }
+
+    #[test]
+    fn default_tokenizer_drops_stopwords() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokens("The University of Crete"),
+            vec!["university", "crete"]
+        );
+    }
+
+    #[test]
+    fn raw_tokenizer_keeps_everything() {
+        let t = Tokenizer::raw();
+        assert_eq!(t.tokens("the cat"), vec!["the", "cat"]);
+    }
+
+    #[test]
+    fn min_len_filters_short_tokens() {
+        let t = Tokenizer::raw().with_min_len(3);
+        assert_eq!(t.tokens("a bb ccc dddd"), vec!["ccc", "dddd"]);
+    }
+
+    #[test]
+    fn custom_stopwords() {
+        let t = Tokenizer::raw().with_stopwords(["cat"]);
+        assert_eq!(t.tokens("the cat sat"), vec!["the", "sat"]);
+    }
+
+    #[test]
+    fn tokens_preserve_duplicates() {
+        let t = Tokenizer::raw();
+        assert_eq!(t.tokens("ho ho ho"), vec!["ho", "ho", "ho"]);
+    }
+
+    #[test]
+    fn qgrams_basic() {
+        assert_eq!(qgrams("abc", 2), vec!["#a", "ab", "bc", "c#"]);
+    }
+
+    #[test]
+    fn qgrams_empty_and_unigram() {
+        assert!(qgrams("", 3).is_empty());
+        assert_eq!(qgrams("ab", 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn qgrams_count_is_len_plus_q_minus_one() {
+        // With (q-1)-padding both sides, an n-char string yields n+q-1 grams.
+        for q in 1..=4 {
+            let g = qgrams("abcdef", q);
+            assert_eq!(g.len(), 6 + q - 1, "q={q}");
+        }
+    }
+
+    #[test]
+    fn suffixes_basic() {
+        assert_eq!(suffixes("abcd", 3), vec!["abcd", "bcd"]);
+        assert!(suffixes("ab", 3).is_empty());
+    }
+
+    #[test]
+    fn suffixes_ignore_whitespace() {
+        assert_eq!(suffixes("a b", 2), vec!["ab"]);
+    }
+}

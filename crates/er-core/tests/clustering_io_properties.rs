@@ -1,0 +1,121 @@
+//! Property tests for the match-clustering algorithms and the text I/O
+//! round-trip.
+
+use er_core::collection::{EntityCollection, ResolutionMode};
+use er_core::entity::{EntityBuilder, EntityId, KbId};
+use er_core::io;
+use er_core::match_clustering::{
+    center_clustering, merge_center_clustering, unique_mapping_clustering,
+};
+use er_core::pair::Pair;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn scored_edges() -> impl Strategy<Value = Vec<(Pair, f64)>> {
+    proptest::collection::vec(((0u32..20, 0u32..20), 0u32..=100), 0..40).prop_map(|raw| {
+        let mut seen = BTreeMap::new();
+        for ((a, b), s) in raw {
+            if a != b {
+                seen.entry(Pair::new(EntityId(a), EntityId(b)))
+                    .or_insert(s as f64 / 100.0);
+            }
+        }
+        seen.into_iter().collect()
+    })
+}
+
+proptest! {
+    /// UMC output is a partial 1–1 mapping: no entity occurs twice.
+    #[test]
+    fn umc_is_one_to_one(edges in scored_edges()) {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..20 {
+            c.push(KbId(0), vec![]);
+        }
+        let out = unique_mapping_clustering(&c, &edges, 0.0);
+        let mut used = std::collections::BTreeSet::new();
+        for p in &out {
+            prop_assert!(used.insert(p.first()), "{:?} reused", p.first());
+            prop_assert!(used.insert(p.second()), "{:?} reused", p.second());
+        }
+    }
+
+    /// Center ⊆ merge-center ⊆ transitive closure (as pair sets).
+    #[test]
+    fn clustering_hierarchy(edges in scored_edges()) {
+        let n = 20;
+        let pairs_of = |clusters: Vec<Vec<EntityId>>| {
+            er_core::ground_truth::GroundTruth::from_clusters(clusters)
+                .iter()
+                .collect::<std::collections::BTreeSet<Pair>>()
+        };
+        let center = pairs_of(center_clustering(n, &edges, 0.0));
+        let mc = pairs_of(merge_center_clustering(n, &edges, 0.0));
+        let closure = pairs_of(er_core::clusters::components_from_matches(
+            n,
+            &edges.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+        ));
+        prop_assert!(center.is_subset(&mc), "center must nest in merge-center");
+        prop_assert!(mc.is_subset(&closure), "merge-center must nest in closure");
+    }
+
+    /// Raising the score threshold never adds clusters' pairs.
+    #[test]
+    fn threshold_is_monotone(edges in scored_edges(), t1 in 0u32..=100, t2 in 0u32..=100) {
+        let (lo, hi) = (t1.min(t2) as f64 / 100.0, t1.max(t2) as f64 / 100.0);
+        let pairs_of = |clusters: Vec<Vec<EntityId>>| {
+            er_core::ground_truth::GroundTruth::from_clusters(clusters)
+                .iter()
+                .collect::<std::collections::BTreeSet<Pair>>()
+        };
+        let loose = pairs_of(merge_center_clustering(20, &edges, lo));
+        let strict = pairs_of(merge_center_clustering(20, &edges, hi));
+        prop_assert!(strict.is_subset(&loose));
+    }
+
+    /// Any collection round-trips through the text format bit-exactly.
+    #[test]
+    fn io_round_trip(
+        entities in proptest::collection::vec(
+            (0u16..3, proptest::collection::vec(("[a-z ]{0,8}", ".{0,12}"), 0..4)),
+            0..12,
+        ),
+        dirty in any::<bool>(),
+    ) {
+        let mode = if dirty { ResolutionMode::Dirty } else { ResolutionMode::CleanClean };
+        let mut c = EntityCollection::new(mode);
+        for (kb, attrs) in entities {
+            let mut b = EntityBuilder::new();
+            for (a, v) in attrs {
+                b = b.attr(a, v);
+            }
+            c.push_entity(KbId(kb), b);
+        }
+        let mut buf = Vec::new();
+        io::write_collection(&mut buf, &c).unwrap();
+        let back = io::read_collection(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.mode(), c.mode());
+        prop_assert_eq!(back.len(), c.len());
+        for (x, y) in c.iter().zip(back.iter()) {
+            prop_assert_eq!(x.kb(), y.kb());
+            prop_assert_eq!(x.attributes(), y.attributes());
+        }
+    }
+
+    /// Truth files round-trip to the same closed pair set.
+    #[test]
+    fn truth_round_trip(raw in proptest::collection::vec((0u32..30, 0u32..30), 0..25)) {
+        let pairs: Vec<Pair> = raw.into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Pair::new(EntityId(a), EntityId(b)))
+            .collect();
+        let truth = er_core::ground_truth::GroundTruth::from_pairs(pairs);
+        let mut buf = Vec::new();
+        io::write_truth(&mut buf, &truth).unwrap();
+        let back = io::read_truth(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(
+            truth.iter().collect::<Vec<_>>(),
+            back.iter().collect::<Vec<_>>()
+        );
+    }
+}

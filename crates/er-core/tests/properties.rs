@@ -1,0 +1,245 @@
+//! Property-based tests for er-core invariants: similarity-function axioms,
+//! merge ICAR properties, union–find/closure laws, metric ranges.
+
+use er_core::clusters::{transitive_closure, UnionFind};
+use er_core::entity::{Entity, EntityId, KbId};
+use er_core::ground_truth::GroundTruth;
+use er_core::merge::Profile;
+use er_core::metrics::{BlockingQuality, ProgressiveCurve};
+use er_core::pair::Pair;
+use er_core::similarity::*;
+use er_core::tokenize::{normalize, qgrams, Tokenizer};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn token_set() -> impl Strategy<Value = BTreeSet<String>> {
+    proptest::collection::btree_set("[a-e]{1,3}", 0..8)
+}
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{0,8}"
+}
+
+proptest! {
+    // ---------------- similarity axioms ----------------
+
+    #[test]
+    fn set_measures_are_bounded_and_symmetric(a in token_set(), b in token_set()) {
+        for m in [SetMeasure::Jaccard, SetMeasure::Dice, SetMeasure::Cosine, SetMeasure::Overlap] {
+            let s = m.eval(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "{} out of range: {}", m.name(), s);
+            prop_assert!((s - m.eval(&b, &a)).abs() < 1e-12, "{} asymmetric", m.name());
+        }
+    }
+
+    #[test]
+    fn set_measures_identity(a in token_set()) {
+        prop_assume!(!a.is_empty());
+        for m in [SetMeasure::Jaccard, SetMeasure::Dice, SetMeasure::Cosine, SetMeasure::Overlap] {
+            prop_assert!((m.eval(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaccard_le_dice_le_overlap(a in token_set(), b in token_set()) {
+        // Standard ordering: jaccard <= dice <= overlap coefficient.
+        let j = jaccard(&a, &b);
+        let d = dice(&a, &b);
+        let o = overlap_coefficient(&a, &b);
+        prop_assert!(j <= d + 1e-12);
+        prop_assert!(d <= o + 1e-12);
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        let dab = levenshtein_distance(&a, &b);
+        let dba = levenshtein_distance(&b, &a);
+        prop_assert_eq!(dab, dba);
+        prop_assert_eq!(levenshtein_distance(&a, &a), 0);
+        // Triangle inequality.
+        let dac = levenshtein_distance(&a, &c);
+        let dcb = levenshtein_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb);
+        // Bounded by longer string length.
+        prop_assert!(dab <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn string_similarities_bounded(a in word(), b in word()) {
+        for f in [levenshtein, jaro, jaro_winkler] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "out of range: {}", s);
+            prop_assert!((s - f(&b, &a)).abs() < 1e-9, "asymmetric on {:?} {:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in word(), b in word()) {
+        prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+    }
+
+    #[test]
+    fn tfidf_cosine_bounded(a in token_set(), b in token_set(), docs in proptest::collection::vec(token_set(), 1..6)) {
+        let stats = CorpusStats::from_documents(docs.iter());
+        let s = stats.tfidf_cosine(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s));
+        prop_assert!((s - stats.tfidf_cosine(&b, &a)).abs() < 1e-12);
+    }
+
+    // ---------------- tokenization ----------------
+
+    #[test]
+    fn normalize_is_idempotent(s in ".{0,40}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn normalized_output_is_lower_alnum_and_single_spaced(s in ".{0,40}") {
+        let n = normalize(&s);
+        prop_assert!(!n.starts_with(' ') && !n.ends_with(' '));
+        prop_assert!(!n.contains("  "));
+        for c in n.chars() {
+            prop_assert!(c.is_alphanumeric() || c == ' ');
+            // Characters with a lowercase mapping must be lowercased; exotic
+            // code points like 🄰 are Other_Uppercase with no mapping and
+            // pass through unchanged.
+            prop_assert!(c.to_lowercase().next() == Some(c));
+        }
+    }
+
+    #[test]
+    fn qgram_count_formula(s in "[a-z]{1,20}", q in 1usize..5) {
+        let g = qgrams(&s, q);
+        prop_assert_eq!(g.len(), s.len() + q - 1);
+        for gram in &g {
+            prop_assert_eq!(gram.chars().count(), q);
+        }
+    }
+
+    #[test]
+    fn tokens_are_subset_of_raw_tokens(s in ".{0,60}") {
+        let raw: BTreeSet<String> = Tokenizer::raw().tokens(&s).into_iter().collect();
+        let filtered: BTreeSet<String> = Tokenizer::default().tokens(&s).into_iter().collect();
+        prop_assert!(filtered.is_subset(&raw));
+    }
+
+    // ---------------- merge ICAR ----------------
+
+    #[test]
+    fn profile_merge_icar(
+        attrs_a in proptest::collection::vec(("[a-c]", "[a-d]{1,4}"), 0..5),
+        attrs_b in proptest::collection::vec(("[a-c]", "[a-d]{1,4}"), 0..5),
+        attrs_c in proptest::collection::vec(("[a-c]", "[a-d]{1,4}"), 0..5),
+    ) {
+        let mk = |id: u32, attrs: &Vec<(String, String)>| {
+            Profile::from_entity(&Entity::new(EntityId(id), KbId(0), attrs.clone()))
+        };
+        let a = mk(0, &attrs_a);
+        let b = mk(1, &attrs_b);
+        let c = mk(2, &attrs_c);
+        // Idempotence, commutativity, associativity.
+        prop_assert_eq!(a.merge(&a), a.clone());
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // Merge only grows token sets (representativity precondition).
+        let t = Tokenizer::default();
+        prop_assert!(a.token_set(&t).is_subset(&a.merge(&b).token_set(&t)));
+    }
+
+    // ---------------- clustering ----------------
+
+    #[test]
+    fn union_find_component_accounting(n in 1usize..40, edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60)) {
+        let mut uf = UnionFind::new(n);
+        let mut merges = 0;
+        for (a, b) in edges {
+            if a < n && b < n && uf.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.component_count(), n - merges);
+        let clusters = uf.clusters();
+        prop_assert_eq!(clusters.len(), n - merges);
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn transitive_closure_is_closed_and_contains_input(
+        n in 2usize..25,
+        raw in proptest::collection::vec((0u32..25, 0u32..25), 0..30),
+    ) {
+        let pairs: Vec<Pair> = raw.into_iter()
+            .filter(|(a, b)| a != b && (*a as usize) < n && (*b as usize) < n)
+            .map(|(a, b)| Pair::new(EntityId(a), EntityId(b)))
+            .collect();
+        let closed = transitive_closure(n, &pairs);
+        for p in &pairs {
+            prop_assert!(closed.contains(p));
+        }
+        // Closure property: a~b and b~c implies a~c.
+        let v: Vec<Pair> = closed.iter().copied().collect();
+        for p in &v {
+            for q in &v {
+                let shared = [p.first(), p.second()].iter()
+                    .find(|x| q.contains(**x)).copied();
+                if let Some(s) = shared {
+                    let (x, y) = (p.other(s), q.other(s));
+                    if x != y {
+                        prop_assert!(closed.contains(&Pair::new(x, y)));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------- metrics ----------------
+
+    #[test]
+    fn blocking_quality_ranges(
+        cands in proptest::collection::vec((0u32..30, 0u32..30), 0..50),
+        truth_pairs in proptest::collection::vec((0u32..30, 0u32..30), 0..20),
+    ) {
+        let cands: Vec<Pair> = cands.into_iter().filter(|(a, b)| a != b)
+            .map(|(a, b)| Pair::new(EntityId(a), EntityId(b))).collect();
+        let truth = GroundTruth::from_pairs(
+            truth_pairs.into_iter().filter(|(a, b)| a != b)
+                .map(|(a, b)| Pair::new(EntityId(a), EntityId(b))));
+        let q = BlockingQuality::measure(&cands, &truth, 435);
+        prop_assert!((0.0..=1.0).contains(&q.pc()));
+        prop_assert!((0.0..=1.0).contains(&q.pq()));
+        prop_assert!((0.0..=1.0).contains(&q.rr()));
+        prop_assert!(q.detected_matches <= q.comparisons);
+        prop_assert!(q.detected_matches <= q.total_matches);
+    }
+
+    #[test]
+    fn progressive_curve_monotone(outcomes in proptest::collection::vec(any::<bool>(), 0..60)) {
+        let total = outcomes.iter().filter(|b| **b).count() as u64;
+        let mut c = ProgressiveCurve::new(total.max(1));
+        for o in &outcomes {
+            c.record(*o);
+        }
+        let mut prev = 0.0;
+        for k in 1..=c.comparisons() {
+            let r = c.recall_at(k);
+            prop_assert!(r + 1e-12 >= prev, "recall decreased at {}", k);
+            prev = r;
+        }
+        prop_assert!((0.0..=1.0).contains(&c.auc(c.comparisons().max(1))));
+    }
+
+    #[test]
+    fn ground_truth_closure_invariant(raw in proptest::collection::vec((0u32..20, 0u32..20), 0..25)) {
+        let pairs: Vec<Pair> = raw.into_iter().filter(|(a, b)| a != b)
+            .map(|(a, b)| Pair::new(EntityId(a), EntityId(b))).collect();
+        let gt = GroundTruth::from_pairs(pairs.clone());
+        for p in &pairs {
+            prop_assert!(gt.contains(*p));
+        }
+        // Rebuilding from the closed set is a fixpoint.
+        let gt2 = GroundTruth::from_pairs(gt.iter());
+        prop_assert_eq!(gt.len(), gt2.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! # er-datagen — deterministic synthetic knowledge bases with ground truth
+//!
+//! The evaluations surveyed by the ICDE 2017 tutorial run on web-crawled RDF
+//! corpora (DBpedia, Freebase, BTC09/12, …) that cannot be shipped. This
+//! crate substitutes *seeded synthetic generators* that reproduce the
+//! structural properties those corpora exhibit and that the tutorial
+//! identifies as the drivers of algorithm behaviour:
+//!
+//! * several KBs describing **overlapping sets of real-world entities**, with
+//!   ground truth known by construction;
+//! * **highly similar** descriptions — many shared tokens, semantically
+//!   aligned attribute names (the LOD "center"); and **somehow similar**
+//!   descriptions — few shared tokens, proprietary attribute vocabularies
+//!   (the LOD "periphery");
+//! * **skewed token frequencies** (Zipfian), which create the huge useless
+//!   blocks that block purging and meta-blocking exist to tame;
+//! * **partial, noisy descriptions**: dropped attributes, token edits,
+//!   multi-valued attributes.
+//!
+//! Everything is driven by a `u64` seed and is fully deterministic, so every
+//! experiment in `er-bench` is reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clean_clean;
+pub mod dirty;
+pub mod evolving;
+pub mod lod;
+pub mod noise;
+pub mod profile;
+pub mod words;
+pub mod zipf;
+
+pub use clean_clean::{CleanCleanConfig, CleanCleanDataset};
+pub use dirty::{DirtyConfig, DirtyDataset};
+pub use evolving::{EvolvingConfig, EvolvingStream};
+pub use lod::{LodConfig, LodDataset};
+pub use noise::NoiseModel;

@@ -1,0 +1,244 @@
+//! LOD-cloud-style multi-KB generator: a dense, vocabulary-sharing *center*
+//! and sparse, proprietary-vocabulary *peripheries*.
+//!
+//! §I of the tutorial contrasts descriptions at the center of the LOD cloud —
+//! heavily interlinked, many common tokens in semantically related attributes
+//! ("highly similar") — with peripheral ones sharing few tokens in unrelated
+//! attributes ("somehow similar"). This generator reproduces exactly that
+//! split, so experiments can report metrics per regime.
+
+use crate::noise::NoiseModel;
+use crate::profile::{describe, EntityFactory, ProfileConfig};
+use crate::words::AttributeVocabulary;
+use er_core::collection::{EntityCollection, ResolutionMode};
+use er_core::entity::{EntityId, KbId};
+use er_core::ground_truth::GroundTruth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the LOD-style generator.
+#[derive(Clone, Debug)]
+pub struct LodConfig {
+    /// Latent entities in the universe.
+    pub universe: usize,
+    /// Number of center KBs (canonical vocabulary, dense, low noise).
+    pub center_kbs: usize,
+    /// Number of periphery KBs (proprietary vocabulary, sparse, noisy).
+    pub periphery_kbs: usize,
+    /// Probability a center KB describes any given universe entity.
+    pub center_coverage: f64,
+    /// Probability a periphery KB describes any given universe entity.
+    pub periphery_coverage: f64,
+    /// Attribute-keep fraction for center descriptions (dense).
+    pub center_keep_attributes: f64,
+    /// Attribute-keep fraction for periphery descriptions (sparse).
+    pub periphery_keep_attributes: f64,
+    /// Noise for center / periphery descriptions.
+    pub center_noise: NoiseModel,
+    /// Noise for periphery descriptions.
+    pub periphery_noise: NoiseModel,
+    /// Shape of the latent entities.
+    pub profile: ProfileConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for LodConfig {
+    fn default() -> Self {
+        LodConfig {
+            universe: 500,
+            center_kbs: 2,
+            periphery_kbs: 3,
+            center_coverage: 0.8,
+            periphery_coverage: 0.25,
+            center_keep_attributes: 0.9,
+            periphery_keep_attributes: 0.5,
+            center_noise: NoiseModel::light(),
+            periphery_noise: NoiseModel::heavy(),
+            profile: ProfileConfig {
+                attributes: 6,
+                ..Default::default()
+            },
+            seed: 0x10D_0017,
+        }
+    }
+}
+
+/// A generated LOD-style dataset.
+#[derive(Clone, Debug)]
+pub struct LodDataset {
+    /// All KBs in one clean–clean collection (KBs `0..center_kbs` are the
+    /// center; the rest are periphery).
+    pub collection: EntityCollection,
+    /// Cross-KB truth pairs over all KBs.
+    pub truth: GroundTruth,
+    /// Number of center KBs (prefix of the KB id space).
+    pub center_kbs: usize,
+    /// Ground-truth clusters (per universe entity, when described ≥ 2 times).
+    pub clusters: Vec<Vec<EntityId>>,
+}
+
+impl LodDataset {
+    /// Generates the dataset.
+    pub fn generate(config: &LodConfig) -> Self {
+        assert!(
+            config.center_kbs + config.periphery_kbs >= 2,
+            "need at least two KBs"
+        );
+        config
+            .center_noise
+            .validate()
+            .expect("invalid center noise");
+        config
+            .periphery_noise
+            .validate()
+            .expect("invalid periphery noise");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let factory = EntityFactory::new(config.profile.clone(), config.seed ^ 0x10D);
+        let canonical = AttributeVocabulary::canonical(config.profile.attributes);
+
+        let total_kbs = config.center_kbs + config.periphery_kbs;
+        let mut collection = EntityCollection::new(ResolutionMode::CleanClean);
+        let mut members: Vec<Vec<EntityId>> = vec![Vec::new(); config.universe];
+
+        for kb in 0..total_kbs {
+            let is_center = kb < config.center_kbs;
+            let vocab = if is_center {
+                canonical.clone()
+            } else {
+                canonical.proprietary(kb as u16)
+            };
+            let (coverage, keep, noise) = if is_center {
+                (
+                    config.center_coverage,
+                    config.center_keep_attributes,
+                    config.center_noise,
+                )
+            } else {
+                (
+                    config.periphery_coverage,
+                    config.periphery_keep_attributes,
+                    config.periphery_noise,
+                )
+            };
+            for idx in 0..config.universe as u64 {
+                if rng.random::<f64>() >= coverage {
+                    continue;
+                }
+                let e = factory.generate(idx, &mut rng);
+                let d = describe(&e, &vocab, &noise, keep, &mut rng);
+                let id = collection.push(KbId(kb as u16), d);
+                members[idx as usize].push(id);
+            }
+        }
+
+        let clusters: Vec<Vec<EntityId>> = members.into_iter().filter(|m| m.len() >= 2).collect();
+        // Clean–clean across many KBs: each KB describes an entity at most
+        // once, so every within-cluster pair crosses KBs.
+        let truth = GroundTruth::from_clusters(clusters.iter());
+        LodDataset {
+            collection,
+            truth,
+            center_kbs: config.center_kbs,
+            clusters,
+        }
+    }
+
+    /// Splits the truth pairs by regime: pairs where both descriptions come
+    /// from center KBs ("highly similar") vs all others ("somehow similar").
+    pub fn truth_by_regime(&self) -> (Vec<er_core::pair::Pair>, Vec<er_core::pair::Pair>) {
+        let is_center =
+            |id: EntityId| (self.collection.entity(id).kb().0 as usize) < self.center_kbs;
+        let mut center = Vec::new();
+        let mut mixed = Vec::new();
+        for p in self.truth.iter() {
+            if is_center(p.first()) && is_center(p.second()) {
+                center.push(p);
+            } else {
+                mixed.push(p);
+            }
+        }
+        (center, mixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LodConfig {
+        LodConfig {
+            universe: 100,
+            seed: 21,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn kb_structure() {
+        let d = LodDataset::generate(&small());
+        let sizes = d.collection.kb_sizes();
+        assert_eq!(sizes.len(), 5);
+        // Center KBs cover far more of the universe than periphery ones.
+        let center_avg: f64 = (0..2).map(|k| sizes[&KbId(k)] as f64).sum::<f64>() / 2.0;
+        let periph_avg: f64 = (2..5).map(|k| sizes[&KbId(k)] as f64).sum::<f64>() / 3.0;
+        assert!(
+            center_avg > periph_avg * 1.5,
+            "{center_avg} vs {periph_avg}"
+        );
+    }
+
+    #[test]
+    fn truth_pairs_cross_kbs() {
+        let d = LodDataset::generate(&small());
+        assert!(!d.truth.is_empty());
+        for p in d.truth.iter() {
+            assert_ne!(
+                d.collection.entity(p.first()).kb(),
+                d.collection.entity(p.second()).kb()
+            );
+        }
+    }
+
+    #[test]
+    fn regime_split_partitions_truth() {
+        let d = LodDataset::generate(&small());
+        let (center, mixed) = d.truth_by_regime();
+        assert_eq!(center.len() + mixed.len(), d.truth.len());
+        assert!(!center.is_empty(), "center-center pairs expected");
+        assert!(!mixed.is_empty(), "periphery pairs expected");
+    }
+
+    #[test]
+    fn periphery_descriptions_are_sparser() {
+        let d = LodDataset::generate(&small());
+        let avg_len = |center: bool| -> f64 {
+            let v: Vec<usize> = d
+                .collection
+                .iter()
+                .filter(|e| ((e.kb().0 as usize) < d.center_kbs) == center)
+                .map(|e| e.len())
+                .collect();
+            v.iter().sum::<usize>() as f64 / v.len().max(1) as f64
+        };
+        assert!(avg_len(true) > avg_len(false), "center should be denser");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = LodDataset::generate(&small());
+        let b = LodDataset::generate(&small());
+        assert_eq!(a.collection.len(), b.collection.len());
+        assert_eq!(a.truth.len(), b.truth.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "two KBs")]
+    fn single_kb_rejected() {
+        let _ = LodDataset::generate(&LodConfig {
+            center_kbs: 1,
+            periphery_kbs: 0,
+            ..small()
+        });
+    }
+}

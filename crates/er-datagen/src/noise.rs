@@ -1,0 +1,249 @@
+//! Perturbation models turning canonical values into noisy descriptions.
+//!
+//! The gap between descriptions of the same entity in different KBs is what
+//! makes ER hard; this module quantifies it. Token-level noise (edits, drops,
+//! inserts) models extraction errors and formatting differences; value-level
+//! drops model the partial descriptions the tutorial emphasizes.
+
+use rand::Rng;
+
+/// Probabilistic perturbation model applied when a description is emitted.
+///
+/// All fields are probabilities in `[0, 1]`. [`NoiseModel::clean`] is the
+/// identity; [`NoiseModel::light`]/[`moderate`](NoiseModel::moderate)/
+/// [`heavy`](NoiseModel::heavy) are the presets used by the experiments'
+/// noise sweeps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Per-token probability of a single-character edit.
+    pub token_edit: f64,
+    /// Per-token probability of dropping the token.
+    pub token_drop: f64,
+    /// Per-value probability of appending one junk token.
+    pub token_insert: f64,
+    /// Per-value probability of dropping the whole attribute value
+    /// (partial descriptions).
+    pub value_drop: f64,
+}
+
+impl NoiseModel {
+    /// No perturbation at all.
+    pub fn clean() -> Self {
+        NoiseModel {
+            token_edit: 0.0,
+            token_drop: 0.0,
+            token_insert: 0.0,
+            value_drop: 0.0,
+        }
+    }
+
+    /// Light noise: occasional typos.
+    pub fn light() -> Self {
+        NoiseModel {
+            token_edit: 0.05,
+            token_drop: 0.02,
+            token_insert: 0.02,
+            value_drop: 0.05,
+        }
+    }
+
+    /// Moderate noise: the default for experiments.
+    pub fn moderate() -> Self {
+        NoiseModel {
+            token_edit: 0.15,
+            token_drop: 0.10,
+            token_insert: 0.05,
+            value_drop: 0.15,
+        }
+    }
+
+    /// Heavy noise: stresses recall of every method.
+    pub fn heavy() -> Self {
+        NoiseModel {
+            token_edit: 0.30,
+            token_drop: 0.20,
+            token_insert: 0.10,
+            value_drop: 0.30,
+        }
+    }
+
+    /// The four presets in increasing order, with display names — the x-axis
+    /// of noise-sweep experiments.
+    pub fn sweep() -> [(&'static str, NoiseModel); 4] {
+        [
+            ("clean", Self::clean()),
+            ("light", Self::light()),
+            ("moderate", Self::moderate()),
+            ("heavy", Self::heavy()),
+        ]
+    }
+
+    /// Validates that all fields are probabilities.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("token_edit", self.token_edit),
+            ("token_drop", self.token_drop),
+            ("token_insert", self.token_insert),
+            ("value_drop", self.value_drop),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(format!("{name} = {v} is not a probability"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Perturbs one attribute value. Returns `None` when the value is dropped
+    /// entirely.
+    pub fn apply_value<R: Rng + ?Sized>(&self, rng: &mut R, value: &str) -> Option<String> {
+        if rng.random::<f64>() < self.value_drop {
+            return None;
+        }
+        let mut tokens: Vec<String> = Vec::new();
+        for tok in value.split_whitespace() {
+            if rng.random::<f64>() < self.token_drop {
+                continue;
+            }
+            let tok = if rng.random::<f64>() < self.token_edit {
+                edit_token(rng, tok)
+            } else {
+                tok.to_string()
+            };
+            tokens.push(tok);
+        }
+        if rng.random::<f64>() < self.token_insert {
+            tokens.push(junk_token(rng));
+        }
+        if tokens.is_empty() {
+            None
+        } else {
+            Some(tokens.join(" "))
+        }
+    }
+}
+
+/// Replaces one character of the token with a random lowercase letter
+/// (possibly the same — a no-op edit, as in real typo models).
+fn edit_token<R: Rng + ?Sized>(rng: &mut R, token: &str) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let pos = rng.random_range(0..chars.len());
+    let repl = (b'a' + rng.random_range(0..26u8)) as char;
+    chars
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| if i == pos { repl } else { c })
+        .collect()
+}
+
+/// A short random junk token.
+fn junk_token<R: Rng + ?Sized>(rng: &mut R) -> String {
+    (0..4)
+        .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = NoiseModel::clean();
+        for v in ["alpha beta", "x", "one two three"] {
+            assert_eq!(m.apply_value(&mut rng, v).as_deref(), Some(v));
+        }
+    }
+
+    #[test]
+    fn value_drop_one_always_drops() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = NoiseModel {
+            value_drop: 1.0,
+            ..NoiseModel::clean()
+        };
+        assert_eq!(m.apply_value(&mut rng, "alpha beta"), None);
+    }
+
+    #[test]
+    fn token_drop_one_empties_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = NoiseModel {
+            token_drop: 1.0,
+            ..NoiseModel::clean()
+        };
+        assert_eq!(m.apply_value(&mut rng, "alpha beta"), None);
+    }
+
+    #[test]
+    fn edits_preserve_token_count_and_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = NoiseModel {
+            token_edit: 1.0,
+            ..NoiseModel::clean()
+        };
+        let out = m.apply_value(&mut rng, "alpha beta").unwrap();
+        let toks: Vec<&str> = out.split(' ').collect();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].len(), 5);
+        assert_eq!(toks[1].len(), 4);
+    }
+
+    #[test]
+    fn insert_appends_token() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = NoiseModel {
+            token_insert: 1.0,
+            ..NoiseModel::clean()
+        };
+        let out = m.apply_value(&mut rng, "alpha").unwrap();
+        assert_eq!(out.split(' ').count(), 2);
+        assert!(out.starts_with("alpha "));
+    }
+
+    #[test]
+    fn presets_are_ordered_and_valid() {
+        let sweep = NoiseModel::sweep();
+        for (name, m) in &sweep {
+            m.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        for w in sweep.windows(2) {
+            assert!(w[0].1.token_edit <= w[1].1.token_edit);
+            assert!(w[0].1.value_drop <= w[1].1.value_drop);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        let m = NoiseModel {
+            token_edit: 1.5,
+            ..NoiseModel::clean()
+        };
+        assert!(m.validate().is_err());
+        let m2 = NoiseModel {
+            value_drop: f64::NAN,
+            ..NoiseModel::clean()
+        };
+        assert!(m2.validate().is_err());
+    }
+
+    #[test]
+    fn moderate_noise_changes_some_tokens() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = NoiseModel::moderate();
+        let mut changed = 0;
+        for _ in 0..100 {
+            let out = m.apply_value(&mut rng, "alpha beta gamma delta");
+            if out.as_deref() != Some("alpha beta gamma delta") {
+                changed += 1;
+            }
+        }
+        assert!(changed > 30, "expected visible perturbation, got {changed}");
+        assert!(changed < 100, "some values should survive intact");
+    }
+}

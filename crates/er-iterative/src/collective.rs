@@ -1,0 +1,301 @@
+//! Relationship-based (collective) iterative ER (Bhattacharya & Getoor \[3\]).
+//!
+//! Descriptions of *different* entity types are connected by relationships —
+//! buildings to their architects, papers to their authors. Attribute
+//! evidence alone may be too ambiguous ("J. Smith"), but once two related
+//! descriptions are resolved (the architects match), the pair they relate to
+//! (the buildings) becomes much more likely to match. Collective ER
+//! therefore interleaves: the combined score of a pair is
+//!
+//! ```text
+//! sim(a, b) = (1 − α) · attribute_sim(a, b) + α · neighborhood_sim(a, b)
+//! ```
+//!
+//! where `neighborhood_sim` is the Jaccard overlap of the pair's *resolved*
+//! neighbor clusters. Every new match updates the neighborhoods it touches
+//! and re-enqueues the affected pairs — the relationship-based update rule
+//! the tutorial contrasts with merging-based iteration.
+
+use er_core::clusters::UnionFind;
+use er_core::collection::EntityCollection;
+use er_core::pair::Pair;
+use er_core::similarity::SetMeasure;
+use er_core::tokenize::Tokenizer;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the collective resolver.
+#[derive(Clone, Debug)]
+pub struct CollectiveConfig {
+    /// Weight of relational evidence in the combined score, in `[0, 1)`.
+    pub alpha: f64,
+    /// Combined-score threshold for declaring a match.
+    pub threshold: f64,
+    /// Attribute-similarity measure over whole-description token sets.
+    pub measure: SetMeasure,
+}
+
+impl Default for CollectiveConfig {
+    fn default() -> Self {
+        CollectiveConfig {
+            alpha: 0.4,
+            threshold: 0.6,
+            measure: SetMeasure::Jaccard,
+        }
+    }
+}
+
+/// Result of a collective run.
+#[derive(Clone, Debug)]
+pub struct CollectiveOutput {
+    /// Declared match pairs, sorted.
+    pub matches: Vec<Pair>,
+    /// Comparisons (score evaluations of popped pairs).
+    pub comparisons: u64,
+    /// Pairs whose score was re-evaluated after a neighbor match.
+    pub reactivations: u64,
+}
+
+/// The collective resolver over a collection plus an explicit relationship
+/// graph between descriptions.
+pub struct CollectiveEr<'a> {
+    collection: &'a EntityCollection,
+    /// Adjacency: related descriptions of each description.
+    neighbors: Vec<BTreeSet<u32>>,
+    config: CollectiveConfig,
+    token_sets: Vec<BTreeSet<String>>,
+}
+
+impl<'a> CollectiveEr<'a> {
+    /// Creates the resolver. `relations` are undirected description-to-
+    /// description edges (e.g. building → architect).
+    pub fn new(
+        collection: &'a EntityCollection,
+        relations: &[(er_core::entity::EntityId, er_core::entity::EntityId)],
+        config: CollectiveConfig,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.alpha),
+            "alpha must be in [0, 1)"
+        );
+        let n = collection.len();
+        let mut neighbors = vec![BTreeSet::new(); n];
+        for &(a, b) in relations {
+            if a != b {
+                neighbors[a.index()].insert(b.0);
+                neighbors[b.index()].insert(a.0);
+            }
+        }
+        let tokenizer = Tokenizer::default();
+        let token_sets = collection.iter().map(|e| e.token_set(&tokenizer)).collect();
+        CollectiveEr {
+            collection,
+            neighbors,
+            config,
+            token_sets,
+        }
+    }
+
+    /// Attribute similarity of a pair.
+    fn attr_sim(&self, p: Pair) -> f64 {
+        self.config.measure.eval(
+            &self.token_sets[p.first().index()],
+            &self.token_sets[p.second().index()],
+        )
+    }
+
+    /// Neighborhood similarity under the current resolution: Jaccard of the
+    /// two descriptions' neighbor sets with each neighbor replaced by its
+    /// cluster representative.
+    fn neigh_sim(&self, p: Pair, uf: &mut UnionFind) -> f64 {
+        let canon = |ids: &BTreeSet<u32>, uf: &mut UnionFind| -> BTreeSet<usize> {
+            ids.iter().map(|&i| uf.find(i as usize)).collect()
+        };
+        let a = canon(&self.neighbors[p.first().index()], uf);
+        let b = canon(&self.neighbors[p.second().index()], uf);
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.intersection(&b).count() as f64;
+        let union = (a.len() + b.len()) as f64 - inter;
+        inter / union
+    }
+
+    /// Combined score under the current resolution.
+    fn score(&self, p: Pair, uf: &mut UnionFind) -> f64 {
+        (1.0 - self.config.alpha) * self.attr_sim(p) + self.config.alpha * self.neigh_sim(p, uf)
+    }
+
+    /// Runs collective resolution over the given candidate pairs until no
+    /// pending pair reaches the threshold.
+    pub fn run(&self, candidates: &[Pair]) -> CollectiveOutput {
+        let n = self.collection.len();
+        let mut uf = UnionFind::new(n);
+        // Pending pairs with cached scores.
+        let mut pending: BTreeMap<Pair, f64> = BTreeMap::new();
+        let mut comparisons = 0u64;
+        for &p in candidates {
+            if self.collection.is_comparable(p.first(), p.second()) {
+                comparisons += 1;
+                let s = self.score(p, &mut uf);
+                pending.insert(p, s);
+            }
+        }
+        // Reverse index: description → pending pairs that involve a
+        // *neighbor* of it (those are the pairs a match at this description
+        // influences).
+        let mut matches: Vec<Pair> = Vec::new();
+        let mut reactivations = 0u64;
+        loop {
+            // Pop the best pending pair at or above threshold.
+            let best = pending
+                .iter()
+                .filter(|(_, s)| **s >= self.config.threshold)
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+                .map(|(p, _)| *p);
+            let Some(p) = best else { break };
+            pending.remove(&p);
+            matches.push(p);
+            uf.union(p.first().index(), p.second().index());
+            // Update phase: re-score pending pairs between neighbors of the
+            // two matched descriptions — their relational evidence changed.
+            let influenced: BTreeSet<u32> = self.neighbors[p.first().index()]
+                .union(&self.neighbors[p.second().index()])
+                .copied()
+                .collect();
+            let keys: Vec<Pair> = pending.keys().copied().collect();
+            for q in keys {
+                if influenced.contains(&q.first().0) || influenced.contains(&q.second().0) {
+                    reactivations += 1;
+                    comparisons += 1;
+                    let s = self.score(q, &mut uf);
+                    pending.insert(q, s);
+                }
+            }
+        }
+        matches.sort();
+        CollectiveOutput {
+            matches,
+            comparisons,
+            reactivations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityBuilder, EntityId, KbId};
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    /// Buildings 0/1 are ambiguous ("city hall"); architects 2/3 are clearly
+    /// the same person. Relations: 0–2, 1–3. Only after the architects match
+    /// does the buildings' relational evidence push them over the threshold.
+    fn scenario() -> (EntityCollection, Vec<(EntityId, EntityId)>) {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "city hall main"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "city hall plaza"));
+        c.push_entity(
+            KbId(0),
+            EntityBuilder::new().attr("n", "gaudi antoni architect"),
+        );
+        c.push_entity(
+            KbId(0),
+            EntityBuilder::new().attr("n", "gaudi antoni architect"),
+        );
+        let relations = vec![(id(0), id(2)), (id(1), id(3))];
+        (c, relations)
+    }
+
+    #[test]
+    fn relational_evidence_resolves_ambiguous_pair() {
+        let (c, rels) = scenario();
+        let config = CollectiveConfig {
+            alpha: 0.4,
+            threshold: 0.6,
+            measure: SetMeasure::Jaccard,
+        };
+        let er = CollectiveEr::new(&c, &rels, config);
+        let candidates = vec![Pair::new(id(0), id(1)), Pair::new(id(2), id(3))];
+        let out = er.run(&candidates);
+        assert!(
+            out.matches.contains(&Pair::new(id(2), id(3))),
+            "architects match on attributes"
+        );
+        assert!(
+            out.matches.contains(&Pair::new(id(0), id(1))),
+            "buildings match only after the architect match boosts them: {:?}",
+            out.matches
+        );
+        assert!(
+            out.reactivations >= 1,
+            "the building pair must be re-scored"
+        );
+    }
+
+    #[test]
+    fn without_relations_the_ambiguous_pair_stays_unmatched() {
+        let (c, _) = scenario();
+        let config = CollectiveConfig {
+            alpha: 0.4,
+            threshold: 0.6,
+            measure: SetMeasure::Jaccard,
+        };
+        let er = CollectiveEr::new(&c, &[], config);
+        let candidates = vec![Pair::new(id(0), id(1)), Pair::new(id(2), id(3))];
+        let out = er.run(&candidates);
+        assert!(out.matches.contains(&Pair::new(id(2), id(3))));
+        assert!(!out.matches.contains(&Pair::new(id(0), id(1))));
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_attribute_matching() {
+        let (c, rels) = scenario();
+        let config = CollectiveConfig {
+            alpha: 0.0,
+            threshold: 0.6,
+            measure: SetMeasure::Jaccard,
+        };
+        let er = CollectiveEr::new(&c, &rels, config);
+        let out = er.run(&[Pair::new(id(0), id(1)), Pair::new(id(2), id(3))]);
+        assert_eq!(out.matches, vec![Pair::new(id(2), id(3))]);
+    }
+
+    #[test]
+    fn matches_are_processed_best_first() {
+        let (c, rels) = scenario();
+        let config = CollectiveConfig::default();
+        let er = CollectiveEr::new(&c, &rels, config);
+        let out = er.run(&[Pair::new(id(0), id(1)), Pair::new(id(2), id(3))]);
+        // The clear architect pair is matched before the boosted building
+        // pair can exist — order is recorded implicitly by reactivations > 0.
+        assert_eq!(out.matches.len(), 2);
+        assert!(out.comparisons >= 3);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let (c, rels) = scenario();
+        let er = CollectiveEr::new(&c, &rels, CollectiveConfig::default());
+        let out = er.run(&[]);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.comparisons, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let (c, rels) = scenario();
+        let _ = CollectiveEr::new(
+            &c,
+            &rels,
+            CollectiveConfig {
+                alpha: 1.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The generic iterative-ER skeleton (Herschel et al. \[16\]).
+//!
+//! An ER process is *iterative* when the handling of one pair can change
+//! which pairs are considered next. The skeleton is always the same —
+//!
+//! 1. **initialization**: seed a queue with candidate pairs (from blocking,
+//!    from exhaustive similarity, or hand-picked by an expert), optionally
+//!    prioritized;
+//! 2. **iteration**: pop the best pair, compare it, and let an *update hook*
+//!    react to the decision by enqueueing new pairs or re-prioritizing
+//!    existing ones;
+//! 3. terminate when the queue is empty (or a budget is exhausted — the
+//!    bridge to progressive ER, §IV).
+//!
+//! Merging-based and relationship-based methods differ only in their update
+//! hooks, which is exactly how the tutorial contrasts them.
+
+use er_core::collection::EntityCollection;
+use er_core::matching::Matcher;
+use er_core::pair::Pair;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// A prioritized queue of candidate pairs that never yields the same pair
+/// twice (re-inserting an already-seen pair is a no-op, matching the
+/// framework's "do not re-compare" rule; revision of past decisions is
+/// modeled by the update hook instead).
+#[derive(Clone, Debug, Default)]
+pub struct PairQueue {
+    heap: BinaryHeap<(ordered::F64, std::cmp::Reverse<Pair>)>,
+    seen: BTreeSet<Pair>,
+}
+
+impl PairQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a pair with a priority (higher pops first). Returns `false`
+    /// if the pair was already enqueued at some point.
+    pub fn push(&mut self, pair: Pair, priority: f64) -> bool {
+        if !self.seen.insert(pair) {
+            return false;
+        }
+        self.heap
+            .push((ordered::F64(priority), std::cmp::Reverse(pair)));
+        true
+    }
+
+    /// Pops the highest-priority pair.
+    pub fn pop(&mut self) -> Option<(Pair, f64)> {
+        self.heap
+            .pop()
+            .map(|(p, std::cmp::Reverse(pair))| (pair, p.0))
+    }
+
+    /// Pairs currently waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the pair has ever been enqueued.
+    pub fn was_seen(&self, pair: Pair) -> bool {
+        self.seen.contains(&pair)
+    }
+}
+
+/// Statistics of an iterative run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IterationStats {
+    /// Pairs compared.
+    pub comparisons: u64,
+    /// Pairs declared matches.
+    pub matches: u64,
+    /// Pairs enqueued by update hooks after initialization.
+    pub discovered: u64,
+}
+
+/// The iterative resolver: owns the queue and drives the loop.
+pub struct IterativeResolver<'a, M> {
+    collection: &'a EntityCollection,
+    matcher: &'a M,
+    queue: PairQueue,
+    initial_seen: usize,
+}
+
+impl<'a, M: Matcher> IterativeResolver<'a, M> {
+    /// Initialization phase: seeds the queue from `(pair, priority)` pairs.
+    pub fn new<I>(collection: &'a EntityCollection, matcher: &'a M, seeds: I) -> Self
+    where
+        I: IntoIterator<Item = (Pair, f64)>,
+    {
+        let mut queue = PairQueue::new();
+        for (p, prio) in seeds {
+            queue.push(p, prio);
+        }
+        let initial_seen = queue.seen.len();
+        IterativeResolver {
+            collection,
+            matcher,
+            queue,
+            initial_seen,
+        }
+    }
+
+    /// Iterative phase: pops pairs until the queue drains, invoking
+    /// `on_decision(pair, is_match, queue)` after every comparison so the
+    /// strategy can enqueue newly relevant pairs. Returns the declared
+    /// matches and run statistics.
+    pub fn run<F>(mut self, mut on_decision: F) -> (Vec<Pair>, IterationStats)
+    where
+        F: FnMut(Pair, bool, &mut PairQueue),
+    {
+        let mut stats = IterationStats::default();
+        let mut matches = Vec::new();
+        while let Some((pair, _)) = self.queue.pop() {
+            stats.comparisons += 1;
+            let decision = er_core::matching::compare_pair(self.collection, self.matcher, pair);
+            if decision.is_match {
+                stats.matches += 1;
+                matches.push(pair);
+            }
+            on_decision(pair, decision.is_match, &mut self.queue);
+        }
+        stats.discovered = (self.queue.seen.len() - self.initial_seen) as u64;
+        matches.sort();
+        (matches, stats)
+    }
+}
+
+/// Total-order wrapper for f64 priorities (NaN priorities are rejected).
+mod ordered {
+    /// An f64 with `Ord`, panicking on NaN at construction time.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct F64(pub f64);
+
+    impl Eq for F64 {}
+
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .expect("priorities must not be NaN")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityBuilder, EntityId, KbId};
+    use er_core::matching::ThresholdMatcher;
+    use er_core::similarity::SetMeasure;
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_pair() {
+        let mut q = PairQueue::new();
+        q.push(Pair::new(id(0), id(1)), 0.5);
+        q.push(Pair::new(id(2), id(3)), 0.9);
+        q.push(Pair::new(id(4), id(5)), 0.9);
+        assert_eq!(q.len(), 3);
+        // Equal priorities: smaller pair first (deterministic).
+        assert_eq!(q.pop().unwrap().0, Pair::new(id(2), id(3)));
+        assert_eq!(q.pop().unwrap().0, Pair::new(id(4), id(5)));
+        assert_eq!(q.pop().unwrap().0, Pair::new(id(0), id(1)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn queue_rejects_duplicates_forever() {
+        let mut q = PairQueue::new();
+        let p = Pair::new(id(0), id(1));
+        assert!(q.push(p, 1.0));
+        assert!(!q.push(p, 2.0));
+        q.pop();
+        assert!(!q.push(p, 3.0), "popped pairs cannot return");
+        assert!(q.was_seen(p));
+    }
+
+    #[test]
+    fn resolver_drains_queue_and_counts() {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "alpha beta"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "alpha beta"));
+        c.push_entity(KbId(0), EntityBuilder::new().attr("n", "gamma delta"));
+        let m = ThresholdMatcher::new(SetMeasure::Jaccard, 0.8);
+        let seeds = c.all_pairs().into_iter().map(|p| (p, 1.0));
+        let resolver = IterativeResolver::new(&c, &m, seeds);
+        let (matches, stats) = resolver.run(|_, _, _| {});
+        assert_eq!(matches, vec![Pair::new(id(0), id(1))]);
+        assert_eq!(stats.comparisons, 3);
+        assert_eq!(stats.matches, 1);
+        assert_eq!(stats.discovered, 0);
+    }
+
+    #[test]
+    fn update_hook_discovers_new_pairs() {
+        // Seed only (0,1); the hook enqueues (1,2) after any decision, and
+        // (0,2) after that — a miniature relationship-based iteration.
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..3 {
+            c.push_entity(KbId(0), EntityBuilder::new().attr("n", "same tokens"));
+        }
+        let m = ThresholdMatcher::new(SetMeasure::Jaccard, 0.5);
+        let resolver = IterativeResolver::new(&c, &m, vec![(Pair::new(id(0), id(1)), 1.0)]);
+        let (matches, stats) = resolver.run(|pair, is_match, q| {
+            if is_match {
+                for next in [Pair::new(id(1), id(2)), Pair::new(id(0), id(2))] {
+                    if next != pair {
+                        q.push(next, 0.5);
+                    }
+                }
+            }
+        });
+        assert_eq!(matches.len(), 3, "iteration reaches the whole cluster");
+        assert_eq!(stats.comparisons, 3);
+        assert_eq!(stats.discovered, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_priority_panics_on_pop_ordering() {
+        let mut q = PairQueue::new();
+        q.push(Pair::new(id(0), id(1)), f64::NAN);
+        q.push(Pair::new(id(2), id(3)), 1.0);
+        let _ = q.pop();
+    }
+}

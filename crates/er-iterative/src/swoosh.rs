@@ -1,0 +1,318 @@
+//! The Swoosh family of merging-based iterative ER (Benjelloun et al. \[2\]).
+//!
+//! * [`r_swoosh`] assumes the match/merge pair satisfies the **ICAR**
+//!   properties (see `er_core::merge`) and resolves a collection with the
+//!   minimum number of record comparisons: every non-matching pair of
+//!   *output* records is compared exactly once, and merged records replace
+//!   their sources immediately.
+//! * [`g_swoosh`] makes no assumptions: it computes the full match/merge
+//!   closure by re-comparing newly derived records against everything,
+//!   keeping source records alongside merges. Exponentially more expensive
+//!   in the worst case — it is the correctness baseline R-Swoosh is measured
+//!   against.
+//! * [`naive_iterate`] is the textbook baseline: repeat full pairwise passes
+//!   with merging until a pass finds no match.
+
+use er_core::collection::EntityCollection;
+use er_core::merge::{Profile, ProfileMatcher};
+
+/// Result of a Swoosh run.
+#[derive(Clone, Debug)]
+pub struct SwooshOutput {
+    /// The resolved records (merged profiles and untouched singletons).
+    pub profiles: Vec<Profile>,
+    /// Profile–profile comparisons performed.
+    pub comparisons: u64,
+}
+
+impl SwooshOutput {
+    /// The resolved records as clusters of base-entity ids, sorted.
+    pub fn clusters(&self) -> Vec<Vec<er_core::entity::EntityId>> {
+        let mut out: Vec<Vec<er_core::entity::EntityId>> = self
+            .profiles
+            .iter()
+            .map(|p| p.ids().iter().copied().collect())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// R-Swoosh: resolves `collection` under an ICAR match/merge.
+pub fn r_swoosh<M: ProfileMatcher>(collection: &EntityCollection, matcher: &M) -> SwooshOutput {
+    let mut input: Vec<Profile> = collection.iter().map(Profile::from_entity).collect();
+    // Process in reverse so pop() consumes in id order — determinism only.
+    input.reverse();
+    r_swoosh_profiles(input, matcher)
+}
+
+/// R-Swoosh over an explicit worklist of profiles (used by iterative
+/// blocking, which resolves one block's profiles at a time).
+pub fn r_swoosh_profiles<M: ProfileMatcher>(mut input: Vec<Profile>, matcher: &M) -> SwooshOutput {
+    let mut output: Vec<Profile> = Vec::new();
+    let mut comparisons = 0u64;
+    while let Some(record) = input.pop() {
+        let mut merged_with: Option<usize> = None;
+        for (i, settled) in output.iter().enumerate() {
+            comparisons += 1;
+            if matcher.profiles_match(&record, settled) {
+                merged_with = Some(i);
+                break;
+            }
+        }
+        match merged_with {
+            Some(i) => {
+                let settled = output.swap_remove(i);
+                input.push(settled.merge(&record));
+            }
+            None => output.push(record),
+        }
+    }
+    output.sort_by_key(|a| a.representative());
+    SwooshOutput {
+        profiles: output,
+        comparisons,
+    }
+}
+
+/// G-Swoosh: the assumption-free match/merge closure. Derived records are
+/// added next to (not instead of) their sources; the loop continues until no
+/// new record can be derived. Returns the *maximal* records: those not
+/// subsumed by another record covering a superset of their base ids.
+pub fn g_swoosh<M: ProfileMatcher>(collection: &EntityCollection, matcher: &M) -> SwooshOutput {
+    let mut records: Vec<Profile> = collection.iter().map(Profile::from_entity).collect();
+    let mut comparisons = 0u64;
+    let mut frontier: Vec<usize> = (0..records.len()).collect();
+    while !frontier.is_empty() {
+        let mut new_records: Vec<Profile> = Vec::new();
+        for &i in &frontier {
+            for j in 0..records.len() {
+                if i == j {
+                    continue;
+                }
+                // Compare each (new, existing) pair once, in (i, j) id order.
+                if j > i && frontier.contains(&j) {
+                    continue; // (j, i) direction will handle it
+                }
+                comparisons += 1;
+                if matcher.profiles_match(&records[i], &records[j]) {
+                    let merged = records[i].merge(&records[j]);
+                    let exists = records
+                        .iter()
+                        .chain(new_records.iter())
+                        .any(|r| *r == merged);
+                    if !exists {
+                        new_records.push(merged);
+                    }
+                }
+            }
+        }
+        let start = records.len();
+        // Deduplicate new records against each other.
+        new_records.dedup();
+        records.extend(new_records);
+        frontier = (start..records.len()).collect();
+    }
+    // Keep maximal records only.
+    let maximal: Vec<Profile> = records
+        .iter()
+        .filter(|r| {
+            !records
+                .iter()
+                .any(|o| o.ids() != r.ids() && r.ids().is_subset(o.ids()))
+        })
+        .cloned()
+        .collect();
+    let mut profiles = maximal;
+    profiles.sort_by_key(|a| a.representative());
+    profiles.dedup();
+    SwooshOutput {
+        profiles,
+        comparisons,
+    }
+}
+
+/// Naive iterate-to-fixpoint baseline: repeated *full pairwise passes*. In
+/// each pass every current record pair is compared; all matches of the pass
+/// are then merged (via union–find, so chains collapse within the pass) and
+/// the next pass runs over the merged records. Terminates when a pass finds
+/// no match. Comparisons per pass are quadratic in the current record count,
+/// so the baseline pays for re-comparing pairs R-Swoosh never revisits.
+pub fn naive_iterate<M: ProfileMatcher>(
+    collection: &EntityCollection,
+    matcher: &M,
+) -> SwooshOutput {
+    let mut records: Vec<Profile> = collection.iter().map(Profile::from_entity).collect();
+    let mut comparisons = 0u64;
+    loop {
+        let n = records.len();
+        let mut uf = er_core::clusters::UnionFind::new(n);
+        let mut merged_any = false;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                comparisons += 1;
+                if matcher.profiles_match(&records[i], &records[j]) {
+                    merged_any |= uf.union(i, j);
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+        records = uf
+            .clusters()
+            .into_iter()
+            .map(|members| {
+                let mut it = members.into_iter();
+                let first = records[it.next().expect("non-empty cluster")].clone();
+                it.fold(first, |acc, m| acc.merge(&records[m]))
+            })
+            .collect();
+    }
+    records.sort_by_key(|a| a.representative());
+    SwooshOutput {
+        profiles: records,
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityBuilder, EntityId, KbId};
+    use er_core::merge::ProfileThresholdMatcher;
+    use er_core::similarity::SetMeasure;
+
+    fn collection(values: &[&str]) -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for v in values {
+            c.push_entity(KbId(0), EntityBuilder::new().attr("n", *v));
+        }
+        c
+    }
+
+    fn matcher() -> ProfileThresholdMatcher {
+        ProfileThresholdMatcher::new(SetMeasure::Overlap, 0.6)
+    }
+
+    #[test]
+    fn r_swoosh_resolves_simple_duplicates() {
+        let c = collection(&["alan turing", "alan turing", "grace hopper"]);
+        let out = r_swoosh(&c, &matcher());
+        assert_eq!(
+            out.clusters(),
+            vec![vec![EntityId(0), EntityId(1)], vec![EntityId(2)]]
+        );
+    }
+
+    #[test]
+    fn r_swoosh_chains_through_merges() {
+        // a matches b ({x,y} ⊂ {x,y,z,w}); c = {z,w} matches the merge but
+        // not a: the merged record must re-enter the worklist for the full
+        // cluster to form.
+        let c = collection(&["x y", "x y z w", "z w"]);
+        let out = r_swoosh(&c, &matcher());
+        assert_eq!(
+            out.clusters(),
+            vec![vec![EntityId(0), EntityId(1), EntityId(2)]]
+        );
+    }
+
+    #[test]
+    fn r_swoosh_no_matches_costs_quadratic() {
+        let c = collection(&["aa bb", "cc dd", "ee ff", "gg hh"]);
+        let out = r_swoosh(&c, &matcher());
+        assert_eq!(out.profiles.len(), 4);
+        assert_eq!(out.comparisons, 6, "n(n−1)/2 for all-distinct input");
+    }
+
+    #[test]
+    fn r_swoosh_matches_naive_resolution() {
+        // R-Swoosh's guarantee is worst-case comparison optimality, not
+        // instance-wise dominance over every processing order — so the
+        // invariant checked here is *identical resolution* plus the
+        // structural bound that R-Swoosh never exceeds the worst case
+        // (N(N−1)/2 over the N = base + merged records ever created).
+        for values in [
+            vec!["x y", "x y", "x y", "q r"],
+            vec!["x y", "x y z w", "z w", "q r", "q r s t", "s t"],
+            vec!["m b", "c d", "e f"],
+        ] {
+            let c = collection(&values);
+            let r = r_swoosh(&c, &matcher());
+            let n = naive_iterate(&c, &matcher());
+            assert_eq!(r.clusters(), n.clusters(), "same resolution on {values:?}");
+            let base = c.len() as u64;
+            let merges = base - r.profiles.len() as u64;
+            let records_ever = base + merges;
+            assert!(
+                r.comparisons <= records_ever * (records_ever - 1) / 2,
+                "R-Swoosh ({}) exceeded its worst-case bound on {values:?}",
+                r.comparisons
+            );
+        }
+    }
+
+    #[test]
+    fn g_swoosh_agrees_with_r_swoosh_under_icar() {
+        // With an ICAR match/merge, both compute the same resolution.
+        let c = collection(&["x y", "x y z w", "z w", "p q", "p q"]);
+        let g = g_swoosh(&c, &matcher());
+        let r = r_swoosh(&c, &matcher());
+        let g_max: Vec<_> = g.clusters();
+        let r_max: Vec<_> = r.clusters();
+        assert_eq!(g_max, r_max);
+        assert!(
+            g.comparisons >= r.comparisons,
+            "G-Swoosh does at least as much work"
+        );
+    }
+
+    #[test]
+    fn g_swoosh_reports_only_maximal_records() {
+        use er_core::merge::FnProfileMatcher;
+        // Non-representative matcher: records match only when their token
+        // *union* stays small — merging can therefore kill future matches,
+        // violating ICAR. G-Swoosh makes no ICAR assumption: it derives every
+        // reachable merge and reports the maximal records, with the consumed
+        // sources subsumed.
+        let tok = er_core::tokenize::Tokenizer::default();
+        let m = FnProfileMatcher(move |a: &Profile, b: &Profile| {
+            if a.ids() == b.ids() {
+                return false;
+            }
+            let (sa, sb) = (a.token_set(&tok), b.token_set(&tok));
+            er_core::similarity::overlap_size(&sa, &sb) >= 2 && sa.union(&sb).count() <= 4
+        });
+        // a–c match (union {p,q,x,y} = 4); b matches nothing (its unions with
+        // the others exceed the cap or share < 2 tokens).
+        let c = collection(&["p q", "q r z w", "p q x y"]);
+        let g = g_swoosh(&c, &m);
+        assert_eq!(
+            g.clusters(),
+            vec![vec![EntityId(0), EntityId(2)], vec![EntityId(1)]],
+            "the merged record subsumes its sources; b stays maximal alone"
+        );
+        assert!(
+            g.comparisons >= 3,
+            "G-Swoosh re-compares derived records against everything"
+        );
+    }
+
+    #[test]
+    fn merged_profiles_accumulate_attributes() {
+        let c = collection(&["x y", "x y z"]);
+        let out = r_swoosh(&c, &matcher());
+        assert_eq!(out.profiles.len(), 1);
+        assert_eq!(out.profiles[0].attributes().len(), 2, "both values kept");
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = collection(&[]);
+        let out = r_swoosh(&c, &matcher());
+        assert!(out.profiles.is_empty());
+        assert_eq!(out.comparisons, 0);
+    }
+}

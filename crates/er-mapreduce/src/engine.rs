@@ -1,0 +1,519 @@
+//! The generic in-process MapReduce engine.
+//!
+//! Faithful to the programming model the surveyed systems use:
+//!
+//! 1. the input split is divided among `workers` mapper threads;
+//! 2. each mapper emits `(key, value)` pairs, optionally pre-aggregated by a
+//!    **combiner** (per mapper, per key — exactly Hadoop's contract: the
+//!    combiner must be a local, associative reduction);
+//! 3. pairs are hash-**partitioned** by key among `workers` reducer threads;
+//! 4. each reducer processes its keys in sorted order.
+//!
+//! Results are returned sorted by key, which makes the output independent of
+//! the worker count — the property every equivalence test in this workspace
+//! relies on.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Job statistics, mirroring the counters a Hadoop job would report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Records emitted by all mappers (before combining).
+    pub map_output_records: u64,
+    /// Records after the combiner (equal to the above without a combiner).
+    pub combined_records: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_groups: u64,
+}
+
+/// A configured MapReduce job. `I` is the input record type, `K`/`V` the
+/// intermediate key/value types, `R` the reducer output type.
+pub struct MapReduce<I, K, V, R> {
+    workers: usize,
+    _marker: std::marker::PhantomData<(I, K, V, R)>,
+}
+
+impl<I, K, V, R> MapReduce<I, K, V, R>
+where
+    I: Send,
+    K: Ord + Hash + Clone + Send,
+    V: Send,
+    R: Send,
+{
+    /// Creates a job runner with `workers ≥ 1` mapper/reducer threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        MapReduce {
+            workers,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs the job without a combiner.
+    pub fn run<MF, RF>(&self, inputs: Vec<I>, map_fn: MF, reduce_fn: RF) -> (Vec<R>, JobStats)
+    where
+        MF: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+        RF: Fn(&K, Vec<V>) -> Vec<R> + Sync,
+    {
+        self.run_with_combiner(inputs, map_fn, None::<fn(&K, Vec<V>) -> Vec<V>>, reduce_fn)
+    }
+
+    /// Runs the job with an optional combiner applied per mapper per key.
+    pub fn run_with_combiner<MF, CF, RF>(
+        &self,
+        inputs: Vec<I>,
+        map_fn: MF,
+        combine_fn: Option<CF>,
+        reduce_fn: RF,
+    ) -> (Vec<R>, JobStats)
+    where
+        MF: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+        CF: Fn(&K, Vec<V>) -> Vec<V> + Sync,
+        RF: Fn(&K, Vec<V>) -> Vec<R> + Sync,
+    {
+        let workers = self.workers;
+        let n_inputs = inputs.len();
+        // ---- map phase -----------------------------------------------------
+        // Each mapper produces one HashMap per reduce partition.
+        let chunk = n_inputs.div_ceil(workers).max(1);
+        let mut input_chunks: Vec<Vec<I>> = Vec::new();
+        let mut it = inputs.into_iter();
+        loop {
+            let c: Vec<I> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            input_chunks.push(c);
+        }
+        let map_fn = &map_fn;
+        let combine_fn = &combine_fn;
+        /// One map per reduce partition.
+        type Shuffle<K, V> = Vec<std::collections::HashMap<K, Vec<V>>>;
+        let mut mapper_outputs: Vec<(Shuffle<K, V>, u64, u64)> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = input_chunks
+                .into_iter()
+                .map(|chunk_inputs| {
+                    s.spawn(move |_| {
+                        let mut partitions: Shuffle<K, V> = (0..workers)
+                            .map(|_| std::collections::HashMap::new())
+                            .collect();
+                        let mut emitted = 0u64;
+                        for input in chunk_inputs {
+                            let mut emit = |k: K, v: V| {
+                                emitted += 1;
+                                let p = partition_of(&k, workers);
+                                partitions[p].entry(k).or_default().push(v);
+                            };
+                            map_fn(input, &mut emit);
+                        }
+                        // Combiner: local reduction per key.
+                        let mut combined = emitted;
+                        if let Some(cf) = combine_fn {
+                            combined = 0;
+                            for part in &mut partitions {
+                                for (k, vs) in part.iter_mut() {
+                                    let taken = std::mem::take(vs);
+                                    *vs = cf(k, taken);
+                                    combined += vs.len() as u64;
+                                }
+                            }
+                        }
+                        (partitions, emitted, combined)
+                    })
+                })
+                .collect();
+            for h in handles {
+                mapper_outputs.push(h.join().expect("mapper thread panicked"));
+            }
+        })
+        .expect("map phase scope failed");
+
+        let map_output_records: u64 = mapper_outputs.iter().map(|(_, e, _)| e).sum();
+        let combined_records: u64 = mapper_outputs.iter().map(|(_, _, c)| c).sum();
+
+        // ---- shuffle: transpose mapper outputs to per-partition lists ------
+        // (pointer moves only; the actual merge happens inside the parallel
+        // reduce phase so a skewed key space cannot serialize the job).
+        let mut partition_inputs: Vec<Vec<std::collections::HashMap<K, Vec<V>>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (mapper_parts, _, _) in mapper_outputs {
+            for (p, m) in mapper_parts.into_iter().enumerate() {
+                partition_inputs[p].push(m);
+            }
+        }
+
+        // ---- reduce phase (merge + reduce per partition, in parallel) ------
+        let reduce_fn = &reduce_fn;
+        // Per reducer: (key → reduced records) plus its group count.
+        type ReducerOutput<K, R> = (Vec<(K, Vec<R>)>, u64);
+        let mut reducer_outputs: Vec<ReducerOutput<K, R>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = partition_inputs
+                .into_iter()
+                .map(|maps| {
+                    s.spawn(move |_| {
+                        let mut merged: std::collections::HashMap<K, Vec<V>> =
+                            std::collections::HashMap::new();
+                        for m in maps {
+                            for (k, mut vs) in m {
+                                merged.entry(k).or_default().append(&mut vs);
+                            }
+                        }
+                        let groups = merged.len() as u64;
+                        // Sort keys for deterministic reduce order.
+                        let mut entries: Vec<(K, Vec<V>)> = merged.into_iter().collect();
+                        entries.sort_by(|a, b| a.0.cmp(&b.0));
+                        let out: Vec<(K, Vec<R>)> = entries
+                            .into_iter()
+                            .map(|(k, vs)| {
+                                let r = reduce_fn(&k, vs);
+                                (k, r)
+                            })
+                            .collect();
+                        (out, groups)
+                    })
+                })
+                .collect();
+            for h in handles {
+                reducer_outputs.push(h.join().expect("reducer thread panicked"));
+            }
+        })
+        .expect("reduce phase scope failed");
+
+        let reduce_groups: u64 = reducer_outputs.iter().map(|(_, g)| g).sum();
+
+        // Merge in global key order for worker-count independence.
+        let mut keyed: Vec<(K, Vec<R>)> =
+            reducer_outputs.into_iter().flat_map(|(o, _)| o).collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let results: Vec<R> = keyed.into_iter().flat_map(|(_, rs)| rs).collect();
+        (
+            results,
+            JobStats {
+                map_output_records,
+                combined_records,
+                reduce_groups,
+            },
+        )
+    }
+}
+
+/// A fold-style MapReduce job: values are folded into a per-key accumulator
+/// the moment they are emitted, mapper-side — the zero-copy form of a
+/// combiner. For aggregations (counts, sums, per-edge statistics) this avoids
+/// materializing a `Vec<V>` per key and is the variant the parallel
+/// meta-blocking jobs use, where a skewed collection emits millions of
+/// records.
+pub struct FoldMapReduce<I, K, A, R> {
+    workers: usize,
+    _marker: std::marker::PhantomData<(I, K, A, R)>,
+}
+
+impl<I, K, A, R> FoldMapReduce<I, K, A, R>
+where
+    I: Send,
+    K: Ord + Hash + Clone + Send,
+    A: Default + Send,
+    R: Send,
+{
+    /// Creates a job runner with `workers ≥ 1` threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        FoldMapReduce {
+            workers,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs the job:
+    /// * `map_fn(input, emit)` — emit `(key, value)` records;
+    /// * `fold_fn(acc, value)` — fold a value into the key's accumulator
+    ///   (mapper-side, so it must be associative and order-insensitive, the
+    ///   usual combiner contract);
+    /// * `merge_fn(acc, other)` — merge two accumulators (reduce-side);
+    /// * `finish_fn(key, acc)` — produce the per-key results.
+    ///
+    /// Results are returned sorted by key (worker-count independent).
+    pub fn run<V, MF, FF, GF, RF>(
+        &self,
+        inputs: Vec<I>,
+        map_fn: MF,
+        fold_fn: FF,
+        merge_fn: GF,
+        finish_fn: RF,
+    ) -> (Vec<R>, JobStats)
+    where
+        V: Send,
+        MF: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+        FF: Fn(&mut A, V) + Sync,
+        GF: Fn(&mut A, A) + Sync,
+        RF: Fn(&K, A) -> Vec<R> + Sync,
+    {
+        let workers = self.workers;
+        let chunk = inputs.len().div_ceil(workers).max(1);
+        let mut input_chunks: Vec<Vec<I>> = Vec::new();
+        let mut it = inputs.into_iter();
+        loop {
+            let c: Vec<I> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            input_chunks.push(c);
+        }
+        let map_fn = &map_fn;
+        let fold_fn = &fold_fn;
+        type Parts<K, A> = Vec<std::collections::HashMap<K, A>>;
+        let mut mapper_outputs: Vec<(Parts<K, A>, u64)> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = input_chunks
+                .into_iter()
+                .map(|chunk_inputs| {
+                    s.spawn(move |_| {
+                        let mut partitions: Parts<K, A> = (0..workers)
+                            .map(|_| std::collections::HashMap::new())
+                            .collect();
+                        let mut emitted = 0u64;
+                        for input in chunk_inputs {
+                            let mut emit = |k: K, v: V| {
+                                emitted += 1;
+                                let p = partition_of(&k, workers);
+                                let acc = partitions[p].entry(k).or_default();
+                                fold_fn(acc, v);
+                            };
+                            map_fn(input, &mut emit);
+                        }
+                        (partitions, emitted)
+                    })
+                })
+                .collect();
+            for h in handles {
+                mapper_outputs.push(h.join().expect("mapper thread panicked"));
+            }
+        })
+        .expect("map phase scope failed");
+        let map_output_records: u64 = mapper_outputs.iter().map(|(_, e)| e).sum();
+
+        // Transpose to per-partition accumulator maps.
+        let mut partition_inputs: Vec<Vec<std::collections::HashMap<K, A>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let mut combined_records = 0u64;
+        for (mapper_parts, _) in mapper_outputs {
+            for (p, m) in mapper_parts.into_iter().enumerate() {
+                combined_records += m.len() as u64;
+                partition_inputs[p].push(m);
+            }
+        }
+
+        let merge_fn = &merge_fn;
+        let finish_fn = &finish_fn;
+        // Per reducer: (key → finished records) plus its group count.
+        type FoldReducerOutput<K, R> = (Vec<(K, Vec<R>)>, u64);
+        let mut reducer_outputs: Vec<FoldReducerOutput<K, R>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = partition_inputs
+                .into_iter()
+                .map(|maps| {
+                    s.spawn(move |_| {
+                        let mut iter = maps.into_iter();
+                        let mut merged = iter.next().unwrap_or_default();
+                        for m in iter {
+                            for (k, a) in m {
+                                match merged.entry(k) {
+                                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                                        merge_fn(e.get_mut(), a)
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(e) => {
+                                        e.insert(a);
+                                    }
+                                }
+                            }
+                        }
+                        let groups = merged.len() as u64;
+                        let mut entries: Vec<(K, A)> = merged.into_iter().collect();
+                        entries.sort_by(|a, b| a.0.cmp(&b.0));
+                        let out: Vec<(K, Vec<R>)> = entries
+                            .into_iter()
+                            .map(|(k, a)| {
+                                let r = finish_fn(&k, a);
+                                (k, r)
+                            })
+                            .collect();
+                        (out, groups)
+                    })
+                })
+                .collect();
+            for h in handles {
+                reducer_outputs.push(h.join().expect("reducer thread panicked"));
+            }
+        })
+        .expect("reduce phase scope failed");
+        let reduce_groups: u64 = reducer_outputs.iter().map(|(_, g)| g).sum();
+        let mut keyed: Vec<(K, Vec<R>)> =
+            reducer_outputs.into_iter().flat_map(|(o, _)| o).collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let results: Vec<R> = keyed.into_iter().flat_map(|(_, rs)| rs).collect();
+        (
+            results,
+            JobStats {
+                map_output_records,
+                combined_records,
+                reduce_groups,
+            },
+        )
+    }
+}
+
+/// Deterministic hash partitioner.
+fn partition_of<K: Hash>(key: &K, workers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % workers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word count: the canonical MapReduce example.
+    fn word_count(
+        texts: Vec<&str>,
+        workers: usize,
+        combiner: bool,
+    ) -> (Vec<(String, u64)>, JobStats) {
+        let mr: MapReduce<&str, String, u64, (String, u64)> = MapReduce::new(workers);
+        let map_fn = |text: &str, emit: &mut dyn FnMut(String, u64)| {
+            for w in text.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        };
+        let reduce_fn = |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.into_iter().sum::<u64>())];
+        if combiner {
+            mr.run_with_combiner(
+                texts,
+                map_fn,
+                Some(|_k: &String, vs: Vec<u64>| vec![vs.into_iter().sum::<u64>()]),
+                reduce_fn,
+            )
+        } else {
+            mr.run(texts, map_fn, reduce_fn)
+        }
+    }
+
+    #[test]
+    fn word_count_basics() {
+        let (counts, stats) = word_count(vec!["a b a", "b c", "a"], 2, false);
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+        assert_eq!(stats.map_output_records, 6);
+        assert_eq!(stats.reduce_groups, 3);
+    }
+
+    #[test]
+    fn output_is_independent_of_worker_count() {
+        let texts = vec!["x y z", "y z w", "z w v", "w v u", "v u t"];
+        let reference = word_count(texts.clone(), 1, false).0;
+        for workers in 2..=8 {
+            assert_eq!(
+                word_count(texts.clone(), workers, false).0,
+                reference,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_but_not_results() {
+        let texts = vec!["a a a a", "a a a a"];
+        let (no_comb, s1) = word_count(texts.clone(), 2, false);
+        let (comb, s2) = word_count(texts, 2, true);
+        assert_eq!(no_comb, comb);
+        assert_eq!(
+            s1.combined_records, 8,
+            "without combiner: every record shuffles"
+        );
+        assert_eq!(
+            s2.combined_records, 2,
+            "with combiner: one record per mapper"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = word_count(vec![], 4, false);
+        assert!(out.is_empty());
+        assert_eq!(stats, JobStats::default());
+    }
+
+    #[test]
+    fn more_workers_than_inputs() {
+        let (out, _) = word_count(vec!["only one"], 16, false);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn reducers_see_all_values_of_a_key() {
+        let mr: MapReduce<u32, u32, u32, (u32, Vec<u32>)> = MapReduce::new(3);
+        let (out, _) = mr.run(
+            (0..30).collect(),
+            |x, emit| emit(x % 5, x),
+            |k, mut vs| {
+                vs.sort_unstable();
+                vec![(*k, vs)]
+            },
+        );
+        assert_eq!(out.len(), 5);
+        for (k, vs) in out {
+            assert_eq!(vs.len(), 6);
+            for v in vs {
+                assert_eq!(v % 5, k);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _: MapReduce<u32, u32, u32, u32> = MapReduce::new(0);
+    }
+
+    fn fold_word_count(texts: Vec<&str>, workers: usize) -> (Vec<(String, u64)>, JobStats) {
+        let mr: FoldMapReduce<&str, String, u64, (String, u64)> = FoldMapReduce::new(workers);
+        mr.run(
+            texts,
+            |text: &str, emit: &mut dyn FnMut(String, u64)| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |acc, v| *acc += v,
+            |acc, other| *acc += other,
+            |k, acc| vec![(k.clone(), acc)],
+        )
+    }
+
+    #[test]
+    fn fold_job_matches_vec_job() {
+        let texts = vec!["x y z", "y z w", "z w v", "w v u"];
+        let (reference, _) = word_count(texts.clone(), 3, false);
+        for workers in [1, 2, 5] {
+            let (out, stats) = fold_word_count(texts.clone(), workers);
+            assert_eq!(out, reference, "workers={workers}");
+            assert_eq!(stats.map_output_records, 12);
+        }
+    }
+
+    #[test]
+    fn fold_job_empty_input() {
+        let (out, stats) = fold_word_count(vec![], 2);
+        assert!(out.is_empty());
+        assert_eq!(stats, JobStats::default());
+    }
+}

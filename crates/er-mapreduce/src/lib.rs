@@ -1,0 +1,28 @@
+//! # er-mapreduce — in-process MapReduce engine and parallel ER jobs
+//!
+//! §II of the ICDE 2017 tutorial covers MapReduce parallelizations of
+//! blocking (Dedoop \[18\], parallel meta-blocking \[10\]/\[11\]). The real systems
+//! run on Hadoop clusters we cannot ship, so this crate substitutes an
+//! **in-process MapReduce engine** with the same programming model — `map →
+//! combine → partition/shuffle → reduce` — executing over crossbeam scoped
+//! threads. "Cluster nodes" become worker threads; job decompositions are
+//! taken from the surveyed papers, so speedup-vs-workers experiments keep
+//! their shape at laptop scale.
+//!
+//! * [`engine`] — the generic engine, deterministic for any worker count.
+//! * [`blocking`] — Dedoop-style parallel token blocking.
+//! * [`metablocking`] — the three-stage parallel meta-blocking of \[10\]/\[11\].
+//! * [`sorted_neighborhood`] — range-partitioned sorted neighborhood with
+//!   boundary replication (RepSN).
+//! * [`balance`] — BlockSplit-style load balancing for skewed blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod blocking;
+pub mod engine;
+pub mod metablocking;
+pub mod sorted_neighborhood;
+
+pub use engine::MapReduce;

@@ -1,0 +1,104 @@
+//! Property tests for the MapReduce engine: worker-count invariance and
+//! equivalence between the vec-valued and fold-style variants.
+
+use er_mapreduce::engine::{FoldMapReduce, MapReduce};
+use proptest::prelude::*;
+
+/// Sequential word-count reference.
+fn reference(texts: &[String]) -> Vec<(String, u64)> {
+    let mut m = std::collections::BTreeMap::new();
+    for t in texts {
+        for w in t.split_whitespace() {
+            *m.entry(w.to_string()).or_insert(0u64) += 1;
+        }
+    }
+    m.into_iter().collect()
+}
+
+fn run_mr(texts: Vec<String>, workers: usize, combiner: bool) -> Vec<(String, u64)> {
+    let mr: MapReduce<String, String, u64, (String, u64)> = MapReduce::new(workers);
+    let map_fn = |text: String, emit: &mut dyn FnMut(String, u64)| {
+        for w in text.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    };
+    let reduce_fn = |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.into_iter().sum::<u64>())];
+    if combiner {
+        mr.run_with_combiner(
+            texts,
+            map_fn,
+            Some(|_k: &String, vs: Vec<u64>| vec![vs.into_iter().sum::<u64>()]),
+            reduce_fn,
+        )
+        .0
+    } else {
+        mr.run(texts, map_fn, reduce_fn).0
+    }
+}
+
+fn run_fold(texts: Vec<String>, workers: usize) -> Vec<(String, u64)> {
+    let mr: FoldMapReduce<String, String, u64, (String, u64)> = FoldMapReduce::new(workers);
+    mr.run(
+        texts,
+        |text: String, emit: &mut dyn FnMut(String, u64)| {
+            for w in text.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        },
+        |acc, v| *acc += v,
+        |acc, other| *acc += other,
+        |k, acc| vec![(k.clone(), acc)],
+    )
+    .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_sequential_reference(
+        texts in proptest::collection::vec("[a-d ]{0,20}", 0..15),
+        workers in 1usize..9,
+        combiner in any::<bool>(),
+    ) {
+        let expected = reference(&texts);
+        prop_assert_eq!(run_mr(texts.clone(), workers, combiner), expected);
+    }
+
+    #[test]
+    fn fold_engine_matches_vec_engine(
+        texts in proptest::collection::vec("[a-d ]{0,20}", 0..15),
+        workers in 1usize..9,
+    ) {
+        prop_assert_eq!(
+            run_fold(texts.clone(), workers),
+            run_mr(texts, workers, true)
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent(
+        texts in proptest::collection::vec("[a-c ]{0,16}", 0..12),
+        workers in 1usize..5,
+    ) {
+        let mr: MapReduce<String, String, u64, (String, u64)> = MapReduce::new(workers);
+        let (out, stats) = mr.run(
+            texts.clone(),
+            |text: String, emit: &mut dyn FnMut(String, u64)| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.into_iter().sum::<u64>())],
+        );
+        let total_words: u64 = texts
+            .iter()
+            .map(|t| t.split_whitespace().count() as u64)
+            .sum();
+        prop_assert_eq!(stats.map_output_records, total_words);
+        prop_assert_eq!(stats.combined_records, total_words, "no combiner configured");
+        prop_assert_eq!(stats.reduce_groups as usize, out.len());
+        let summed: u64 = out.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(summed, total_words);
+    }
+}

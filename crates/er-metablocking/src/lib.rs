@@ -1,0 +1,30 @@
+//! # er-metablocking — block-collection restructuring (Papadakis et al. \[22\])
+//!
+//! Meta-blocking transforms a redundancy-positive blocking collection into a
+//! **blocking graph**: nodes are descriptions, an undirected edge connects
+//! every pair co-occurring in at least one block. Because parallel edges are
+//! collapsed, all redundant comparisons disappear; because edges carry
+//! co-occurrence **weights**, comparisons between unlikely-to-match
+//! descriptions can be **pruned**.
+//!
+//! * [`graph::BlockingGraph`] — the graph, built in one pass over the blocks.
+//! * [`weights::WeightingScheme`] — CBS, ECBS, JS, EJS and ARCS edge weights.
+//! * [`pruning`] — weight-based and cardinality-based, edge-centric and
+//!   node-centric pruning: WEP, CEP, WNP, CNP plus reciprocal variants.
+//! * [`supervised`] — supervised pruning: edge features + an averaged
+//!   perceptron learned from a labeled edge sample.
+//! * [`pipeline`] — the end-to-end convenience API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod pipeline;
+pub mod pruning;
+pub mod supervised;
+pub mod weights;
+
+pub use graph::BlockingGraph;
+pub use pipeline::meta_block;
+pub use pruning::PruningScheme;
+pub use weights::WeightingScheme;

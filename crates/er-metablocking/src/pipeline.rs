@@ -1,0 +1,64 @@
+//! End-to-end meta-blocking convenience API.
+
+use crate::graph::BlockingGraph;
+use crate::pruning::PruningScheme;
+use crate::weights::WeightingScheme;
+use er_blocking::block::BlockCollection;
+use er_core::collection::EntityCollection;
+use er_core::pair::Pair;
+
+/// Restructures a blocking collection into a pruned comparison list:
+/// build graph → weigh edges → prune.
+pub fn meta_block(
+    collection: &EntityCollection,
+    blocks: &BlockCollection,
+    weighting: WeightingScheme,
+    pruning: PruningScheme,
+) -> Vec<Pair> {
+    let graph = BlockingGraph::build(collection, blocks);
+    pruning.prune(&graph, weighting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::TokenBlocking;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::{EntityBuilder, KbId};
+
+    #[test]
+    fn pipeline_reduces_comparisons_and_keeps_duplicates() {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        // Two duplicate pairs plus noise entities sharing a common token.
+        c.push_entity(
+            KbId(0),
+            EntityBuilder::new().attr("n", "alan turing common"),
+        );
+        c.push_entity(
+            KbId(0),
+            EntityBuilder::new().attr("n", "alan turing common"),
+        );
+        c.push_entity(
+            KbId(0),
+            EntityBuilder::new().attr("n", "grace hopper common"),
+        );
+        c.push_entity(
+            KbId(0),
+            EntityBuilder::new().attr("n", "grace hopper common"),
+        );
+        for i in 0..6 {
+            c.push_entity(
+                KbId(0),
+                EntityBuilder::new().attr("n", format!("noise{i} common")),
+            );
+        }
+        let blocks = TokenBlocking::new().build(&c);
+        let all = blocks.distinct_pairs(&c).len();
+        let kept = meta_block(&c, &blocks, WeightingScheme::Arcs, PruningScheme::Wep);
+        assert!(kept.len() < all, "pruning must discard comparisons");
+        let p01 = Pair::new(er_core::entity::EntityId(0), er_core::entity::EntityId(1));
+        let p23 = Pair::new(er_core::entity::EntityId(2), er_core::entity::EntityId(3));
+        assert!(kept.contains(&p01));
+        assert!(kept.contains(&p23));
+    }
+}

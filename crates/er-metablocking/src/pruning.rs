@@ -1,0 +1,292 @@
+//! Pruning schemes of meta-blocking \[22\].
+//!
+//! Pruning discards low-weighted edges of the blocking graph. The design
+//! space is *weight-based* (a threshold) vs *cardinality-based* (a budget),
+//! crossed with *edge-centric* (one global criterion) vs *node-centric* (a
+//! criterion per node neighborhood):
+//!
+//! |               | weight threshold | cardinality budget |
+//! |---------------|------------------|--------------------|
+//! | edge-centric  | **WEP**: keep `w ≥` global mean | **CEP**: keep global top-`⌊BC/2⌋` |
+//! | node-centric  | **WNP**: keep `w ≥` neighborhood mean | **CNP**: keep top-`⌊BC/|V|⌋` per node |
+//!
+//! Node-centric schemes emit an edge if it survives in *either* endpoint's
+//! neighborhood; the *reciprocal* variants require *both*, trading recall for
+//! precision.
+
+use crate::graph::BlockingGraph;
+use crate::weights::WeightingScheme;
+use er_core::pair::Pair;
+use std::collections::BTreeSet;
+
+/// The pruning schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PruningScheme {
+    /// Weight Edge Pruning: global mean-weight threshold.
+    Wep,
+    /// Cardinality Edge Pruning: global top-`⌊BC/2⌋` edges.
+    Cep,
+    /// Weighted Node Pruning: per-neighborhood mean threshold (union).
+    Wnp,
+    /// Cardinality Node Pruning: per-node top-`k`, `k = ⌊BC/|V|⌋` (union).
+    Cnp,
+    /// Reciprocal WNP: edge must pass in both neighborhoods.
+    ReciprocalWnp,
+    /// Reciprocal CNP: edge must be in both endpoints' top-`k`.
+    ReciprocalCnp,
+}
+
+impl PruningScheme {
+    /// The four canonical schemes of \[22\], for experiment grids.
+    pub const CANONICAL: [PruningScheme; 4] = [
+        PruningScheme::Wep,
+        PruningScheme::Cep,
+        PruningScheme::Wnp,
+        PruningScheme::Cnp,
+    ];
+
+    /// Name for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PruningScheme::Wep => "WEP",
+            PruningScheme::Cep => "CEP",
+            PruningScheme::Wnp => "WNP",
+            PruningScheme::Cnp => "CNP",
+            PruningScheme::ReciprocalWnp => "rWNP",
+            PruningScheme::ReciprocalCnp => "rCNP",
+        }
+    }
+
+    /// Applies the scheme to a graph under a weighting scheme, returning the
+    /// retained comparisons in canonical pair order.
+    pub fn prune(self, graph: &BlockingGraph, weighting: WeightingScheme) -> Vec<Pair> {
+        let weighted = weighting.weigh_all(graph);
+        if weighted.is_empty() {
+            return Vec::new();
+        }
+        match self {
+            PruningScheme::Wep => {
+                let mean: f64 =
+                    weighted.iter().map(|(_, w)| w).sum::<f64>() / weighted.len() as f64;
+                weighted
+                    .into_iter()
+                    .filter(|(_, w)| *w >= mean)
+                    .map(|(p, _)| p)
+                    .collect()
+            }
+            PruningScheme::Cep => {
+                let k = ((graph.total_assignments() / 2) as usize).max(1);
+                let mut sorted = weighted;
+                sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                let mut kept: Vec<Pair> = sorted.into_iter().take(k).map(|(p, _)| p).collect();
+                kept.sort();
+                kept
+            }
+            PruningScheme::Wnp | PruningScheme::ReciprocalWnp => {
+                self.node_centric(graph, &weighted, NodeRule::MeanThreshold)
+            }
+            PruningScheme::Cnp | PruningScheme::ReciprocalCnp => {
+                let k = (graph.total_assignments() as usize / graph.n_entities().max(1)).max(1);
+                self.node_centric(graph, &weighted, NodeRule::TopK(k))
+            }
+        }
+    }
+
+    fn node_centric(
+        self,
+        graph: &BlockingGraph,
+        weighted: &[(Pair, f64)],
+        rule: NodeRule,
+    ) -> Vec<Pair> {
+        let n = graph.n_entities();
+        // Adjacency of (weight, pair) per node.
+        let mut adj: Vec<Vec<(f64, Pair)>> = vec![Vec::new(); n];
+        for &(p, w) in weighted {
+            adj[p.first().index()].push((w, p));
+            adj[p.second().index()].push((w, p));
+        }
+        // Survivors per node.
+        let mut survivor_count: std::collections::BTreeMap<Pair, u8> = Default::default();
+        for edges in &mut adj {
+            if edges.is_empty() {
+                continue;
+            }
+            let keep: Vec<Pair> = match rule {
+                NodeRule::MeanThreshold => {
+                    let mean: f64 = edges.iter().map(|(w, _)| w).sum::<f64>() / edges.len() as f64;
+                    edges
+                        .iter()
+                        .filter(|(w, _)| *w >= mean)
+                        .map(|(_, p)| *p)
+                        .collect()
+                }
+                NodeRule::TopK(k) => {
+                    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                    edges.iter().take(k).map(|(_, p)| *p).collect()
+                }
+            };
+            for p in keep {
+                *survivor_count.entry(p).or_insert(0) += 1;
+            }
+        }
+        let reciprocal = matches!(
+            self,
+            PruningScheme::ReciprocalWnp | PruningScheme::ReciprocalCnp
+        );
+        let needed = if reciprocal { 2 } else { 1 };
+        let kept: BTreeSet<Pair> = survivor_count
+            .into_iter()
+            .filter(|(_, c)| *c >= needed)
+            .map(|(p, _)| p)
+            .collect();
+        kept.into_iter().collect()
+    }
+}
+
+enum NodeRule {
+    MeanThreshold,
+    TopK(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::block::{Block, BlockCollection};
+    use er_core::collection::{EntityCollection, ResolutionMode};
+    use er_core::entity::{EntityId, KbId};
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    /// Pairs (0,1) and (2,3) co-occur in dedicated blocks plus one big block
+    /// containing everyone; cross pairs only share the big block.
+    fn graph() -> BlockingGraph {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..4 {
+            c.push(KbId(0), vec![]);
+        }
+        let blocks = BlockCollection::new(vec![
+            Block::new("p01", vec![id(0), id(1)]),
+            Block::new("p01b", vec![id(0), id(1)]),
+            Block::new("p23", vec![id(2), id(3)]),
+            Block::new("p23b", vec![id(2), id(3)]),
+            Block::new("big", vec![id(0), id(1), id(2), id(3)]),
+        ]);
+        BlockingGraph::build(&c, &blocks)
+    }
+
+    fn good_pairs() -> [Pair; 2] {
+        [Pair::new(id(0), id(1)), Pair::new(id(2), id(3))]
+    }
+
+    #[test]
+    fn wep_keeps_above_mean() {
+        let g = graph();
+        let kept = PruningScheme::Wep.prune(&g, WeightingScheme::Cbs);
+        assert_eq!(kept, good_pairs().to_vec());
+    }
+
+    #[test]
+    fn cep_budget_keeps_top_edges() {
+        let g = graph();
+        // BC = 2+2+2+2+4 = 12 → k = 6 ≥ all 6 edges: everything kept.
+        let kept = PruningScheme::Cep.prune(&g, WeightingScheme::Cbs);
+        assert_eq!(kept.len(), 6);
+        // With ARCS the ordering is strict; verify top-2 are the good pairs
+        // by shrinking the budget via a tiny graph instead.
+    }
+
+    #[test]
+    fn wnp_is_per_neighborhood() {
+        let g = graph();
+        let kept = PruningScheme::Wnp.prune(&g, WeightingScheme::Cbs);
+        for p in good_pairs() {
+            assert!(kept.contains(&p));
+        }
+        // Every node's weak edges (weight 1 < its mean) are dropped.
+        assert_eq!(kept, good_pairs().to_vec());
+    }
+
+    #[test]
+    fn cnp_keeps_top_k_per_node() {
+        let g = graph();
+        // k = ⌊12/4⌋ = 3 per node: keeps everything here (degree 3).
+        let kept = PruningScheme::Cnp.prune(&g, WeightingScheme::Cbs);
+        assert_eq!(kept.len(), 6);
+    }
+
+    #[test]
+    fn reciprocal_is_subset_of_union_variant() {
+        let g = graph();
+        for weighting in WeightingScheme::ALL {
+            let wnp: BTreeSet<Pair> = PruningScheme::Wnp
+                .prune(&g, weighting)
+                .into_iter()
+                .collect();
+            let rwnp: BTreeSet<Pair> = PruningScheme::ReciprocalWnp
+                .prune(&g, weighting)
+                .into_iter()
+                .collect();
+            assert!(rwnp.is_subset(&wnp), "{}", weighting.name());
+            let cnp: BTreeSet<Pair> = PruningScheme::Cnp
+                .prune(&g, weighting)
+                .into_iter()
+                .collect();
+            let rcnp: BTreeSet<Pair> = PruningScheme::ReciprocalCnp
+                .prune(&g, weighting)
+                .into_iter()
+                .collect();
+            assert!(rcnp.is_subset(&cnp), "{}", weighting.name());
+        }
+    }
+
+    #[test]
+    fn pruned_edges_are_graph_edges() {
+        let g = graph();
+        for pruning in [
+            PruningScheme::Wep,
+            PruningScheme::Cep,
+            PruningScheme::Wnp,
+            PruningScheme::Cnp,
+            PruningScheme::ReciprocalWnp,
+            PruningScheme::ReciprocalCnp,
+        ] {
+            for weighting in WeightingScheme::ALL {
+                for p in pruning.prune(&g, weighting) {
+                    assert!(g.edge(p).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_prunes_to_nothing() {
+        let c = EntityCollection::new(ResolutionMode::Dirty);
+        let g = BlockingGraph::build(&c, &BlockCollection::default());
+        assert!(PruningScheme::Wep
+            .prune(&g, WeightingScheme::Cbs)
+            .is_empty());
+        assert!(PruningScheme::Cnp
+            .prune(&g, WeightingScheme::Arcs)
+            .is_empty());
+    }
+
+    #[test]
+    fn good_pairs_survive_every_scheme_combination() {
+        let g = graph();
+        for pruning in PruningScheme::CANONICAL {
+            for weighting in WeightingScheme::ALL {
+                let kept = pruning.prune(&g, weighting);
+                for p in good_pairs() {
+                    assert!(
+                        kept.contains(&p),
+                        "{}/{} dropped a strongly co-occurring pair",
+                        pruning.name(),
+                        weighting.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Supervised meta-blocking: learning the edge-pruning rule.
+//!
+//! The unsupervised schemes of [`crate::pruning`] pick one weighting and one
+//! threshold rule a priori. The supervised extension of meta-blocking
+//! (Papadakis, Papastefanatos & Koutrika, follow-up to \[22\]) instead treats
+//! pruning as *binary classification over edges*: each edge is described by
+//! a small feature vector drawn from the blocking evidence, a classifier is
+//! trained on a labeled sample, and the graph is pruned by prediction.
+//!
+//! The feature set mirrors the published one — the co-occurrence weights the
+//! unsupervised schemes use, plus node-level context:
+//!
+//! 1. CBS — number of shared blocks;
+//! 2. ARCS — aggregate reciprocal block cardinality;
+//! 3. JS — Jaccard of the endpoints' block lists;
+//! 4. RACCB — reciprocal aggregate cardinality of common blocks, i.e. ARCS
+//!    normalized by the maximum possible;
+//! 5. the endpoints' mean block count (how "hub-like" the pair is);
+//! 6. the endpoints' mean node degree.
+//!
+//! The classifier is an averaged perceptron implemented here (no external ML
+//! dependency), adequate for the near-linearly-separable feature space the
+//! paper reports.
+
+use crate::graph::BlockingGraph;
+use er_core::ground_truth::GroundTruth;
+use er_core::pair::Pair;
+
+/// Number of features per edge.
+pub const N_FEATURES: usize = 6;
+
+/// Extracts the feature vector of one edge.
+pub fn edge_features(graph: &BlockingGraph, pair: Pair) -> [f64; N_FEATURES] {
+    let info = graph.edge(pair).expect("pair must be a graph edge");
+    let (a, b) = pair.ids();
+    let common = info.common_blocks as f64;
+    let ba = graph.block_count(a).max(1) as f64;
+    let bb = graph.block_count(b).max(1) as f64;
+    let js = common / (ba + bb - common);
+    // ARCS is maximized when every shared block is a singleton-pair block
+    // (cardinality 1), so `common` is its ceiling.
+    let raccb = info.arcs / common.max(1.0);
+    let mean_blocks = (ba + bb) / 2.0;
+    let mean_degree = (graph.degree(a).max(1) as f64 + graph.degree(b).max(1) as f64) / 2.0;
+    [
+        common,
+        info.arcs,
+        js,
+        raccb,
+        1.0 / mean_blocks, // inverted: hubs → small value
+        1.0 / mean_degree,
+    ]
+}
+
+/// An averaged perceptron over edge features.
+#[derive(Clone, Debug)]
+pub struct EdgeClassifier {
+    weights: [f64; N_FEATURES],
+    bias: f64,
+}
+
+impl EdgeClassifier {
+    /// Trains on labeled edges: `(features, is_match)`. Runs `epochs` passes
+    /// with weight averaging, which smooths the online updates.
+    ///
+    /// # Panics
+    /// Panics if `examples` is empty.
+    pub fn train(examples: &[([f64; N_FEATURES], bool)], epochs: usize) -> Self {
+        assert!(!examples.is_empty(), "training needs at least one example");
+        // Normalize features to zero-mean/unit-ish scale via per-feature max.
+        let mut scale = [1.0_f64; N_FEATURES];
+        for (f, _) in examples {
+            for (i, v) in f.iter().enumerate() {
+                scale[i] = scale[i].max(v.abs());
+            }
+        }
+        let mut w = [0.0; N_FEATURES];
+        let mut b = 0.0;
+        let mut w_sum = [0.0; N_FEATURES];
+        let mut b_sum = 0.0;
+        let mut steps = 0u64;
+        for _ in 0..epochs.max(1) {
+            for (f, label) in examples {
+                let y = if *label { 1.0 } else { -1.0 };
+                let mut score = b;
+                for i in 0..N_FEATURES {
+                    score += w[i] * f[i] / scale[i];
+                }
+                if y * score <= 0.0 {
+                    for i in 0..N_FEATURES {
+                        w[i] += y * f[i] / scale[i];
+                    }
+                    b += y;
+                }
+                for i in 0..N_FEATURES {
+                    w_sum[i] += w[i];
+                }
+                b_sum += b;
+                steps += 1;
+            }
+        }
+        let mut weights = [0.0; N_FEATURES];
+        for i in 0..N_FEATURES {
+            weights[i] = w_sum[i] / steps as f64 / scale[i];
+        }
+        EdgeClassifier {
+            weights,
+            bias: b_sum / steps as f64,
+        }
+    }
+
+    /// The raw decision score of a feature vector (≥ 0 → keep).
+    pub fn score(&self, features: &[f64; N_FEATURES]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, f)| w * f)
+                .sum::<f64>()
+    }
+
+    /// Whether the edge is predicted to be a match candidate.
+    pub fn keep(&self, features: &[f64; N_FEATURES]) -> bool {
+        self.score(features) >= 0.0
+    }
+}
+
+/// End-to-end supervised pruning: samples `training_fraction` of the graph's
+/// edges (deterministically — every k-th edge), labels them with `truth`,
+/// trains, and returns the edges predicted positive among the rest (the
+/// training edges keep their true label, as in the published evaluation).
+pub fn supervised_prune(
+    graph: &BlockingGraph,
+    truth: &GroundTruth,
+    training_fraction: f64,
+) -> Vec<Pair> {
+    assert!(
+        training_fraction > 0.0 && training_fraction < 1.0,
+        "training fraction must be in (0, 1)"
+    );
+    let every = (1.0 / training_fraction).round().max(1.0) as usize;
+    let mut training = Vec::new();
+    let mut rest = Vec::new();
+    for (i, (pair, _)) in graph.edges().enumerate() {
+        if i % every == 0 {
+            training.push((edge_features(graph, pair), truth.contains(pair)));
+        } else {
+            rest.push(pair);
+        }
+    }
+    if training.iter().all(|(_, l)| !l) || training.iter().all(|(_, l)| *l) {
+        // Degenerate sample: fall back to keeping everything (no signal).
+        return graph.edges().map(|(p, _)| p).collect();
+    }
+    let clf = EdgeClassifier::train(&training, 5);
+    let mut kept: Vec<Pair> = rest
+        .into_iter()
+        .filter(|&p| clf.keep(&edge_features(graph, p)))
+        .collect();
+    // Training edges: keep the known positives.
+    for (i, (pair, _)) in graph.edges().enumerate() {
+        if i % every == 0 && truth.contains(pair) {
+            kept.push(pair);
+        }
+    }
+    kept.sort();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::TokenBlocking;
+    use er_core::metrics::BlockingQuality;
+    use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+
+    fn setup() -> (DirtyDataset, BlockingGraph) {
+        let ds = DirtyDataset::generate(&DirtyConfig::sized(400, NoiseModel::moderate(), 97));
+        let blocks = TokenBlocking::new().build(&ds.collection);
+        let graph = BlockingGraph::build(&ds.collection, &blocks);
+        (ds, graph)
+    }
+
+    #[test]
+    fn features_are_finite_and_ordered_sensibly() {
+        let (ds, graph) = setup();
+        for (pair, _) in graph.edges().take(500) {
+            let f = edge_features(&graph, pair);
+            for v in f {
+                assert!(v.is_finite() && v >= 0.0);
+            }
+            let _ = ds;
+        }
+    }
+
+    #[test]
+    fn perceptron_learns_a_separable_rule() {
+        // Synthetic: label = (feature0 > 2).
+        let examples: Vec<([f64; N_FEATURES], bool)> = (0..100)
+            .map(|i| {
+                let x = (i % 5) as f64;
+                ([x, 0.0, 0.0, 0.0, 0.0, 0.0], x > 2.0)
+            })
+            .collect();
+        let clf = EdgeClassifier::train(&examples, 10);
+        let acc = examples.iter().filter(|(f, l)| clf.keep(f) == *l).count();
+        assert!(acc >= 95, "separable rule should be learned: {acc}/100");
+    }
+
+    #[test]
+    fn supervised_pruning_beats_keeping_everything_on_pq() {
+        let (ds, graph) = setup();
+        let brute = ds.collection.total_possible_comparisons();
+        let all: Vec<Pair> = graph.edges().map(|(p, _)| p).collect();
+        let base = BlockingQuality::measure(&all, &ds.truth, brute);
+        let kept = supervised_prune(&graph, &ds.truth, 0.2);
+        let q = BlockingQuality::measure(&kept, &ds.truth, brute);
+        assert!(
+            q.comparisons < base.comparisons / 2,
+            "must prune substantially"
+        );
+        assert!(
+            q.pq() > 2.0 * base.pq(),
+            "precision must improve: {} vs {}",
+            q.pq(),
+            base.pq()
+        );
+        assert!(
+            q.pc() > 0.6 * base.pc(),
+            "recall must survive: {} vs {}",
+            q.pc(),
+            base.pc()
+        );
+    }
+
+    #[test]
+    fn degenerate_training_sample_keeps_everything() {
+        let (_, graph) = setup();
+        let empty_truth = GroundTruth::default();
+        let kept = supervised_prune(&graph, &empty_truth, 0.2);
+        assert_eq!(kept.len(), graph.n_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "training fraction")]
+    fn invalid_fraction_rejected() {
+        let (ds, graph) = setup();
+        let _ = supervised_prune(&graph, &ds.truth, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one example")]
+    fn empty_training_rejected() {
+        let _ = EdgeClassifier::train(&[], 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Edge weighting schemes of meta-blocking \[22\].
+//!
+//! Each scheme estimates, from co-occurrence patterns alone (no similarity
+//! computation), how likely an edge's endpoints are to match:
+//!
+//! * **CBS** — Common Blocks Scheme: raw count of shared blocks.
+//! * **ECBS** — Enhanced CBS: CBS discounted for entities that appear in many
+//!   blocks (`CBS · log(B/|Bᵢ|) · log(B/|Bⱼ|)`).
+//! * **JS** — Jaccard Scheme: shared blocks over union of blocks.
+//! * **EJS** — Enhanced JS: JS discounted for high-degree nodes
+//!   (`JS · log(E/|vᵢ|) · log(E/|vⱼ|)`).
+//! * **ARCS** — Aggregate Reciprocal Comparisons: `Σ 1/‖b‖` over shared
+//!   blocks, crediting co-occurrence in small (discriminative) blocks.
+
+use crate::graph::BlockingGraph;
+use er_core::pair::Pair;
+
+/// The five weighting schemes of \[22\].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightingScheme {
+    /// Common Blocks Scheme.
+    Cbs,
+    /// Enhanced Common Blocks Scheme.
+    Ecbs,
+    /// Jaccard Scheme.
+    Js,
+    /// Enhanced Jaccard Scheme.
+    Ejs,
+    /// Aggregate Reciprocal Comparisons Scheme.
+    Arcs,
+}
+
+impl WeightingScheme {
+    /// All schemes, for experiment grids.
+    pub const ALL: [WeightingScheme; 5] = [
+        WeightingScheme::Cbs,
+        WeightingScheme::Ecbs,
+        WeightingScheme::Js,
+        WeightingScheme::Ejs,
+        WeightingScheme::Arcs,
+    ];
+
+    /// Name for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightingScheme::Cbs => "CBS",
+            WeightingScheme::Ecbs => "ECBS",
+            WeightingScheme::Js => "JS",
+            WeightingScheme::Ejs => "EJS",
+            WeightingScheme::Arcs => "ARCS",
+        }
+    }
+
+    /// Weight of one edge of the graph.
+    ///
+    /// # Panics
+    /// Panics if the pair is not an edge of the graph.
+    pub fn weight(self, graph: &BlockingGraph, pair: Pair) -> f64 {
+        let info = graph
+            .edge(pair)
+            .unwrap_or_else(|| panic!("{pair:?} is not an edge of the blocking graph"));
+        let (a, b) = pair.ids();
+        let common = info.common_blocks as f64;
+        match self {
+            WeightingScheme::Cbs => common,
+            WeightingScheme::Ecbs => {
+                let total = graph.total_blocks() as f64;
+                let ba = graph.block_count(a).max(1) as f64;
+                let bb = graph.block_count(b).max(1) as f64;
+                // max(…, 0): an entity can be in every block, making the log 0.
+                common * (total / ba).ln().max(0.0) * (total / bb).ln().max(0.0)
+            }
+            WeightingScheme::Js => {
+                let union = graph.block_count(a) as f64 + graph.block_count(b) as f64 - common;
+                if union == 0.0 {
+                    0.0
+                } else {
+                    common / union
+                }
+            }
+            WeightingScheme::Ejs => {
+                let js = WeightingScheme::Js.weight(graph, pair);
+                let e = graph.n_edges().max(1) as f64;
+                let da = graph.degree(a).max(1) as f64;
+                let db = graph.degree(b).max(1) as f64;
+                js * (e / da).ln().max(0.0) * (e / db).ln().max(0.0)
+            }
+            WeightingScheme::Arcs => info.arcs,
+        }
+    }
+
+    /// Materializes all edge weights, in edge order.
+    pub fn weigh_all(self, graph: &BlockingGraph) -> Vec<(Pair, f64)> {
+        graph
+            .edges()
+            .map(|(p, _)| (p, self.weight(graph, p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_blocking::block::{Block, BlockCollection};
+    use er_core::collection::{EntityCollection, ResolutionMode};
+    use er_core::entity::{EntityId, KbId};
+
+    fn id(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    /// Entities 0,1 share two small blocks; 2 co-occurs with everyone once in
+    /// one big block. A good scheme scores (0,1) above (0,2).
+    fn graph() -> BlockingGraph {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..5 {
+            c.push(KbId(0), vec![]);
+        }
+        let blocks = BlockCollection::new(vec![
+            Block::new("s1", vec![id(0), id(1)]),
+            Block::new("s2", vec![id(0), id(1)]),
+            Block::new("big", vec![id(0), id(1), id(2), id(3), id(4)]),
+            // Distractor blocks keep the graph non-degenerate: without them
+            // entities 0/1 would sit in *every* block and ECBS's
+            // log(B/|Bᵢ|) discount would zero out their edges.
+            Block::new("d1", vec![id(2), id(4)]),
+            Block::new("d2", vec![id(3), id(4)]),
+            Block::new("d3", vec![id(2), id(4)]),
+            Block::new("d4", vec![id(3), id(4)]),
+        ]);
+        BlockingGraph::build(&c, &blocks)
+    }
+
+    #[test]
+    fn cbs_counts_common_blocks() {
+        let g = graph();
+        assert_eq!(
+            WeightingScheme::Cbs.weight(&g, Pair::new(id(0), id(1))),
+            3.0
+        );
+        assert_eq!(
+            WeightingScheme::Cbs.weight(&g, Pair::new(id(0), id(2))),
+            1.0
+        );
+    }
+
+    #[test]
+    fn js_normalizes_by_union() {
+        let g = graph();
+        // (0,1): common 3, |B0|=3, |B1|=3 → 3/(3+3-3)=1.
+        assert!((WeightingScheme::Js.weight(&g, Pair::new(id(0), id(1))) - 1.0).abs() < 1e-12);
+        // (0,2): common 1, |B0|=3, |B2|=3 (big, d1, d3) → 1/5.
+        assert!(
+            (WeightingScheme::Js.weight(&g, Pair::new(id(0), id(2))) - 1.0 / 5.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn arcs_favors_small_blocks() {
+        let g = graph();
+        let strong = WeightingScheme::Arcs.weight(&g, Pair::new(id(0), id(1)));
+        let weak = WeightingScheme::Arcs.weight(&g, Pair::new(id(2), id(3)));
+        // strong = 1 + 1 + 1/10; weak = 1/10.
+        assert!((strong - 2.1).abs() < 1e-12);
+        assert!((weak - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_scheme_ranks_true_pair_highest() {
+        let g = graph();
+        let good = Pair::new(id(0), id(1));
+        for scheme in WeightingScheme::ALL {
+            let w_good = scheme.weight(&g, good);
+            for (p, _) in g.edges() {
+                if p != good {
+                    assert!(
+                        w_good >= scheme.weight(&g, p),
+                        "{} ranked {:?} above the double-co-occurring pair",
+                        scheme.name(),
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_nonnegative_and_finite() {
+        let g = graph();
+        for scheme in WeightingScheme::ALL {
+            for (p, w) in scheme.weigh_all(&g) {
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "{} on {:?} = {}",
+                    scheme.name(),
+                    p,
+                    w
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn weighting_non_edge_panics() {
+        let g = graph();
+        // 5 entities: ids 0..5; pair (0, 9) has a node outside any block.
+        let _ = WeightingScheme::Cbs.weight(&g, Pair::new(id(0), id(9)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Dataset-level properties of meta-blocking: pruning never invents pairs,
+//! cuts comparisons substantially, and retains most of the recall — the
+//! headline result of \[22\].
+
+use er_blocking::TokenBlocking;
+use er_core::metrics::BlockingQuality;
+use er_core::pair::Pair;
+use er_datagen::{CleanCleanConfig, CleanCleanDataset, DirtyConfig, DirtyDataset, NoiseModel};
+use er_metablocking::{meta_block, BlockingGraph, PruningScheme, WeightingScheme};
+use std::collections::BTreeSet;
+
+fn dirty() -> DirtyDataset {
+    DirtyDataset::generate(&DirtyConfig::sized(400, NoiseModel::moderate(), 7))
+}
+
+#[test]
+fn pruned_pairs_are_subset_of_blocking_pairs() {
+    let ds = dirty();
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let all: BTreeSet<Pair> = blocks.distinct_pairs(&ds.collection).into_iter().collect();
+    for weighting in WeightingScheme::ALL {
+        for pruning in PruningScheme::CANONICAL {
+            let kept = meta_block(&ds.collection, &blocks, weighting, pruning);
+            for p in &kept {
+                assert!(all.contains(p), "{}/{}", weighting.name(), pruning.name());
+            }
+            assert!(
+                kept.len() < all.len(),
+                "{}/{} should prune something on skewed data",
+                weighting.name(),
+                pruning.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_edge_count_equals_distinct_comparisons() {
+    let ds = dirty();
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let graph = BlockingGraph::build(&ds.collection, &blocks);
+    assert_eq!(graph.n_edges(), blocks.distinct_pairs(&ds.collection).len());
+}
+
+#[test]
+fn weight_pruning_retains_most_recall() {
+    let ds = dirty();
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let brute = ds.collection.total_possible_comparisons();
+    let base = BlockingQuality::measure(&blocks.distinct_pairs(&ds.collection), &ds.truth, brute);
+    for weighting in [
+        WeightingScheme::Arcs,
+        WeightingScheme::Ecbs,
+        WeightingScheme::Js,
+    ] {
+        let kept = meta_block(&ds.collection, &blocks, weighting, PruningScheme::Wnp);
+        let q = BlockingQuality::measure(&kept, &ds.truth, brute);
+        assert!(
+            q.pc() >= 0.80 * base.pc(),
+            "{}: WNP lost too much recall ({} vs {})",
+            weighting.name(),
+            q.pc(),
+            base.pc()
+        );
+        assert!(
+            (q.comparisons as f64) < 0.7 * base.comparisons as f64,
+            "{}: WNP should cut ≥30% of comparisons ({} of {})",
+            weighting.name(),
+            q.comparisons,
+            base.comparisons
+        );
+        // Precision (PQ) must improve: that is the point of meta-blocking.
+        assert!(
+            q.pq() > base.pq(),
+            "{}: PQ should improve",
+            weighting.name()
+        );
+    }
+}
+
+#[test]
+fn cardinality_pruning_is_more_aggressive_than_weight_pruning() {
+    let ds = dirty();
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let wep = meta_block(
+        &ds.collection,
+        &blocks,
+        WeightingScheme::Arcs,
+        PruningScheme::Wep,
+    );
+    let cep = meta_block(
+        &ds.collection,
+        &blocks,
+        WeightingScheme::Arcs,
+        PruningScheme::Cep,
+    );
+    // CEP's budget is ⌊BC/2⌋ — on redundancy-light collections this is far
+    // below what a mean-weight threshold keeps.
+    assert!(
+        cep.len() <= wep.len() * 2,
+        "sanity: same order of magnitude"
+    );
+    let graph = BlockingGraph::build(&ds.collection, &blocks);
+    assert!(cep.len() as u64 <= graph.total_assignments() / 2);
+}
+
+#[test]
+fn clean_clean_metablocking_respects_kb_boundaries() {
+    let ds = CleanCleanDataset::generate(&CleanCleanConfig {
+        shared_entities: 100,
+        only_first: 50,
+        only_second: 50,
+        seed: 9,
+        ..Default::default()
+    });
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    for pruning in PruningScheme::CANONICAL {
+        let kept = meta_block(&ds.collection, &blocks, WeightingScheme::Js, pruning);
+        for p in kept {
+            assert_ne!(
+                ds.collection.entity(p.first()).kb(),
+                ds.collection.entity(p.second()).kb(),
+                "{}: same-KB comparison leaked through",
+                pruning.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reciprocal_variants_nest_inside_union_variants() {
+    let ds = dirty();
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let graph = BlockingGraph::build(&ds.collection, &blocks);
+    for weighting in WeightingScheme::ALL {
+        let wnp: BTreeSet<Pair> = PruningScheme::Wnp
+            .prune(&graph, weighting)
+            .into_iter()
+            .collect();
+        let rwnp: BTreeSet<Pair> = PruningScheme::ReciprocalWnp
+            .prune(&graph, weighting)
+            .into_iter()
+            .collect();
+        assert!(rwnp.is_subset(&wnp), "{}", weighting.name());
+        let cnp: BTreeSet<Pair> = PruningScheme::Cnp
+            .prune(&graph, weighting)
+            .into_iter()
+            .collect();
+        let rcnp: BTreeSet<Pair> = PruningScheme::ReciprocalCnp
+            .prune(&graph, weighting)
+            .into_iter()
+            .collect();
+        assert!(rcnp.is_subset(&cnp), "{}", weighting.name());
+    }
+}

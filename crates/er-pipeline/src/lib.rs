@@ -1,0 +1,684 @@
+//! # er-pipeline — the ER workflow of Fig. 1 as one configurable value
+//!
+//! Composes the stages the ICDE 2017 tutorial's framework figure shows —
+//! blocking → block cleaning → meta-blocking → matching → clustering — into
+//! a single [`Pipeline`] built with a fluent [`PipelineBuilder`]. Every stage
+//! is selected from the algorithms of the lower-level crates, and the run
+//! report carries the per-stage accounting (comparison counts, timings)
+//! the evaluation metrics need.
+//!
+//! ```
+//! use er_pipeline::{BlockingStage, CleaningStage, MatchingStage, MetaBlockingStage, Pipeline};
+//! use er_core::collection::{EntityCollection, ResolutionMode};
+//! use er_core::entity::{EntityBuilder, KbId};
+//!
+//! let mut c = EntityCollection::new(ResolutionMode::Dirty);
+//! c.push_entity(KbId(0), EntityBuilder::new().attr("name", "Alan Turing"));
+//! c.push_entity(KbId(0), EntityBuilder::new().attr("fullName", "Alan M. Turing"));
+//!
+//! let pipeline = Pipeline::builder()
+//!     .blocking(BlockingStage::Token)
+//!     .cleaning(CleaningStage::AutoPurge)
+//!     .meta_blocking(MetaBlockingStage::default())
+//!     .matching(MatchingStage::jaccard(0.25))
+//!     .build();
+//! let resolution = pipeline.run(&c);
+//! assert_eq!(resolution.clusters.len(), 1, "the two descriptions merge");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use er_blocking::attribute_clustering::AttributeClusteringBlocking;
+use er_blocking::cleaning;
+use er_blocking::minhash::MinHashBlocking;
+use er_blocking::qgrams::QGramsBlocking;
+use er_blocking::sorted_neighborhood::{MultiPassSortedNeighborhood, SortKey};
+use er_blocking::standard::StandardBlocking;
+use er_blocking::TokenBlocking;
+use er_core::collection::EntityCollection;
+use er_core::entity::EntityId;
+use er_core::ground_truth::GroundTruth;
+use er_core::matching::{Matcher, TfIdfMatcher, ThresholdMatcher};
+use er_core::metrics::{BlockingQuality, MatchQuality};
+use er_core::pair::Pair;
+use er_core::similarity::SetMeasure;
+use er_metablocking::{meta_block, PruningScheme, WeightingScheme};
+use std::time::{Duration, Instant};
+
+/// Blocking-stage selection.
+#[derive(Clone, Debug)]
+pub enum BlockingStage {
+    /// Schema-agnostic token blocking (the Web-of-data default).
+    Token,
+    /// Attribute-clustering blocking.
+    AttributeClustering,
+    /// Standard key blocking on one attribute.
+    StandardKey(String),
+    /// Q-grams blocking with the given gram length.
+    QGrams(usize),
+    /// MinHash-LSH blocking with (bands, rows).
+    MinHash(usize, usize),
+    /// Multi-pass sorted neighborhood over the given keys and window — a
+    /// pair-producing method, so cleaning/meta-blocking are skipped.
+    SortedNeighborhood(Vec<SortKey>, usize),
+}
+
+/// Block-cleaning selection (applies only to block-producing methods).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum CleaningStage {
+    /// No cleaning.
+    #[default]
+    None,
+    /// Mean-cardinality block purging.
+    AutoPurge,
+    /// Purging followed by per-entity block filtering with the given ratio.
+    PurgeAndFilter(f64),
+}
+
+/// Meta-blocking selection (applies only to block-producing methods).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetaBlockingStage {
+    /// Edge weighting scheme.
+    pub weighting: WeightingScheme,
+    /// Pruning scheme.
+    pub pruning: PruningScheme,
+}
+
+impl Default for MetaBlockingStage {
+    /// ARCS + WNP: the strongest recall-preserving combination in E3.
+    fn default() -> Self {
+        MetaBlockingStage {
+            weighting: WeightingScheme::Arcs,
+            pruning: PruningScheme::Wnp,
+        }
+    }
+}
+
+/// Clustering-stage selection: how accepted match pairs become entities.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClusteringStage {
+    /// Transitive closure (connected components) — the default.
+    #[default]
+    ConnectedComponents,
+    /// Center clustering over the matcher's scores (precision-oriented).
+    Center,
+    /// Merge-center clustering (between center and closure).
+    MergeCenter,
+    /// Unique-mapping clustering — clean–clean 1–1 extraction. Match pairs
+    /// violating the 1–1 constraint are dropped before closure.
+    UniqueMapping,
+}
+
+/// Matching-stage selection.
+#[derive(Clone, Debug)]
+pub enum MatchingStage {
+    /// Token-set threshold matcher with a [`SetMeasure`].
+    Threshold(SetMeasure, f64),
+    /// TF-IDF cosine matcher (corpus statistics derived from the input).
+    TfIdf(f64),
+}
+
+impl MatchingStage {
+    /// Convenience: Jaccard threshold matcher.
+    pub fn jaccard(threshold: f64) -> Self {
+        MatchingStage::Threshold(SetMeasure::Jaccard, threshold)
+    }
+}
+
+/// Per-stage accounting of one run.
+#[derive(Clone, Debug, Default)]
+pub struct StageReport {
+    /// Distinct candidate comparisons after blocking (and cleaning).
+    pub blocked_comparisons: u64,
+    /// Comparisons retained by meta-blocking (equals the above when the
+    /// stage is skipped).
+    pub scheduled_comparisons: u64,
+    /// Comparisons the matcher executed.
+    pub matched_comparisons: u64,
+    /// Wall-clock per stage.
+    pub blocking_time: Duration,
+    /// Wall-clock of the meta-blocking stage.
+    pub meta_blocking_time: Duration,
+    /// Wall-clock of the matching stage.
+    pub matching_time: Duration,
+}
+
+/// The result of a run: clusters plus accounting.
+#[derive(Clone, Debug)]
+pub struct Resolution {
+    /// Accepted match pairs (pre-closure), sorted.
+    pub matches: Vec<Pair>,
+    /// Connected-component clusters over the matches (singletons included).
+    pub clusters: Vec<Vec<EntityId>>,
+    /// Per-stage accounting.
+    pub report: StageReport,
+}
+
+impl Resolution {
+    /// Evaluates the run against ground truth: candidate-level
+    /// [`BlockingQuality`] is not reconstructable post hoc, so this reports
+    /// match-level [`MatchQuality`].
+    pub fn evaluate(&self, n_entities: usize, truth: &GroundTruth) -> MatchQuality {
+        MatchQuality::measure(n_entities, &self.matches, truth)
+    }
+}
+
+/// The configured pipeline. Build with [`Pipeline::builder`].
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    blocking: BlockingStage,
+    cleaning: CleaningStage,
+    meta_blocking: Option<MetaBlockingStage>,
+    matching: MatchingStage,
+    clustering: ClusteringStage,
+}
+
+impl Pipeline {
+    /// Starts a builder with the Web-of-data defaults: token blocking, auto
+    /// purging, ARCS/WNP meta-blocking, Jaccard-0.4 matching.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder {
+            blocking: BlockingStage::Token,
+            cleaning: CleaningStage::AutoPurge,
+            meta_blocking: Some(MetaBlockingStage::default()),
+            matching: MatchingStage::jaccard(0.4),
+            clustering: ClusteringStage::default(),
+        }
+    }
+
+    /// Runs the pipeline on a collection.
+    pub fn run(&self, collection: &EntityCollection) -> Resolution {
+        let mut report = StageReport::default();
+
+        // ---- blocking (and cleaning) ---------------------------------------
+        let t0 = Instant::now();
+        let candidates: Vec<Pair> = match &self.blocking {
+            BlockingStage::SortedNeighborhood(keys, window) => {
+                MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
+            }
+            block_based => {
+                let blocks = match block_based {
+                    BlockingStage::Token => TokenBlocking::new().build(collection),
+                    BlockingStage::AttributeClustering => {
+                        AttributeClusteringBlocking::new().build(collection)
+                    }
+                    BlockingStage::StandardKey(attr) => {
+                        StandardBlocking::on_attribute(attr.clone()).build(collection)
+                    }
+                    BlockingStage::QGrams(q) => QGramsBlocking::new(*q).build(collection),
+                    BlockingStage::MinHash(bands, rows) => {
+                        MinHashBlocking::new(*bands, *rows).build(collection)
+                    }
+                    BlockingStage::SortedNeighborhood(..) => unreachable!("handled above"),
+                };
+                let blocks = match self.cleaning {
+                    CleaningStage::None => blocks,
+                    CleaningStage::AutoPurge => cleaning::auto_purge(&blocks, collection),
+                    CleaningStage::PurgeAndFilter(ratio) => {
+                        let purged = cleaning::auto_purge(&blocks, collection);
+                        cleaning::filter_blocks(&purged, collection, ratio)
+                    }
+                };
+                report.blocking_time = t0.elapsed();
+                let blocked = blocks.distinct_pairs(collection);
+                report.blocked_comparisons = blocked.len() as u64;
+                // ---- meta-blocking ------------------------------------------
+                if let Some(mb) = self.meta_blocking {
+                    let t1 = Instant::now();
+                    let kept = meta_block(collection, &blocks, mb.weighting, mb.pruning);
+                    report.meta_blocking_time = t1.elapsed();
+                    kept
+                } else {
+                    blocked
+                }
+            }
+        };
+        if report.blocked_comparisons == 0 {
+            report.blocked_comparisons = candidates.len() as u64;
+            report.blocking_time = t0.elapsed();
+        }
+        report.scheduled_comparisons = candidates.len() as u64;
+
+        // ---- matching -------------------------------------------------------
+        // Scores are retained for the score-aware clustering stages.
+        let t2 = Instant::now();
+        fn decide<M: Matcher>(
+            collection: &EntityCollection,
+            candidates: &[Pair],
+            m: &M,
+        ) -> Vec<(Pair, f64)> {
+            candidates
+                .iter()
+                .filter_map(|&p| {
+                    let d = er_core::matching::compare_pair(collection, m, p);
+                    d.is_match.then_some((p, d.score))
+                })
+                .collect()
+        }
+        let scored_matches: Vec<(Pair, f64)> = match &self.matching {
+            MatchingStage::Threshold(measure, threshold) => decide(
+                collection,
+                &candidates,
+                &ThresholdMatcher::new(*measure, *threshold),
+            ),
+            MatchingStage::TfIdf(threshold) => decide(
+                collection,
+                &candidates,
+                &TfIdfMatcher::from_collection(collection, *threshold),
+            ),
+        };
+        report.matching_time = t2.elapsed();
+        report.matched_comparisons = candidates.len() as u64;
+
+        // ---- clustering -----------------------------------------------------
+        let (matches, clusters) = self.cluster(collection, scored_matches);
+        Resolution {
+            matches,
+            clusters,
+            report,
+        }
+    }
+
+    /// Applies the configured clustering stage to scored match pairs,
+    /// returning the (possibly constraint-filtered) match pairs and the
+    /// clusters.
+    fn cluster(
+        &self,
+        collection: &EntityCollection,
+        scored_matches: Vec<(Pair, f64)>,
+    ) -> (Vec<Pair>, Vec<Vec<EntityId>>) {
+        use er_core::match_clustering as mc;
+        let n = collection.len();
+        match self.clustering {
+            ClusteringStage::ConnectedComponents => {
+                let mut matches: Vec<Pair> = scored_matches.into_iter().map(|(p, _)| p).collect();
+                matches.sort();
+                let clusters = er_core::clusters::components_from_matches(n, &matches);
+                (matches, clusters)
+            }
+            ClusteringStage::Center => {
+                let clusters = mc::center_clustering(n, &scored_matches, 0.0);
+                let matches = cluster_pairs(&clusters);
+                (matches, clusters)
+            }
+            ClusteringStage::MergeCenter => {
+                let clusters = mc::merge_center_clustering(n, &scored_matches, 0.0);
+                let matches = cluster_pairs(&clusters);
+                (matches, clusters)
+            }
+            ClusteringStage::UniqueMapping => {
+                let matches = mc::unique_mapping_clustering(collection, &scored_matches, 0.0);
+                let clusters = er_core::clusters::components_from_matches(n, &matches);
+                (matches, clusters)
+            }
+        }
+    }
+
+    /// Runs the pipeline with a caller-supplied matcher instead of the
+    /// configured matching stage (e.g. an oracle for calibration).
+    pub fn run_with_matcher<M: Matcher>(
+        &self,
+        collection: &EntityCollection,
+        matcher: &M,
+    ) -> Resolution {
+        let t0 = Instant::now();
+        let candidates = self.candidates(collection);
+        let blocking_time = t0.elapsed();
+        let t1 = Instant::now();
+        let scored: Vec<(Pair, f64)> = candidates
+            .iter()
+            .filter_map(|&p| {
+                let d = er_core::matching::compare_pair(collection, matcher, p);
+                d.is_match.then_some((p, d.score))
+            })
+            .collect();
+        let matching_time = t1.elapsed();
+        let (matches, clusters) = self.cluster(collection, scored);
+        Resolution {
+            matches,
+            clusters,
+            report: StageReport {
+                blocked_comparisons: candidates.len() as u64,
+                scheduled_comparisons: candidates.len() as u64,
+                matched_comparisons: candidates.len() as u64,
+                blocking_time,
+                meta_blocking_time: Duration::ZERO,
+                matching_time,
+            },
+        }
+    }
+
+    /// The candidate comparisons the configured blocking + cleaning +
+    /// meta-blocking stages produce (no matching) — the input a progressive
+    /// scheduler would consume.
+    pub fn candidates(&self, collection: &EntityCollection) -> Vec<Pair> {
+        match &self.blocking {
+            BlockingStage::SortedNeighborhood(keys, window) => {
+                MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
+            }
+            block_based => {
+                let blocks = match block_based {
+                    BlockingStage::Token => TokenBlocking::new().build(collection),
+                    BlockingStage::AttributeClustering => {
+                        AttributeClusteringBlocking::new().build(collection)
+                    }
+                    BlockingStage::StandardKey(attr) => {
+                        StandardBlocking::on_attribute(attr.clone()).build(collection)
+                    }
+                    BlockingStage::QGrams(q) => QGramsBlocking::new(*q).build(collection),
+                    BlockingStage::MinHash(bands, rows) => {
+                        MinHashBlocking::new(*bands, *rows).build(collection)
+                    }
+                    BlockingStage::SortedNeighborhood(..) => unreachable!(),
+                };
+                let blocks = match self.cleaning {
+                    CleaningStage::None => blocks,
+                    CleaningStage::AutoPurge => cleaning::auto_purge(&blocks, collection),
+                    CleaningStage::PurgeAndFilter(ratio) => {
+                        let purged = cleaning::auto_purge(&blocks, collection);
+                        cleaning::filter_blocks(&purged, collection, ratio)
+                    }
+                };
+                match self.meta_blocking {
+                    Some(mb) => meta_block(collection, &blocks, mb.weighting, mb.pruning),
+                    None => blocks.distinct_pairs(collection),
+                }
+            }
+        }
+    }
+
+    /// Runs the pipeline *progressively*: candidates are scheduled by the
+    /// sorted-pairs hint (cheap Jaccard scores) and executed under the given
+    /// comparison budget, recording the progressive-recall curve against
+    /// `truth` with the configured matcher's decisions oracle-checked — the
+    /// §IV workflow on top of this pipeline's blocking stages.
+    pub fn run_progressive(
+        &self,
+        collection: &EntityCollection,
+        truth: &GroundTruth,
+        budget: er_progressive::Budget,
+    ) -> er_progressive::ProgressiveOutcome {
+        let candidates = self.candidates(collection);
+        let scored =
+            er_progressive::hints::score_pairs(collection, &candidates, SetMeasure::Jaccard);
+        let schedule = er_progressive::hints::sorted_pair_list(&scored);
+        let oracle = er_core::matching::OracleMatcher::new(truth);
+        er_progressive::run_schedule(collection, &oracle, schedule, budget, truth)
+    }
+
+    /// Candidate-level quality of this pipeline's blocking stages.
+    pub fn candidate_quality(
+        &self,
+        collection: &EntityCollection,
+        truth: &GroundTruth,
+    ) -> BlockingQuality {
+        BlockingQuality::measure(
+            &self.candidates(collection),
+            truth,
+            collection.total_possible_comparisons(),
+        )
+    }
+}
+
+/// Within-cluster pairs of a clustering (sorted), used when a clustering
+/// stage redefines the accepted matches.
+fn cluster_pairs(clusters: &[Vec<EntityId>]) -> Vec<Pair> {
+    er_core::ground_truth::GroundTruth::from_clusters(clusters.iter())
+        .iter()
+        .collect()
+}
+
+/// Fluent builder for [`Pipeline`].
+#[derive(Clone, Debug)]
+pub struct PipelineBuilder {
+    blocking: BlockingStage,
+    cleaning: CleaningStage,
+    meta_blocking: Option<MetaBlockingStage>,
+    matching: MatchingStage,
+    clustering: ClusteringStage,
+}
+
+impl PipelineBuilder {
+    /// Selects the blocking stage.
+    pub fn blocking(mut self, stage: BlockingStage) -> Self {
+        self.blocking = stage;
+        self
+    }
+
+    /// Selects the cleaning stage.
+    pub fn cleaning(mut self, stage: CleaningStage) -> Self {
+        self.cleaning = stage;
+        self
+    }
+
+    /// Selects the meta-blocking stage.
+    pub fn meta_blocking(mut self, stage: MetaBlockingStage) -> Self {
+        self.meta_blocking = Some(stage);
+        self
+    }
+
+    /// Disables meta-blocking.
+    pub fn no_meta_blocking(mut self) -> Self {
+        self.meta_blocking = None;
+        self
+    }
+
+    /// Selects the matching stage.
+    pub fn matching(mut self, stage: MatchingStage) -> Self {
+        self.matching = stage;
+        self
+    }
+
+    /// Selects the clustering stage.
+    pub fn clustering(mut self, stage: ClusteringStage) -> Self {
+        self.clustering = stage;
+        self
+    }
+
+    /// Finalizes the pipeline.
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            blocking: self.blocking,
+            cleaning: self.cleaning,
+            meta_blocking: self.meta_blocking,
+            matching: self.matching,
+            clustering: self.clustering,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+
+    fn dataset() -> DirtyDataset {
+        DirtyDataset::generate(&DirtyConfig::sized(300, NoiseModel::light(), 101))
+    }
+
+    #[test]
+    fn default_pipeline_resolves_with_good_quality() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let res = p.run(&ds.collection);
+        let q = res.evaluate(ds.collection.len(), &ds.truth);
+        assert!(q.precision() > 0.9, "precision {}", q.precision());
+        assert!(q.recall() > 0.6, "recall {}", q.recall());
+        assert!(res.report.scheduled_comparisons <= res.report.blocked_comparisons);
+        assert!(res.report.blocked_comparisons > 0);
+    }
+
+    #[test]
+    fn no_meta_blocking_schedules_all_blocked_pairs() {
+        let ds = dataset();
+        let p = Pipeline::builder()
+            .no_meta_blocking()
+            .cleaning(CleaningStage::None)
+            .build();
+        let res = p.run(&ds.collection);
+        assert_eq!(
+            res.report.scheduled_comparisons,
+            res.report.blocked_comparisons
+        );
+    }
+
+    #[test]
+    fn meta_blocking_reduces_scheduled_comparisons() {
+        let ds = dataset();
+        let with = Pipeline::builder().build().run(&ds.collection);
+        let without = Pipeline::builder()
+            .no_meta_blocking()
+            .build()
+            .run(&ds.collection);
+        assert!(with.report.scheduled_comparisons < without.report.scheduled_comparisons);
+    }
+
+    #[test]
+    fn sorted_neighborhood_pipeline_skips_block_stages() {
+        let ds = dataset();
+        let p = Pipeline::builder()
+            .blocking(BlockingStage::SortedNeighborhood(
+                vec![SortKey::FlattenedValue],
+                8,
+            ))
+            .build();
+        let res = p.run(&ds.collection);
+        assert!(res.report.meta_blocking_time.is_zero());
+        assert!(!res.matches.is_empty());
+    }
+
+    #[test]
+    fn minhash_pipeline_runs() {
+        let ds = dataset();
+        let p = Pipeline::builder()
+            .blocking(BlockingStage::MinHash(6, 2))
+            .cleaning(CleaningStage::None)
+            .no_meta_blocking()
+            .matching(MatchingStage::jaccard(0.5))
+            .build();
+        let res = p.run(&ds.collection);
+        let q = res.evaluate(ds.collection.len(), &ds.truth);
+        assert!(q.precision() > 0.9);
+        assert!(
+            q.recall() > 0.4,
+            "LSH at its threshold keeps most: {}",
+            q.recall()
+        );
+    }
+
+    #[test]
+    fn tfidf_matching_stage_works() {
+        let ds = dataset();
+        let p = Pipeline::builder()
+            .matching(MatchingStage::TfIdf(0.5))
+            .build();
+        let res = p.run(&ds.collection);
+        let q = res.evaluate(ds.collection.len(), &ds.truth);
+        assert!(q.f1() > 0.5, "f1 {}", q.f1());
+    }
+
+    #[test]
+    fn candidates_match_run_schedule() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let cands = p.candidates(&ds.collection);
+        let res = p.run(&ds.collection);
+        assert_eq!(cands.len() as u64, res.report.scheduled_comparisons);
+    }
+
+    #[test]
+    fn candidate_quality_reports_metrics() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let q = p.candidate_quality(&ds.collection, &ds.truth);
+        assert!(q.pc() > 0.7);
+        assert!(q.rr() > 0.9);
+    }
+
+    #[test]
+    fn oracle_matcher_override() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let oracle = er_core::matching::OracleMatcher::new(&ds.truth);
+        let res = p.run_with_matcher(&ds.collection, &oracle);
+        let q = res.evaluate(ds.collection.len(), &ds.truth);
+        assert_eq!(q.precision(), 1.0, "oracle never errs");
+    }
+
+    #[test]
+    fn progressive_run_front_loads_recall() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let total = p.candidates(&ds.collection).len() as u64;
+        // Meta-blocked candidates are already match-dense, so size the
+        // budget relative to the matches to find rather than the schedule.
+        let budget = (total / 4).max(2 * ds.truth.len() as u64);
+        let out = p.run_progressive(
+            &ds.collection,
+            &ds.truth,
+            er_progressive::Budget::Comparisons(budget),
+        );
+        let full = p.run_progressive(&ds.collection, &ds.truth, er_progressive::Budget::Unlimited);
+        assert!(out.comparisons <= budget);
+        assert!(
+            out.curve.final_recall() > 0.8 * full.curve.final_recall(),
+            "a sorted schedule front-loads recall: {} vs {}",
+            out.curve.final_recall(),
+            full.curve.final_recall()
+        );
+    }
+
+    #[test]
+    fn unique_mapping_stage_enforces_one_to_one() {
+        let ds = er_datagen::CleanCleanDataset::generate(&er_datagen::CleanCleanConfig {
+            shared_entities: 100,
+            only_first: 50,
+            only_second: 50,
+            seed: 151,
+            ..Default::default()
+        });
+        let p = Pipeline::builder()
+            .clustering(ClusteringStage::UniqueMapping)
+            .matching(MatchingStage::jaccard(0.2))
+            .build();
+        let res = p.run(&ds.collection);
+        let mut used = std::collections::BTreeSet::new();
+        for m in &res.matches {
+            assert!(used.insert(m.first()), "entity matched twice");
+            assert!(used.insert(m.second()), "entity matched twice");
+        }
+        let q = res.evaluate(ds.collection.len(), &ds.truth);
+        let loose = Pipeline::builder()
+            .matching(MatchingStage::jaccard(0.2))
+            .build()
+            .run(&ds.collection)
+            .evaluate(ds.collection.len(), &ds.truth);
+        assert!(
+            q.precision() >= loose.precision(),
+            "1-1 constraint must not hurt precision: {} vs {}",
+            q.precision(),
+            loose.precision()
+        );
+    }
+
+    #[test]
+    fn center_stage_produces_no_larger_clusters_than_closure() {
+        let ds = dataset();
+        let center = Pipeline::builder()
+            .clustering(ClusteringStage::Center)
+            .build()
+            .run(&ds.collection);
+        let closure = Pipeline::builder().build().run(&ds.collection);
+        let max_size = |r: &Resolution| r.clusters.iter().map(Vec::len).max().unwrap_or(0);
+        assert!(max_size(&center) <= max_size(&closure));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = EntityCollection::new(er_core::collection::ResolutionMode::Dirty);
+        let res = Pipeline::builder().build().run(&c);
+        assert!(res.matches.is_empty());
+        assert!(res.clusters.is_empty());
+    }
+}

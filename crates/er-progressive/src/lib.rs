@@ -1,0 +1,31 @@
+//! # er-progressive — pay-as-you-go entity resolution (§IV of the tutorial)
+//!
+//! Progressive ER maximizes the matches reported within a limited computing
+//! budget by adding a **scheduling** phase to the ER workflow: candidate
+//! comparisons are executed in (estimated) descending likelihood of matching,
+//! and an optional **update** phase re-prioritizes pending comparisons using
+//! the matches found so far.
+//!
+//! * [`budget`] — budgets, schedule execution, progressive-recall recording.
+//! * [`hints`] — the pay-as-you-go hint structures of Whang et al. \[26\]:
+//!   sorted pair list, partition hierarchy, ordered blocks.
+//! * [`psnm`] — progressive sorted neighborhood with the local-lookahead
+//!   extension of Papenbrock et al. \[23\], plus progressive blocking.
+//! * [`scheduler`] — the cost-window, influence-propagating scheduler of
+//!   Altowim et al. \[1\].
+//! * [`stopping`] — early-termination rules (diminishing returns) for runs
+//!   bounded by observed payoff instead of a fixed budget.
+//! * [`estimation`] — sampling-based estimation of remaining matches and
+//!   current recall, the signal the stopping decision actually needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod estimation;
+pub mod hints;
+pub mod psnm;
+pub mod scheduler;
+pub mod stopping;
+
+pub use budget::{run_schedule, Budget, ProgressiveOutcome};

@@ -1,0 +1,228 @@
+//! Early-termination rules for progressive runs.
+//!
+//! A fixed comparison budget is one way to bound a pay-as-you-go run; the
+//! other is to *watch the run itself* and stop when further comparisons stop
+//! paying. This module provides composable stopping rules and a schedule
+//! executor that consults them after every comparison.
+
+use crate::budget::ProgressiveOutcome;
+use er_core::collection::EntityCollection;
+use er_core::ground_truth::GroundTruth;
+use er_core::matching::Matcher;
+use er_core::metrics::ProgressiveCurve;
+use er_core::pair::Pair;
+use std::collections::BTreeSet;
+
+/// A rule consulted after each executed comparison.
+pub trait StoppingRule {
+    /// Notifies the rule of one executed comparison and whether it was
+    /// declared a match; returns `true` to stop the run.
+    fn observe(&mut self, was_match: bool) -> bool;
+}
+
+/// Stop when the last `window` comparisons produced fewer than `min_matches`
+/// matches — the classic diminishing-returns criterion. Never fires before a
+/// full window has been observed.
+#[derive(Clone, Debug)]
+pub struct DiminishingReturns {
+    window: usize,
+    min_matches: u64,
+    recent: std::collections::VecDeque<bool>,
+    matches_in_window: u64,
+}
+
+impl DiminishingReturns {
+    /// Creates the rule.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize, min_matches: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        DiminishingReturns {
+            window,
+            min_matches,
+            recent: std::collections::VecDeque::with_capacity(window),
+            matches_in_window: 0,
+        }
+    }
+}
+
+impl StoppingRule for DiminishingReturns {
+    fn observe(&mut self, was_match: bool) -> bool {
+        if self.recent.len() == self.window && self.recent.pop_front() == Some(true) {
+            self.matches_in_window -= 1;
+        }
+        self.recent.push_back(was_match);
+        self.matches_in_window += u64::from(was_match);
+        self.recent.len() == self.window && self.matches_in_window < self.min_matches
+    }
+}
+
+/// Stop after a fixed number of comparisons (the budget, as a rule).
+#[derive(Clone, Copy, Debug)]
+pub struct AfterComparisons {
+    remaining: u64,
+}
+
+impl AfterComparisons {
+    /// Creates the rule.
+    pub fn new(budget: u64) -> Self {
+        AfterComparisons { remaining: budget }
+    }
+}
+
+impl StoppingRule for AfterComparisons {
+    fn observe(&mut self, _was_match: bool) -> bool {
+        self.remaining = self.remaining.saturating_sub(1);
+        self.remaining == 0
+    }
+}
+
+/// Stop when either of two rules fires.
+pub struct Either<A, B>(pub A, pub B);
+
+impl<A: StoppingRule, B: StoppingRule> StoppingRule for Either<A, B> {
+    fn observe(&mut self, was_match: bool) -> bool {
+        // Both rules must observe every comparison (no short-circuit).
+        let a = self.0.observe(was_match);
+        let b = self.1.observe(was_match);
+        a || b
+    }
+}
+
+/// Executes a schedule until the stopping rule fires (or it drains),
+/// recording progressive recall against ground truth.
+pub fn run_until<M, I, S>(
+    collection: &EntityCollection,
+    matcher: &M,
+    schedule: I,
+    mut rule: S,
+    truth: &GroundTruth,
+) -> ProgressiveOutcome
+where
+    M: Matcher,
+    I: IntoIterator<Item = Pair>,
+    S: StoppingRule,
+{
+    let mut curve = ProgressiveCurve::new(truth.len() as u64);
+    let mut seen: BTreeSet<Pair> = BTreeSet::new();
+    let mut matches = Vec::new();
+    let mut executed = 0u64;
+    for pair in schedule {
+        if !seen.insert(pair) {
+            continue;
+        }
+        executed += 1;
+        let d = er_core::matching::compare_pair(collection, matcher, pair);
+        if d.is_match {
+            matches.push(pair);
+        }
+        curve.record(d.is_match && truth.contains(pair));
+        if rule.observe(d.is_match) {
+            break;
+        }
+    }
+    ProgressiveOutcome {
+        curve,
+        matches,
+        comparisons: executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::random_schedule;
+    use crate::hints::{score_pairs, sorted_pair_list};
+    use er_blocking::TokenBlocking;
+    use er_core::matching::OracleMatcher;
+    use er_core::similarity::SetMeasure;
+    use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+
+    #[test]
+    fn diminishing_returns_fires_when_matches_dry_up() {
+        let mut rule = DiminishingReturns::new(3, 1);
+        assert!(!rule.observe(true));
+        assert!(!rule.observe(false));
+        assert!(!rule.observe(false), "window still contains the match");
+        assert!(rule.observe(false), "three consecutive misses");
+    }
+
+    #[test]
+    fn diminishing_returns_waits_for_full_window() {
+        let mut rule = DiminishingReturns::new(5, 1);
+        for _ in 0..4 {
+            assert!(!rule.observe(false), "window not yet full");
+        }
+        assert!(rule.observe(false));
+    }
+
+    #[test]
+    fn after_comparisons_counts_down() {
+        let mut rule = AfterComparisons::new(2);
+        assert!(!rule.observe(true));
+        assert!(rule.observe(false));
+    }
+
+    #[test]
+    fn either_combines() {
+        let mut rule = Either(DiminishingReturns::new(100, 1), AfterComparisons::new(3));
+        assert!(!rule.observe(false));
+        assert!(!rule.observe(false));
+        assert!(rule.observe(false), "budget leg fires first");
+    }
+
+    #[test]
+    fn early_stop_on_sorted_schedule_keeps_most_recall() {
+        let ds = DirtyDataset::generate(&DirtyConfig::sized(300, NoiseModel::light(), 83));
+        let blocks = TokenBlocking::new().build(&ds.collection);
+        let candidates = blocks.distinct_pairs(&ds.collection);
+        let oracle = OracleMatcher::new(&ds.truth);
+        let scored = score_pairs(&ds.collection, &candidates, SetMeasure::Jaccard);
+        let schedule = sorted_pair_list(&scored);
+        let out = run_until(
+            &ds.collection,
+            &oracle,
+            schedule,
+            DiminishingReturns::new(500, 1),
+            &ds.truth,
+        );
+        assert!(
+            out.comparisons < candidates.len() as u64 / 2,
+            "rule must stop well before the schedule drains ({}/{})",
+            out.comparisons,
+            candidates.len()
+        );
+        assert!(
+            out.curve.final_recall() > 0.8,
+            "a sorted schedule front-loads matches, so stopping early keeps \
+             most recall: {}",
+            out.curve.final_recall()
+        );
+    }
+
+    #[test]
+    fn random_schedule_stops_almost_immediately() {
+        let ds = DirtyDataset::generate(&DirtyConfig::sized(300, NoiseModel::light(), 83));
+        let blocks = TokenBlocking::new().build(&ds.collection);
+        let candidates = blocks.distinct_pairs(&ds.collection);
+        let oracle = OracleMatcher::new(&ds.truth);
+        let out = run_until(
+            &ds.collection,
+            &oracle,
+            random_schedule(&candidates, 7),
+            DiminishingReturns::new(500, 1),
+            &ds.truth,
+        );
+        // Matches are sparse under random order, so the rule fires early and
+        // recall is poor — the rule is only as good as the schedule.
+        assert!(out.comparisons < candidates.len() as u64 / 10);
+        assert!(out.curve.final_recall() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = DiminishingReturns::new(0, 1);
+    }
+}

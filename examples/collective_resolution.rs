@@ -1,0 +1,153 @@
+//! Collective (relationship-based) entity resolution: the buildings-and-
+//! architects scenario of §III — ambiguous descriptions resolve only after
+//! their *related* descriptions do.
+//!
+//! Builds a two-type collection (buildings related to architects), where
+//! building names are generic ("city hall") but architect descriptions are
+//! distinctive. Plain attribute matching resolves the architects and stops;
+//! collective ER then propagates those matches through the relationship
+//! graph and resolves the buildings too.
+//!
+//! Run with: `cargo run -p er-examples --bin collective_resolution`
+
+use er_core::collection::{EntityCollection, ResolutionMode};
+use er_core::entity::{EntityBuilder, EntityId, KbId};
+use er_core::pair::Pair;
+use er_core::similarity::SetMeasure;
+use er_iterative::collective::{CollectiveConfig, CollectiveEr};
+
+fn main() {
+    let mut c = EntityCollection::new(ResolutionMode::Dirty);
+    let mut relations: Vec<(EntityId, EntityId)> = Vec::new();
+
+    // Five real-world (building, architect) pairs, each described twice.
+    // The two descriptions of one building share only its generic name
+    // ("city hall"), and descriptions of *different* city halls look exactly
+    // as similar as descriptions of the same one — attribute evidence alone
+    // cannot separate them. Architects are distinctive.
+    let scenarios: [(&str, &str, &str, &str); 5] = [
+        (
+            "city hall",
+            "north wing",
+            "annex offices",
+            "antoni gaudi modernisme",
+        ),
+        (
+            "city hall",
+            "plaza front",
+            "tower lobby",
+            "frank lloyd wright prairie",
+        ),
+        (
+            "central station",
+            "east tracks",
+            "main concourse",
+            "gustave eiffel ironwork",
+        ),
+        (
+            "central station",
+            "south gate",
+            "upper platforms",
+            "santiago calatrava neofuturism",
+        ),
+        (
+            "opera house",
+            "harbour stage",
+            "grand foyer",
+            "jorn utzon expressionist",
+        ),
+    ];
+    let mut building_pairs = Vec::new();
+    for (bname, extra1, extra2, aname) in scenarios {
+        let b1 = c.push_entity(
+            KbId(0),
+            EntityBuilder::new()
+                .attr("name", format!("{bname} {extra1}"))
+                .attr("kind", "building"),
+        );
+        let a1 = c.push_entity(
+            KbId(0),
+            EntityBuilder::new()
+                .attr("name", aname)
+                .attr("kind", "person"),
+        );
+        let b2 = c.push_entity(
+            KbId(0),
+            EntityBuilder::new()
+                .attr("name", format!("{bname} {extra2}"))
+                .attr("kind", "building"),
+        );
+        let a2 = c.push_entity(
+            KbId(0),
+            EntityBuilder::new()
+                .attr("name", aname)
+                .attr("kind", "person"),
+        );
+        relations.push((b1, a1));
+        relations.push((b2, a2));
+        building_pairs.push(Pair::new(b1, b2));
+    }
+    println!(
+        "{} descriptions, {} relations; building names are shared across \
+         different real-world buildings ('city hall' x2, 'central station' x2)\n",
+        c.len(),
+        relations.len()
+    );
+
+    // Candidates: every pair of same-kind descriptions.
+    let candidates: Vec<Pair> = c
+        .all_pairs()
+        .into_iter()
+        .filter(|p| c.entity(p.first()).value_of("kind") == c.entity(p.second()).value_of("kind"))
+        .collect();
+
+    for (label, alpha) in [
+        ("attribute-only (alpha = 0)", 0.0),
+        ("collective (alpha = 0.4)", 0.4),
+    ] {
+        // Combined score = (1-alpha)*attr + alpha*neighborhood. At alpha=0.4
+        // and threshold 0.55, architects bootstrap on attributes (0.6*1.0),
+        // ambiguous building pairs (attr ~0.43) only cross the threshold
+        // with full relational support.
+        let er = CollectiveEr::new(
+            &c,
+            &relations,
+            CollectiveConfig {
+                alpha,
+                threshold: 0.55,
+                measure: SetMeasure::Jaccard,
+            },
+        );
+        let out = er.run(&candidates);
+        let buildings_resolved = building_pairs
+            .iter()
+            .filter(|p| out.matches.contains(p))
+            .count();
+        let wrong_buildings = out
+            .matches
+            .iter()
+            .filter(|p| {
+                c.entity(p.first()).value_of("kind") == Some("building")
+                    && !building_pairs.contains(p)
+            })
+            .count();
+        println!("{label}:");
+        println!(
+            "  matches: {} ({} comparisons, {} re-scorings)",
+            out.matches.len(),
+            out.comparisons,
+            out.reactivations
+        );
+        println!(
+            "  true building pairs resolved: {buildings_resolved}/5, wrong building pairs: {wrong_buildings}"
+        );
+    }
+
+    println!(
+        "\nReading: attribute evidence alone either misses the building pairs or, \
+         at a laxer\nthreshold, conflates the two city halls and the two central \
+         stations. Collective\nresolution matches the architects first, then the \
+         propagated relational evidence\nresolves exactly the five true building \
+         pairs and none of the impostors."
+    );
+}

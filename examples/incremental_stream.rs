@@ -1,0 +1,108 @@
+//! Incremental ER over an evolving stream: new descriptions keep arriving
+//! and the resolution is maintained online — §I's "sometimes evolving"
+//! descriptions, handled without ever re-running batch ER.
+//!
+//! Generates an arrival stream, feeds it to the incremental resolver, and at
+//! ten checkpoints reports recall over the pairs that have fully arrived,
+//! plus the cumulative comparison cost against the batch-from-scratch
+//! alternative (re-running R-Swoosh at every checkpoint).
+//!
+//! Run with: `cargo run -p er-examples --release --bin incremental_stream`
+
+use er_core::ground_truth::GroundTruth;
+use er_core::merge::SharedTokenMatcher;
+use er_datagen::{EvolvingConfig, EvolvingStream};
+use er_iterative::incremental::IncrementalResolver;
+use er_iterative::swoosh::r_swoosh;
+
+fn main() {
+    let stream = EvolvingStream::generate(&EvolvingConfig {
+        entities: 600,
+        mean_descriptions: 2.0,
+        seed: 2024,
+        // Almost-only entity-specific tokens: the shared-token matcher (k = 3)
+        // stays precise even as merged profiles accumulate tokens — with more
+        // corpus-common tokens per description, large merged clusters would
+        // eventually bridge through them (the snowball pathology of
+        // unbounded-growth merge matchers).
+        profile: er_datagen::profile::ProfileConfig {
+            attributes: 5,
+            tokens_per_value: 3,
+            common_vocab: 400,
+            zipf_exponent: 0.8,
+            common_token_fraction: 0.05,
+        },
+        ..Default::default()
+    });
+    println!(
+        "stream: {} arrivals over 600 latent entities, {} truth pairs\n",
+        stream.collection.len(),
+        stream.truth.len()
+    );
+
+    let mut resolver = IncrementalResolver::new(SharedTokenMatcher::new(3));
+    let mut batch_comparisons_total = 0u64;
+
+    println!(
+        "{:>10} {:>9} {:>9} {:>10} {:>13} {:>16}",
+        "arrivals", "clusters", "recall", "precision", "incr-cmp", "batch-redo-cmp"
+    );
+    let mut next_checkpoint = 0;
+    for (i, e) in stream.collection.iter().enumerate() {
+        resolver.insert(e);
+        if next_checkpoint < stream.checkpoints.len()
+            && i + 1 == stream.checkpoints[next_checkpoint]
+        {
+            next_checkpoint += 1;
+            let prefix = i + 1;
+            // Recall over pairs fully arrived so far.
+            let arrived = stream.truth_within(prefix);
+            let resolved = GroundTruth::from_clusters(resolver.clusters().iter());
+            let found = stream
+                .truth
+                .iter()
+                .filter(|p| p.second().index() < prefix && resolved.contains(*p))
+                .count();
+            let recall = if arrived == 0 {
+                1.0
+            } else {
+                found as f64 / arrived as f64
+            };
+            let declared = resolved.len();
+            let true_declared = resolved
+                .iter()
+                .filter(|p| stream.truth.contains(*p))
+                .count();
+            let precision = if declared == 0 {
+                1.0
+            } else {
+                true_declared as f64 / declared as f64
+            };
+            // The batch alternative: re-resolve the whole prefix from scratch.
+            let mut prefix_collection = er_core::collection::EntityCollection::new(
+                er_core::collection::ResolutionMode::Dirty,
+            );
+            for e in stream.collection.iter().take(prefix) {
+                prefix_collection.push(e.kb(), e.attributes().to_vec());
+            }
+            let batch = r_swoosh(&prefix_collection, &SharedTokenMatcher::new(3));
+            batch_comparisons_total += batch.comparisons;
+            println!(
+                "{:>10} {:>9} {:>9.3} {:>10.3} {:>13} {:>16}",
+                prefix,
+                resolver.clusters().len(),
+                recall,
+                precision,
+                resolver.stats().comparisons,
+                batch_comparisons_total,
+            );
+        }
+    }
+
+    println!(
+        "\nReading: the maintained resolution keeps recall high at every checkpoint \
+         while its\ncumulative comparisons stay a small fraction of re-running batch \
+         ER per checkpoint —\nthe index probes only profiles sharing a token with \
+         each arrival."
+    );
+}

@@ -1,0 +1,97 @@
+//! LOD interlinking: resolve entities across a center/periphery cloud of
+//! knowledge bases — the motivating scenario of §I of the tutorial.
+//!
+//! Generates a synthetic LOD cloud (2 dense center KBs with a shared
+//! vocabulary, 3 sparse periphery KBs with proprietary vocabularies), then
+//! compares three blocking strategies on it and reports per-regime recall:
+//! "highly similar" center–center pairs vs "somehow similar" pairs touching
+//! the periphery.
+//!
+//! Run with: `cargo run -p er-examples --bin lod_interlinking`
+
+use er_blocking::attribute_clustering::AttributeClusteringBlocking;
+use er_blocking::standard::StandardBlocking;
+use er_blocking::TokenBlocking;
+use er_core::metrics::BlockingQuality;
+use er_core::pair::Pair;
+use er_datagen::{LodConfig, LodDataset};
+use std::collections::BTreeSet;
+
+fn main() {
+    let config = LodConfig {
+        universe: 400,
+        seed: 2017,
+        ..Default::default()
+    };
+    let ds = LodDataset::generate(&config);
+    println!(
+        "LOD cloud: {} KBs ({} center, {} periphery), {} descriptions, {} truth pairs",
+        config.center_kbs + config.periphery_kbs,
+        config.center_kbs,
+        config.periphery_kbs,
+        ds.collection.len(),
+        ds.truth.len()
+    );
+    for (kb, size) in ds.collection.kb_sizes() {
+        let role = if (kb.0 as usize) < ds.center_kbs {
+            "center"
+        } else {
+            "periphery"
+        };
+        println!("  {kb:?}: {size} descriptions ({role})");
+    }
+
+    let brute = ds.collection.total_possible_comparisons();
+    let (center_truth, mixed_truth) = ds.truth_by_regime();
+    println!(
+        "\ntruth pairs: {} center-center (highly similar), {} periphery-touching (somehow similar)",
+        center_truth.len(),
+        mixed_truth.len()
+    );
+
+    println!(
+        "\n{:<24} {:>12} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "blocking", "comparisons", "PC", "PQ", "RR", "PC-center", "PC-mixed"
+    );
+    let report = |name: &str, pairs: Vec<Pair>| {
+        let q = BlockingQuality::measure(&pairs, &ds.truth, brute);
+        let found: BTreeSet<Pair> = pairs.into_iter().collect();
+        let regime_pc = |truth: &[Pair]| {
+            if truth.is_empty() {
+                return 1.0;
+            }
+            truth.iter().filter(|p| found.contains(p)).count() as f64 / truth.len() as f64
+        };
+        println!(
+            "{:<24} {:>12} {:>8.3} {:>8.4} {:>8.3} {:>10.3} {:>10.3}",
+            name,
+            q.comparisons,
+            q.pc(),
+            q.pq(),
+            q.rr(),
+            regime_pc(&center_truth),
+            regime_pc(&mixed_truth)
+        );
+    };
+
+    // Schema-aware standard blocking collapses across proprietary schemas:
+    // the periphery names its attributes kbN_pI, so keying on "name" only
+    // ever blocks center descriptions.
+    let standard = StandardBlocking::on_attribute("name").build(&ds.collection);
+    report("standard(name)", standard.distinct_pairs(&ds.collection));
+
+    // Schema-agnostic token blocking sees every shared token.
+    let token = TokenBlocking::new().build(&ds.collection);
+    report("token", token.distinct_pairs(&ds.collection));
+
+    // Attribute clustering re-aligns the proprietary vocabularies first.
+    let acb = AttributeClusteringBlocking::new().build(&ds.collection);
+    report("attribute-clustering", acb.distinct_pairs(&ds.collection));
+
+    println!(
+        "\nReading: standard blocking misses every periphery pair (schema \
+         heterogeneity); token blocking recovers them at a much higher \
+         comparison cost; attribute clustering keeps most of the recall \
+         while splitting the blocks."
+    );
+}

@@ -1,0 +1,126 @@
+//! Progressive deduplication under a budget: the pay-as-you-go scenario of
+//! §IV — "find as many duplicates as possible in the first N comparisons".
+//!
+//! Builds a noisy product-catalog-like collection, then races four schedules
+//! against a random baseline and prints recall at several budget levels plus
+//! the normalized area under the progressive-recall curve.
+//!
+//! Run with: `cargo run -p er-examples --bin progressive_dedup`
+
+use er_blocking::sorted_neighborhood::SortKey;
+use er_blocking::TokenBlocking;
+use er_core::matching::OracleMatcher;
+use er_core::similarity::SetMeasure;
+use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+use er_progressive::budget::{random_schedule, run_schedule, Budget};
+use er_progressive::hints::{ordered_blocks_schedule, score_pairs, sorted_pair_list};
+use er_progressive::psnm::ProgressiveSnm;
+use er_progressive::scheduler::{SchedulerConfig, WindowScheduler};
+
+fn main() {
+    let ds = DirtyDataset::generate(&DirtyConfig {
+        entities: 800,
+        duplicate_fraction: 0.4,
+        noise: NoiseModel::moderate(),
+        seed: 404,
+        ..Default::default()
+    });
+    println!(
+        "collection: {} descriptions, {} duplicate pairs to find",
+        ds.collection.len(),
+        ds.truth.len()
+    );
+
+    // Candidates come from token blocking; the oracle isolates scheduling
+    // quality from matcher quality, as in the surveyed evaluations.
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let candidates = blocks.distinct_pairs(&ds.collection);
+    let oracle = OracleMatcher::new(&ds.truth);
+    let total = candidates.len() as u64;
+    println!("{total} candidate comparisons from token blocking\n");
+
+    let budgets = [total / 100, total / 20, total / 10, total / 4, total];
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "schedule", "1%", "5%", "10%", "25%", "100%", "AUC"
+    );
+
+    let report = |name: &str, outcome: er_progressive::ProgressiveOutcome| {
+        print!("{name:<20}");
+        for b in budgets {
+            print!(" {:>9.3}", outcome.curve.recall_at(b));
+        }
+        println!(" {:>7.3}", outcome.curve.auc(total));
+    };
+
+    // Baseline: random order over the same candidates.
+    report(
+        "random",
+        run_schedule(
+            &ds.collection,
+            &oracle,
+            random_schedule(&candidates, 1),
+            Budget::Unlimited,
+            &ds.truth,
+        ),
+    );
+
+    // Hint 1: sorted pair list by cheap Jaccard score.
+    let scored = score_pairs(&ds.collection, &candidates, SetMeasure::Jaccard);
+    report(
+        "sorted-pairs",
+        run_schedule(
+            &ds.collection,
+            &oracle,
+            sorted_pair_list(&scored),
+            Budget::Unlimited,
+            &ds.truth,
+        ),
+    );
+
+    // Hint 3: ordered blocks, small (discriminative) blocks first.
+    report(
+        "ordered-blocks",
+        run_schedule(
+            &ds.collection,
+            &oracle,
+            ordered_blocks_schedule(&ds.collection, &blocks),
+            Budget::Unlimited,
+            &ds.truth,
+        ),
+    );
+
+    // PSNM with local lookahead.
+    report(
+        "psnm+lookahead",
+        ProgressiveSnm::new(SortKey::FlattenedValue, 25, true).run(
+            &ds.collection,
+            &oracle,
+            Budget::Unlimited,
+            &ds.truth,
+        ),
+    );
+
+    // Cost-window scheduler with influence propagation.
+    let sched = WindowScheduler::new(
+        &ds.collection,
+        &scored,
+        &[],
+        SchedulerConfig {
+            window_size: 200,
+            influence_boost: 0.25,
+        },
+    );
+    report(
+        "window-scheduler",
+        sched.run(&oracle, Budget::Unlimited, &ds.truth),
+    );
+
+    println!(
+        "\nReading: every informed schedule dominates random at small budgets. \
+         The sorted-pairs and ordered-blocks hints are strongest here because \
+         cheap similarity is a good likelihood proxy on this data; PSNM is \
+         capped by its maximum rank distance, and the window scheduler pays \
+         for exploring whole windows before re-prioritizing."
+    );
+}

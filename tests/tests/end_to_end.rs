@@ -1,0 +1,355 @@
+//! End-to-end pipelines spanning every crate: the full Fig. 1 workflow of the
+//! tutorial — blocking → meta-blocking → (scheduling) → matching → update —
+//! run on generated datasets with metric assertions.
+
+use er_blocking::cleaning;
+use er_blocking::TokenBlocking;
+use er_core::clusters::components_from_matches;
+use er_core::matching::{resolve_candidates, CountingMatcher, OracleMatcher, ThresholdMatcher};
+use er_core::merge::ProfileThresholdMatcher;
+use er_core::metrics::{BlockingQuality, MatchQuality};
+use er_core::similarity::SetMeasure;
+use er_datagen::{
+    CleanCleanConfig, CleanCleanDataset, DirtyConfig, DirtyDataset, LodConfig, LodDataset,
+    NoiseModel,
+};
+use er_iterative::iterative_blocking::{independent_blocks, iterative_blocking};
+use er_mapreduce::blocking::ParallelTokenBlocking;
+use er_mapreduce::metablocking::ParallelMetaBlocking;
+use er_metablocking::{meta_block, PruningScheme, WeightingScheme};
+use er_progressive::budget::{run_schedule, Budget};
+use er_progressive::hints::{score_pairs, sorted_pair_list};
+
+/// The canonical batch pipeline: token blocking → meta-blocking → threshold
+/// matching → clustering; asserts healthy precision/recall on moderate noise.
+#[test]
+fn batch_pipeline_dirty_er() {
+    let ds = DirtyDataset::generate(&DirtyConfig::sized(500, NoiseModel::light(), 31));
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let purged = cleaning::auto_purge(&blocks, &ds.collection);
+    let candidates = meta_block(
+        &ds.collection,
+        &purged,
+        WeightingScheme::Arcs,
+        PruningScheme::Wnp,
+    );
+    let matcher = CountingMatcher::new(ThresholdMatcher::new(SetMeasure::Jaccard, 0.4));
+    let matches = resolve_candidates(&ds.collection, &matcher, &candidates);
+    assert_eq!(matcher.comparisons(), candidates.len() as u64);
+    let q = MatchQuality::measure(ds.collection.len(), &matches, &ds.truth);
+    assert!(q.precision() > 0.9, "precision {}", q.precision());
+    assert!(q.recall() > 0.6, "recall {}", q.recall());
+    // The pipeline must beat brute force by a wide margin.
+    let brute = ds.collection.total_possible_comparisons();
+    assert!(
+        (candidates.len() as u64) < brute / 10,
+        "{} candidates vs {} brute-force",
+        candidates.len(),
+        brute
+    );
+}
+
+/// Clean–clean ER with proprietary schemas: schema-agnostic token blocking
+/// still finds cross-KB matches where any schema-aware key would fail.
+#[test]
+fn clean_clean_pipeline_with_proprietary_schema() {
+    let ds = CleanCleanDataset::generate(&CleanCleanConfig {
+        shared_entities: 200,
+        only_first: 100,
+        only_second: 100,
+        second_proprietary_schema: true,
+        seed: 37,
+        ..Default::default()
+    });
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let q = BlockingQuality::measure(
+        &blocks.distinct_pairs(&ds.collection),
+        &ds.truth,
+        ds.collection.total_possible_comparisons(),
+    );
+    assert!(
+        q.pc() > 0.9,
+        "token blocking ignores attribute names: PC {}",
+        q.pc()
+    );
+}
+
+/// The LOD regime split: center-center truth pairs must be easier (higher
+/// blocking PC) than periphery-involving ones — the "highly vs somehow
+/// similar" distinction of §I.
+#[test]
+fn lod_center_periphery_regimes() {
+    let ds = LodDataset::generate(&LodConfig {
+        universe: 300,
+        seed: 41,
+        ..Default::default()
+    });
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let found: std::collections::BTreeSet<er_core::pair::Pair> =
+        blocks.distinct_pairs(&ds.collection).into_iter().collect();
+    let (center, mixed) = ds.truth_by_regime();
+    let pc = |pairs: &[er_core::pair::Pair]| {
+        if pairs.is_empty() {
+            return 1.0;
+        }
+        pairs.iter().filter(|p| found.contains(p)).count() as f64 / pairs.len() as f64
+    };
+    let pc_center = pc(&center);
+    let pc_mixed = pc(&mixed);
+    assert!(
+        pc_center >= pc_mixed,
+        "center pairs should be easier: {pc_center} vs {pc_mixed}"
+    );
+    assert!(
+        pc_center > 0.8,
+        "highly similar pairs must mostly block: {pc_center}"
+    );
+}
+
+/// Parallel jobs agree with their sequential references on a full dataset.
+#[test]
+fn parallel_pipeline_agrees_with_sequential() {
+    let ds = DirtyDataset::generate(&DirtyConfig::sized(300, NoiseModel::moderate(), 43));
+    let (par_blocks, _) = ParallelTokenBlocking::new(4).build(&ds.collection);
+    let seq_blocks = TokenBlocking::new().build(&ds.collection);
+    assert_eq!(
+        par_blocks.distinct_pairs(&ds.collection),
+        seq_blocks.distinct_pairs(&ds.collection)
+    );
+    let par = ParallelMetaBlocking::new(4).run(
+        &ds.collection,
+        &seq_blocks,
+        WeightingScheme::Ecbs,
+        PruningScheme::Cnp,
+    );
+    let seq = meta_block(
+        &ds.collection,
+        &seq_blocks,
+        WeightingScheme::Ecbs,
+        PruningScheme::Cnp,
+    );
+    assert_eq!(par, seq);
+}
+
+/// Iterative blocking on generated data: at least as many truth pairs as the
+/// independent-blocks baseline, never inventing false clusters beyond what
+/// the matcher itself accepts.
+#[test]
+fn iterative_blocking_dominates_independent_baseline() {
+    let ds = DirtyDataset::generate(&DirtyConfig {
+        entities: 200,
+        duplicate_fraction: 0.5,
+        max_cluster_size: 4,
+        noise: NoiseModel::light(),
+        seed: 47,
+        ..Default::default()
+    });
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let matcher = ProfileThresholdMatcher::new(SetMeasure::Overlap, 0.7);
+    let iter = iterative_blocking(&ds.collection, &blocks, &matcher);
+    let indep = independent_blocks(&ds.collection, &blocks, &matcher);
+    let truth_found = |clusters: &Vec<Vec<er_core::entity::EntityId>>| {
+        let gt = er_core::ground_truth::GroundTruth::from_clusters(clusters.iter());
+        ds.truth.iter().filter(|p| gt.contains(*p)).count()
+    };
+    assert!(
+        truth_found(&iter.clusters) >= truth_found(&indep.clusters),
+        "merge propagation can only add evidence"
+    );
+}
+
+/// Progressive scheduling on top of meta-blocking weights: the Fig. 1
+/// pipeline with the scheduling phase plugged in.
+#[test]
+fn progressive_on_metablocked_candidates() {
+    let ds = DirtyDataset::generate(&DirtyConfig::sized(400, NoiseModel::light(), 53));
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let candidates = meta_block(
+        &ds.collection,
+        &blocks,
+        WeightingScheme::Arcs,
+        PruningScheme::Cnp,
+    );
+    let oracle = OracleMatcher::new(&ds.truth);
+    let scored = score_pairs(&ds.collection, &candidates, SetMeasure::Jaccard);
+    let schedule = sorted_pair_list(&scored);
+    let ten_pct = Budget::Comparisons((candidates.len() / 10).max(1) as u64);
+    let out = run_schedule(&ds.collection, &oracle, schedule, ten_pct, &ds.truth);
+    // Meta-blocking already concentrates matches; a sorted schedule should
+    // recover a large share of the reachable recall in 10% of the work.
+    let full = run_schedule(
+        &ds.collection,
+        &oracle,
+        candidates.clone(),
+        Budget::Unlimited,
+        &ds.truth,
+    );
+    assert!(
+        out.curve.final_recall() > 0.5 * full.curve.final_recall(),
+        "10% budget recall {} vs reachable {}",
+        out.curve.final_recall(),
+        full.curve.final_recall()
+    );
+}
+
+/// Matcher-agnosticism: the oracle and a threshold matcher plug into the
+/// same pipeline; clustering converts pairwise output into entities.
+#[test]
+fn clustering_closes_matcher_output() {
+    // Full descriptions (no attribute sampling) + clean noise → duplicate
+    // descriptions are bit-identical, so Jaccard-0.9 clustering must rebuild
+    // the generator's clusters exactly.
+    let ds = DirtyDataset::generate(&DirtyConfig {
+        entities: 100,
+        duplicate_fraction: 0.6,
+        max_cluster_size: 4,
+        noise: NoiseModel::clean(),
+        keep_attribute_fraction: 1.0,
+        seed: 59,
+        ..Default::default()
+    });
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let cands = blocks.distinct_pairs(&ds.collection);
+    let matcher = ThresholdMatcher::new(SetMeasure::Jaccard, 0.9);
+    let matches = resolve_candidates(&ds.collection, &matcher, &cands);
+    let clusters = components_from_matches(ds.collection.len(), &matches);
+    // On clean data with exact duplicates, clusters must reproduce the
+    // generator's duplicate clusters exactly.
+    let expected: Vec<Vec<er_core::entity::EntityId>> = {
+        let mut v = ds.clusters.clone();
+        // add singletons for unduplicated entities
+        let dup: std::collections::BTreeSet<_> = v.iter().flatten().copied().collect();
+        for id in ds.collection.ids() {
+            if !dup.contains(&id) {
+                v.push(vec![id]);
+            }
+        }
+        v.sort();
+        v
+    };
+    let mut got = clusters;
+    got.sort();
+    assert_eq!(got, expected);
+}
+
+/// Oracle matcher + full blocking = exactly ground truth through the whole
+/// pipeline (a calibration test for the harness itself).
+#[test]
+fn oracle_pipeline_is_exact() {
+    let ds = DirtyDataset::generate(&DirtyConfig::sized(150, NoiseModel::clean(), 61));
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let cands = blocks.distinct_pairs(&ds.collection);
+    let oracle = OracleMatcher::new(&ds.truth);
+    let matches = resolve_candidates(&ds.collection, &oracle, &cands);
+    let q = MatchQuality::measure(ds.collection.len(), &matches, &ds.truth);
+    assert_eq!(q.precision(), 1.0);
+    assert_eq!(q.recall(), 1.0, "clean data + oracle must be perfect");
+}
+
+/// TF-IDF matching rescues periphery pairs that plain Jaccard misses: the
+/// discriminative-rare-token effect motivating corpus weighting.
+#[test]
+fn tfidf_matching_on_lod_periphery() {
+    let ds = LodDataset::generate(&LodConfig {
+        universe: 200,
+        seed: 67,
+        ..Default::default()
+    });
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let cands = blocks.distinct_pairs(&ds.collection);
+    let plain = ThresholdMatcher::new(SetMeasure::Jaccard, 0.4);
+    let tfidf = er_core::matching::TfIdfMatcher::from_collection(&ds.collection, 0.4);
+    let m_plain = resolve_candidates(&ds.collection, &plain, &cands);
+    let m_tfidf = resolve_candidates(&ds.collection, &tfidf, &cands);
+    let q_plain = MatchQuality::measure(ds.collection.len(), &m_plain, &ds.truth);
+    let q_tfidf = MatchQuality::measure(ds.collection.len(), &m_tfidf, &ds.truth);
+    assert!(
+        q_tfidf.f1() >= q_plain.f1() * 0.95,
+        "tfidf {} vs plain {}: corpus weighting should help or tie",
+        q_tfidf.f1(),
+        q_plain.f1()
+    );
+}
+
+/// The high-level pipeline crate composes the same stages: its default run
+/// must agree in spirit (same candidate counts) with the hand-wired version.
+#[test]
+fn pipeline_crate_agrees_with_hand_wired_stages() {
+    let ds = DirtyDataset::generate(&DirtyConfig::sized(300, NoiseModel::light(), 109));
+    let pipeline = er_pipeline::Pipeline::builder().build();
+    let res = pipeline.run(&ds.collection);
+    // Hand-wired equivalent.
+    let blocks = TokenBlocking::new().build(&ds.collection);
+    let purged = cleaning::auto_purge(&blocks, &ds.collection);
+    let kept = meta_block(
+        &ds.collection,
+        &purged,
+        WeightingScheme::Arcs,
+        PruningScheme::Wnp,
+    );
+    assert_eq!(res.report.scheduled_comparisons, kept.len() as u64);
+    let matcher = ThresholdMatcher::new(SetMeasure::Jaccard, 0.4);
+    let matches = resolve_candidates(&ds.collection, &matcher, &kept);
+    assert_eq!(res.matches, matches);
+}
+
+/// MinHash blocking approximates the PPJoin similarity join around its
+/// implied threshold: pairs well above the threshold are (almost) all
+/// retained.
+#[test]
+fn minhash_approximates_similarity_join() {
+    let ds = DirtyDataset::generate(&DirtyConfig::sized(300, NoiseModel::light(), 113));
+    let mh = er_blocking::minhash::MinHashBlocking::new(8, 2); // threshold ~0.35
+    let lsh_pairs: std::collections::BTreeSet<er_core::pair::Pair> = mh
+        .build(&ds.collection)
+        .distinct_pairs(&ds.collection)
+        .into_iter()
+        .collect();
+    let join =
+        er_blocking::simjoin::SimilarityJoin::new(0.7, er_blocking::simjoin::JoinAlgorithm::PPJoin)
+            .run(&ds.collection);
+    let captured = join
+        .pairs
+        .iter()
+        .filter(|(p, _)| lsh_pairs.contains(p))
+        .count();
+    assert!(
+        captured as f64 >= 0.9 * join.pairs.len() as f64,
+        "J >= 0.7 pairs should nearly all collide at LSH threshold ~0.35: {}/{}",
+        captured,
+        join.pairs.len()
+    );
+}
+
+/// A diminishing-returns stopping rule on pipeline candidates terminates the
+/// sorted schedule early while keeping most of the reachable recall.
+#[test]
+fn stopping_rule_on_pipeline_candidates() {
+    let ds = DirtyDataset::generate(&DirtyConfig::sized(400, NoiseModel::light(), 127));
+    let pipeline = er_pipeline::Pipeline::builder().no_meta_blocking().build();
+    let candidates = pipeline.candidates(&ds.collection);
+    let scored = score_pairs(&ds.collection, &candidates, SetMeasure::Jaccard);
+    let schedule = sorted_pair_list(&scored);
+    let oracle = OracleMatcher::new(&ds.truth);
+    let out = er_progressive::stopping::run_until(
+        &ds.collection,
+        &oracle,
+        schedule,
+        er_progressive::stopping::DiminishingReturns::new(400, 1),
+        &ds.truth,
+    );
+    assert!(out.comparisons < candidates.len() as u64 / 2);
+    let full = run_schedule(
+        &ds.collection,
+        &oracle,
+        candidates.clone(),
+        Budget::Unlimited,
+        &ds.truth,
+    );
+    assert!(
+        out.curve.final_recall() > 0.75 * full.curve.final_recall(),
+        "early stop keeps most recall: {} vs {}",
+        out.curve.final_recall(),
+        full.curve.final_recall()
+    );
+}

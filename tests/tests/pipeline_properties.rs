@@ -1,0 +1,92 @@
+//! Properties of the high-level pipeline: stage composition only ever
+//! removes candidates, and every stage choice yields a well-formed result.
+
+use er_core::collection::{EntityCollection, ResolutionMode};
+use er_core::entity::KbId;
+use er_core::pair::Pair;
+use er_pipeline::{BlockingStage, CleaningStage, ClusteringStage, MatchingStage, Pipeline};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn collection_from_values(values: &[String]) -> EntityCollection {
+    let mut c = EntityCollection::new(ResolutionMode::Dirty);
+    for v in values {
+        c.push(KbId(0), vec![("v".to_string(), v.clone())]);
+    }
+    c
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,4}", 0..18)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cleaning and meta-blocking only ever shrink the candidate set.
+    #[test]
+    fn stages_nest(values in values_strategy()) {
+        let c = collection_from_values(&values);
+        let raw = Pipeline::builder()
+            .cleaning(CleaningStage::None)
+            .no_meta_blocking()
+            .build()
+            .candidates(&c);
+        let cleaned = Pipeline::builder()
+            .cleaning(CleaningStage::AutoPurge)
+            .no_meta_blocking()
+            .build()
+            .candidates(&c);
+        let pruned = Pipeline::builder().build().candidates(&c);
+        let raw_set: BTreeSet<Pair> = raw.into_iter().collect();
+        let cleaned_set: BTreeSet<Pair> = cleaned.into_iter().collect();
+        let pruned_set: BTreeSet<Pair> = pruned.into_iter().collect();
+        prop_assert!(cleaned_set.is_subset(&raw_set));
+        prop_assert!(pruned_set.is_subset(&cleaned_set));
+    }
+
+    /// Every clustering stage partitions the collection: each entity appears
+    /// in exactly one cluster.
+    #[test]
+    fn clustering_stages_partition(values in values_strategy()) {
+        let c = collection_from_values(&values);
+        for stage in [
+            ClusteringStage::ConnectedComponents,
+            ClusteringStage::Center,
+            ClusteringStage::MergeCenter,
+            ClusteringStage::UniqueMapping,
+        ] {
+            let res = Pipeline::builder()
+                .clustering(stage)
+                .matching(MatchingStage::jaccard(0.5))
+                .build()
+                .run(&c);
+            let mut seen = BTreeSet::new();
+            let mut total = 0usize;
+            for cluster in &res.clusters {
+                for id in cluster {
+                    prop_assert!(seen.insert(*id), "{stage:?}: {id:?} in two clusters");
+                    total += 1;
+                }
+            }
+            prop_assert_eq!(total, c.len(), "{:?}: clusters must cover everything", stage);
+        }
+    }
+
+    /// Matches reported by any configuration lie within its own candidates.
+    #[test]
+    fn matches_are_candidates(values in values_strategy()) {
+        let c = collection_from_values(&values);
+        let p = Pipeline::builder()
+            .blocking(BlockingStage::QGrams(3))
+            .cleaning(CleaningStage::None)
+            .no_meta_blocking()
+            .matching(MatchingStage::jaccard(0.4))
+            .build();
+        let cands: BTreeSet<Pair> = p.candidates(&c).into_iter().collect();
+        let res = p.run(&c);
+        for m in &res.matches {
+            prop_assert!(cands.contains(m));
+        }
+    }
+}
