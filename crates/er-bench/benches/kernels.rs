@@ -179,9 +179,54 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Serial-vs-parallel benches over the four rayon-parallel hot kernels.
+/// Comparing `*_t1` (serial path) against `*_t4` on a multi-core host gives
+/// the speedup recorded in EXPERIMENTS.md's thread-scaling section; the
+/// outputs themselves are bit-identical by the determinism contract.
+fn bench_parallel_kernels(c: &mut Criterion) {
+    use er_core::parallel::Parallelism;
+    let ds = dataset(1500);
+    let col = &ds.collection;
+    let blocks = TokenBlocking::new().build(col);
+    let candidates =
+        er_metablocking::meta_block(col, &blocks, WeightingScheme::Arcs, PruningScheme::Wnp);
+    let matcher =
+        er_core::matching::ThresholdMatcher::new(er_core::similarity::SetMeasure::Jaccard, 0.4);
+    for threads in [1usize, 4] {
+        let par = Parallelism::threads(threads);
+        c.bench_function(&format!("parallel/token_blocking_1500_t{threads}"), |b| {
+            b.iter(|| TokenBlocking::new().par_build(black_box(col), par))
+        });
+        c.bench_function(&format!("parallel/meta_blocking_1500_t{threads}"), |b| {
+            b.iter(|| {
+                er_metablocking::par_meta_block(
+                    black_box(col),
+                    black_box(&blocks),
+                    WeightingScheme::Arcs,
+                    PruningScheme::Wnp,
+                    par,
+                )
+            })
+        });
+        c.bench_function(&format!("parallel/simjoin_ppjoin_1500_t{threads}"), |b| {
+            b.iter(|| SimilarityJoin::new(0.5, JoinAlgorithm::PPJoin).par_run(black_box(col), par))
+        });
+        c.bench_function(&format!("parallel/matching_1500_t{threads}"), |b| {
+            b.iter(|| {
+                er_core::matching::par_resolve_candidates(
+                    black_box(col),
+                    &matcher,
+                    black_box(&candidates),
+                    par,
+                )
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_tokenize, bench_similarity, bench_blocking, bench_metablocking, bench_simjoin, bench_swoosh, bench_progressive, bench_minhash, bench_incremental, bench_pipeline
+    targets = bench_tokenize, bench_similarity, bench_blocking, bench_metablocking, bench_simjoin, bench_swoosh, bench_progressive, bench_minhash, bench_incremental, bench_pipeline, bench_parallel_kernels
 }
 criterion_main!(kernels);

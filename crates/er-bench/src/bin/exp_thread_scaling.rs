@@ -1,0 +1,4 @@
+//! Runs experiment `e14_thread_scaling` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e14_thread_scaling();
+}

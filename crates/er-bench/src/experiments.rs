@@ -845,6 +845,109 @@ pub fn e13_tokenizer_ablation() {
     );
 }
 
+/// E14 — thread scaling of the four rayon-parallel hot kernels (blocking
+/// inverted-index construction, meta-blocking weighting+pruning, similarity-
+/// join verification, batch matching): serial reference vs `par_*` at
+/// 1/2/4/8 workers, with the bit-identical-output contract checked per run.
+pub fn e14_thread_scaling() {
+    use er_core::parallel::Parallelism;
+
+    banner("E14", "thread scaling of the rayon-parallel kernels");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+    let ds = DirtyDataset::generate(&dirty_preset(3000));
+    let c = &ds.collection;
+    let matcher = er_core::matching::ThresholdMatcher::new(SetMeasure::Jaccard, 0.4);
+
+    // Serial references (and reference outputs for the equality check).
+    let t0 = Instant::now();
+    let ref_blocks = TokenBlocking::new().build(c);
+    let t_blocking = t0.elapsed();
+    let t0 = Instant::now();
+    let ref_meta = meta_block(c, &ref_blocks, WeightingScheme::Arcs, PruningScheme::Wnp);
+    let t_meta = t0.elapsed();
+    let t0 = Instant::now();
+    let ref_join = SimilarityJoin::new(0.5, JoinAlgorithm::PPJoin).run(c);
+    let t_join = t0.elapsed();
+    let t0 = Instant::now();
+    let ref_matches = er_core::matching::resolve_candidates(c, &matcher, &ref_meta);
+    let t_match = t0.elapsed();
+    println!(
+        "serial reference: blocking {t_blocking:.0?}  metablocking {t_meta:.0?}  \
+         simjoin {t_join:.0?}  matching {t_match:.0?}"
+    );
+
+    let table = Table::new(&[
+        ("threads", 8),
+        ("blocking", 10),
+        ("metablock", 10),
+        ("simjoin", 10),
+        ("matching", 10),
+        ("best-spdup", 10),
+        ("identical", 9),
+    ]);
+    let mut speedup_at_4 = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let par = Parallelism::threads(threads);
+        let t0 = Instant::now();
+        let pb = TokenBlocking::new().par_build(c, par);
+        let p_blocking = t0.elapsed();
+        let t0 = Instant::now();
+        let pm = er_metablocking::par_meta_block(
+            c,
+            &pb,
+            WeightingScheme::Arcs,
+            PruningScheme::Wnp,
+            par,
+        );
+        let p_meta = t0.elapsed();
+        let t0 = Instant::now();
+        let pj = SimilarityJoin::new(0.5, JoinAlgorithm::PPJoin).par_run(c, par);
+        let p_join = t0.elapsed();
+        let t0 = Instant::now();
+        let pmatch = er_core::matching::par_resolve_candidates(c, &matcher, &pm, par);
+        let p_match = t0.elapsed();
+        let identical = pb == ref_blocks
+            && pm == ref_meta
+            && pj.pairs == ref_join.pairs
+            && pj.candidates_verified == ref_join.candidates_verified
+            && pmatch == ref_matches;
+        let best = [
+            t_blocking.as_secs_f64() / p_blocking.as_secs_f64().max(1e-9),
+            t_meta.as_secs_f64() / p_meta.as_secs_f64().max(1e-9),
+            t_join.as_secs_f64() / p_join.as_secs_f64().max(1e-9),
+            t_match.as_secs_f64() / p_match.as_secs_f64().max(1e-9),
+        ]
+        .into_iter()
+        .fold(0.0f64, f64::max);
+        if threads == 4 {
+            speedup_at_4 = best;
+        }
+        table.row(&[
+            threads.to_string(),
+            format!("{:.0?}", p_blocking),
+            format!("{:.0?}", p_meta),
+            format!("{:.0?}", p_join),
+            format!("{:.0?}", p_match),
+            format!("{:.2}x", best),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!(
+        "best kernel speedup at 4 threads: {speedup_at_4:.2}x (target >= 2x on hosts \
+         with >= 4 cores)"
+    );
+    println!(
+        "shape: every row must say identical=yes — the par_* kernels are bit-equal \
+         to serial\nby construction. Wall-clock speedup tracks min(threads, cores): \
+         near-linear for the\nembarrassingly parallel verification/weighting kernels \
+         on multi-core hosts, flat on\nsingle-core hosts where threads only add \
+         scheduling overhead."
+    );
+}
+
 /// Runs the full suite in order.
 pub fn run_all() {
     e1_blocking_quality();
@@ -860,4 +963,5 @@ pub fn run_all() {
     e11_incremental();
     e12_supervised();
     e13_tokenizer_ablation();
+    e14_thread_scaling();
 }

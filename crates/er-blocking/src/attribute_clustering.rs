@@ -14,6 +14,7 @@
 
 use crate::block::{blocks_from_keys, BlockCollection};
 use er_core::collection::EntityCollection;
+use er_core::parallel::{par_map, Parallelism};
 use er_core::similarity::SetMeasure;
 use er_core::tokenize::Tokenizer;
 use std::collections::{BTreeMap, BTreeSet};
@@ -59,6 +60,14 @@ impl AttributeClusteringBlocking {
     /// Computes the attribute clusters: map from attribute name to cluster
     /// id. Cluster `0` is the glue cluster.
     pub fn attribute_clusters(&self, collection: &EntityCollection) -> BTreeMap<String, usize> {
+        self.attribute_clusters_impl(collection, Parallelism::serial())
+    }
+
+    fn attribute_clusters_impl(
+        &self,
+        collection: &EntityCollection,
+        par: Parallelism,
+    ) -> BTreeMap<String, usize> {
         // Aggregate token set per attribute name.
         let mut attr_tokens: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for e in collection.iter() {
@@ -71,10 +80,12 @@ impl AttributeClusteringBlocking {
         }
         let names: Vec<&String> = attr_tokens.keys().collect();
         let n = names.len();
-        // Best-match links.
-        let mut uf = er_core::clusters::UnionFind::new(n);
-        let mut linked = vec![false; n];
-        for i in 0..n {
+        // Best-match links. Each attribute's best partner is a pure function
+        // of the aggregated token sets, so the O(A²) similarity scan
+        // parallelizes over rows; the union-find is then applied serially in
+        // row order, keeping cluster ids identical at every thread count.
+        let indices: Vec<usize> = (0..n).collect();
+        let best_links = par_map(par, &indices, |&i| {
             let mut best: Option<(usize, f64)> = None;
             for j in 0..n {
                 if i == j {
@@ -87,7 +98,12 @@ impl AttributeClusteringBlocking {
                     best = Some((j, s));
                 }
             }
-            if let Some((j, _)) = best {
+            best.map(|(j, _)| j)
+        });
+        let mut uf = er_core::clusters::UnionFind::new(n);
+        let mut linked = vec![false; n];
+        for (i, best) in best_links.into_iter().enumerate() {
+            if let Some(j) = best {
                 uf.union(i, j);
                 linked[i] = true;
             }
@@ -116,8 +132,22 @@ impl AttributeClusteringBlocking {
 
     /// Builds the blocking collection with `(cluster, token)` keys.
     pub fn build(&self, collection: &EntityCollection) -> BlockCollection {
-        let clusters = self.attribute_clusters(collection);
-        blocks_from_keys(collection.iter().flat_map(|e| {
+        self.build_impl(collection, Parallelism::serial())
+    }
+
+    /// Parallel [`build`]: parallelizes the O(A²) attribute-similarity scan
+    /// and the per-entity key extraction. Output is bit-identical to the
+    /// serial path at every thread count (see `docs/parallelism.md`).
+    ///
+    /// [`build`]: AttributeClusteringBlocking::build
+    pub fn par_build(&self, collection: &EntityCollection, par: Parallelism) -> BlockCollection {
+        self.build_impl(collection, par)
+    }
+
+    fn build_impl(&self, collection: &EntityCollection, par: Parallelism) -> BlockCollection {
+        let clusters = self.attribute_clusters_impl(collection, par);
+        let entities: Vec<_> = collection.iter().collect();
+        let keys = par_map(par, &entities, |e| {
             let mut keys: BTreeSet<(usize, String)> = BTreeSet::new();
             for (a, v) in e.attributes() {
                 let cid = clusters.get(a).copied().unwrap_or(0);
@@ -126,9 +156,10 @@ impl AttributeClusteringBlocking {
                 }
             }
             keys.into_iter()
-                .map(move |(cid, t)| (format!("c{cid}:{t}"), e.id()))
+                .map(|(cid, t)| (format!("c{cid}:{t}"), e.id()))
                 .collect::<Vec<_>>()
-        }))
+        });
+        blocks_from_keys(keys.into_iter().flatten())
     }
 }
 

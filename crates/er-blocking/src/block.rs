@@ -96,7 +96,7 @@ impl Block {
 }
 
 /// A collection of blocks as produced by a blocking method.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BlockCollection {
     blocks: Vec<Block>,
 }

@@ -10,6 +10,7 @@
 
 use er_core::collection::EntityCollection;
 use er_core::pair::Pair;
+use er_core::parallel::{par_map, Parallelism};
 use er_core::tokenize::Tokenizer;
 use std::collections::BTreeMap;
 
@@ -75,12 +76,28 @@ impl SimilarityJoin {
 
     /// Runs the self-join over a collection.
     pub fn run(&self, collection: &EntityCollection) -> JoinOutput {
+        self.run_impl(collection, Parallelism::serial())
+    }
+
+    /// Parallel [`run`]: the candidate-generation phase stays serial (the
+    /// incremental inverted index is inherently sequential), while the
+    /// verification phase — the dominant cost — is parallelized as an
+    /// order-preserving map over the candidate list. Output is bit-identical
+    /// to the serial path at every thread count.
+    ///
+    /// [`run`]: SimilarityJoin::run
+    pub fn par_run(&self, collection: &EntityCollection, par: Parallelism) -> JoinOutput {
+        self.run_impl(collection, par)
+    }
+
+    fn run_impl(&self, collection: &EntityCollection, par: Parallelism) -> JoinOutput {
         let records = self.prepare(collection);
-        match self.algorithm {
-            JoinAlgorithm::Naive => self.run_naive(collection, &records),
-            JoinAlgorithm::AllPairs => self.run_indexed(collection, &records, false),
-            JoinAlgorithm::PPJoin => self.run_indexed(collection, &records, true),
-        }
+        let candidates = match self.algorithm {
+            JoinAlgorithm::Naive => Self::collect_naive(&records),
+            JoinAlgorithm::AllPairs => self.collect_indexed(&records, false),
+            JoinAlgorithm::PPJoin => self.collect_indexed(&records, true),
+        };
+        self.verify(collection, &records, &candidates, par)
     }
 
     /// Tokenizes and converts to frequency-ordered integer token lists,
@@ -121,49 +138,26 @@ impl SimilarityJoin {
         records
     }
 
-    fn run_naive(&self, collection: &EntityCollection, records: &[Record]) -> JoinOutput {
-        let mut pairs = Vec::new();
-        let mut verified = 0u64;
+    /// All admissible record-index pairs, in loop order — the quadratic
+    /// reference candidate set.
+    fn collect_naive(records: &[Record]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
         for i in 0..records.len() {
             for j in (i + 1)..records.len() {
-                let (a, b) = (&records[i], &records[j]);
-                if !collection.is_comparable(
-                    er_core::entity::EntityId(a.entity),
-                    er_core::entity::EntityId(b.entity),
-                ) {
-                    continue;
-                }
-                verified += 1;
-                let sim = jaccard_ints(&a.tokens, &b.tokens);
-                if sim >= self.threshold {
-                    pairs.push((
-                        Pair::new(
-                            er_core::entity::EntityId(a.entity),
-                            er_core::entity::EntityId(b.entity),
-                        ),
-                        sim,
-                    ));
-                }
+                out.push((i, j));
             }
         }
-        pairs.sort_by_key(|a| a.0);
-        JoinOutput {
-            pairs,
-            candidates_verified: verified,
-        }
+        out
     }
 
-    fn run_indexed(
-        &self,
-        collection: &EntityCollection,
-        records: &[Record],
-        positional: bool,
-    ) -> JoinOutput {
+    /// Prefix/length(/positional)-filtered candidate pairs `(probing record,
+    /// indexed record)` in generation order: records are scanned in index
+    /// order and each record's surviving candidates are emitted sorted.
+    fn collect_indexed(&self, records: &[Record], positional: bool) -> Vec<(usize, usize)> {
         let t = self.threshold;
         // Inverted index: token → list of (record index, position).
         let mut index: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new();
-        let mut pairs = Vec::new();
-        let mut verified = 0u64;
+        let mut candidates = Vec::new();
         for (ri, rec) in records.iter().enumerate() {
             let len_x = rec.tokens.len();
             if len_x == 0 {
@@ -201,30 +195,55 @@ impl SimilarityJoin {
                     }
                 }
             }
-            // Verify candidates.
-            for (&cj, _) in overlap_count.iter() {
-                let cand = &records[cj];
-                if !collection.is_comparable(
-                    er_core::entity::EntityId(rec.entity),
-                    er_core::entity::EntityId(cand.entity),
-                ) {
-                    continue;
-                }
-                verified += 1;
-                let sim = jaccard_ints(&rec.tokens, &cand.tokens);
-                if sim >= t {
-                    pairs.push((
-                        Pair::new(
-                            er_core::entity::EntityId(rec.entity),
-                            er_core::entity::EntityId(cand.entity),
-                        ),
-                        sim,
-                    ));
-                }
-            }
+            // Emit this record's surviving candidates (sorted: BTreeMap).
+            candidates.extend(overlap_count.keys().map(|&cj| (ri, cj)));
             // Index this record's prefix.
             for (pos, &w) in rec.tokens.iter().take(prefix).enumerate() {
                 index.entry(w).or_default().push((ri, pos));
+            }
+        }
+        candidates
+    }
+
+    /// Verifies candidate pairs — comparability check plus exact Jaccard —
+    /// as an order-preserving (possibly parallel) map, then sorts matches by
+    /// pair. Identical output at every thread count: each verification is a
+    /// pure function and match order before the final stable sort equals
+    /// candidate order.
+    fn verify(
+        &self,
+        collection: &EntityCollection,
+        records: &[Record],
+        candidates: &[(usize, usize)],
+        par: Parallelism,
+    ) -> JoinOutput {
+        let t = self.threshold;
+        let results = par_map(par, candidates, |&(i, j)| {
+            let (a, b) = (&records[i], &records[j]);
+            if !collection.is_comparable(
+                er_core::entity::EntityId(a.entity),
+                er_core::entity::EntityId(b.entity),
+            ) {
+                return (false, None);
+            }
+            let sim = jaccard_ints(&a.tokens, &b.tokens);
+            let hit = (sim >= t).then(|| {
+                (
+                    Pair::new(
+                        er_core::entity::EntityId(a.entity),
+                        er_core::entity::EntityId(b.entity),
+                    ),
+                    sim,
+                )
+            });
+            (true, hit)
+        });
+        let mut pairs = Vec::new();
+        let mut verified = 0u64;
+        for (comparable, hit) in results {
+            verified += u64::from(comparable);
+            if let Some(p) = hit {
+                pairs.push(p);
             }
         }
         pairs.sort_by_key(|a| a.0);

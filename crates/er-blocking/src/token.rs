@@ -9,6 +9,7 @@
 
 use crate::block::{blocks_from_keys, BlockCollection};
 use er_core::collection::EntityCollection;
+use er_core::parallel::{par_map, Parallelism};
 use er_core::tokenize::Tokenizer;
 
 /// Token blocking over all attribute values.
@@ -31,11 +32,30 @@ impl TokenBlocking {
 
     /// Builds the blocking collection: one block per distinct token.
     pub fn build(&self, collection: &EntityCollection) -> BlockCollection {
-        blocks_from_keys(collection.iter().flat_map(|e| {
+        self.build_impl(collection, Parallelism::serial())
+    }
+
+    /// Parallel [`build`]: tokenizes entities across worker threads.
+    ///
+    /// Output is bit-identical to the serial path at every thread count:
+    /// per-entity key lists are produced independently (tokenization is
+    /// pure) and concatenated in entity order, so the inverted index sees
+    /// the exact entry sequence the serial path would.
+    ///
+    /// [`build`]: TokenBlocking::build
+    pub fn par_build(&self, collection: &EntityCollection, par: Parallelism) -> BlockCollection {
+        self.build_impl(collection, par)
+    }
+
+    fn build_impl(&self, collection: &EntityCollection, par: Parallelism) -> BlockCollection {
+        let entities: Vec<_> = collection.iter().collect();
+        let keys = par_map(par, &entities, |e| {
             e.token_set(&self.tokenizer)
                 .into_iter()
-                .map(move |t| (t, e.id()))
-        }))
+                .map(|t| (t, e.id()))
+                .collect::<Vec<_>>()
+        });
+        blocks_from_keys(keys.into_iter().flatten())
     }
 }
 

@@ -42,6 +42,7 @@ pub mod matching;
 pub mod merge;
 pub mod metrics;
 pub mod pair;
+pub mod parallel;
 pub mod similarity;
 pub mod tokenize;
 
@@ -50,3 +51,4 @@ pub use entity::{Entity, EntityId, KbId};
 pub use ground_truth::GroundTruth;
 pub use matching::{CountingMatcher, Matcher};
 pub use pair::Pair;
+pub use parallel::Parallelism;

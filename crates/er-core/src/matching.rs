@@ -344,6 +344,42 @@ pub fn resolve_candidates<M: Matcher>(
         .collect()
 }
 
+/// Parallel [`resolve_candidates`]: compares candidates across worker
+/// threads and returns the matching pairs **in candidate order**, making the
+/// output bit-identical to the serial path at every thread count.
+///
+/// Requires `M: Sync` — matchers with interior mutability (notably
+/// [`CountingMatcher`], which tallies through a `Cell`) must use the serial
+/// path for exact comparison accounting.
+pub fn par_resolve_candidates<M: Matcher + Sync>(
+    collection: &EntityCollection,
+    matcher: &M,
+    candidates: &[Pair],
+    par: crate::parallel::Parallelism,
+) -> Vec<Pair> {
+    crate::parallel::par_map(par, candidates, |&p| {
+        compare_pair(collection, matcher, p).is_match
+    })
+    .into_iter()
+    .zip(candidates.iter().copied())
+    .filter_map(|(is_match, p)| is_match.then_some(p))
+    .collect()
+}
+
+/// Parallel batch scoring: compares every candidate and returns the full
+/// decision per pair, in candidate order. Used by rankers and progressive
+/// schedulers that need scores for non-matches too.
+pub fn par_decide_candidates<M: Matcher + Sync>(
+    collection: &EntityCollection,
+    matcher: &M,
+    candidates: &[Pair],
+    par: crate::parallel::Parallelism,
+) -> Vec<(Pair, Decision)> {
+    crate::parallel::par_map(par, candidates, |&p| {
+        (p, compare_pair(collection, matcher, p))
+    })
+}
+
 /// Identifier alias re-export for matcher implementors.
 pub type EntityRef<'a> = (&'a EntityCollection, EntityId);
 

@@ -76,6 +76,89 @@ proptest! {
         );
     }
 
+    /// The engine's output must not depend on how many workers partition the
+    /// map phase: every worker count from 1 to 8 yields the same result, with
+    /// and without a combiner.
+    #[test]
+    fn output_is_independent_of_worker_count(
+        texts in proptest::collection::vec("[a-d ]{0,20}", 0..15),
+        combiner in any::<bool>(),
+    ) {
+        let baseline = run_mr(texts.clone(), 1, combiner);
+        for workers in 2usize..=8 {
+            prop_assert_eq!(
+                run_mr(texts.clone(), workers, combiner),
+                baseline.clone(),
+                "workers={}", workers
+            );
+        }
+    }
+
+    /// An associative combiner must not change the reduce result, no matter
+    /// how the worker partitioning groups the intermediate values. Checked
+    /// for two associative operations (sum and max) across worker counts.
+    #[test]
+    fn combiner_associativity_preserves_output(
+        texts in proptest::collection::vec("[a-d ]{0,20}", 0..15),
+        workers in 1usize..9,
+        use_max in any::<bool>(),
+    ) {
+        let run = |with_combiner: bool| -> Vec<(String, u64)> {
+            let mr: MapReduce<String, String, u64, (String, u64)> = MapReduce::new(workers);
+            let map_fn = |text: String, emit: &mut dyn FnMut(String, u64)| {
+                for (i, w) in text.split_whitespace().enumerate() {
+                    emit(w.to_string(), if use_max { i as u64 + 1 } else { 1 });
+                }
+            };
+            let op = move |vs: Vec<u64>| -> u64 {
+                if use_max {
+                    vs.into_iter().max().unwrap_or(0)
+                } else {
+                    vs.into_iter().sum()
+                }
+            };
+            let reduce_fn = move |k: &String, vs: Vec<u64>| vec![(k.clone(), op(vs))];
+            if with_combiner {
+                mr.run_with_combiner(
+                    texts.clone(),
+                    map_fn,
+                    Some(move |_k: &String, vs: Vec<u64>| vec![op(vs)]),
+                    reduce_fn,
+                )
+                .0
+            } else {
+                mr.run(texts.clone(), map_fn, reduce_fn).0
+            }
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// A combiner can only shrink the intermediate record stream: it merges
+    /// same-key values within a partition, never invents new ones.
+    #[test]
+    fn combiner_never_grows_record_stream(
+        texts in proptest::collection::vec("[a-c ]{0,16}", 0..12),
+        workers in 1usize..9,
+    ) {
+        let mr: MapReduce<String, String, u64, (String, u64)> = MapReduce::new(workers);
+        let (_, stats) = mr.run_with_combiner(
+            texts,
+            |text: String, emit: &mut dyn FnMut(String, u64)| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            Some(|_k: &String, vs: Vec<u64>| vec![vs.into_iter().sum::<u64>()]),
+            |k: &String, vs: Vec<u64>| vec![(k.clone(), vs.into_iter().sum::<u64>())],
+        );
+        prop_assert!(
+            stats.combined_records <= stats.map_output_records,
+            "combined {} > map output {}",
+            stats.combined_records,
+            stats.map_output_records
+        );
+    }
+
     #[test]
     fn stats_are_consistent(
         texts in proptest::collection::vec("[a-c ]{0,16}", 0..12),

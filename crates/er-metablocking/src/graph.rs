@@ -1,8 +1,9 @@
 //! The blocking graph.
 
-use er_blocking::block::BlockCollection;
+use er_blocking::block::{Block, BlockCollection};
 use er_core::collection::EntityCollection;
 use er_core::pair::Pair;
+use er_core::parallel::{par_map_chunks, Parallelism};
 use std::collections::BTreeMap;
 
 /// Per-edge co-occurrence statistics gathered while scanning the blocks.
@@ -18,7 +19,7 @@ pub struct EdgeInfo {
 /// The blocking graph of a blocking collection: one node per description,
 /// one undirected edge per co-occurring admissible pair, plus the node-level
 /// statistics the weighting schemes need.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BlockingGraph {
     edges: BTreeMap<Pair, EdgeInfo>,
     /// Blocks containing each entity.
@@ -31,25 +32,86 @@ pub struct BlockingGraph {
     n_entities: usize,
 }
 
+/// Blocks per accumulation chunk for [`BlockingGraph::build`].
+///
+/// Fixed (never derived from the thread count) so that the left-to-right
+/// merge of per-chunk partials performs the exact same sequence of `f64`
+/// additions on the ARCS accumulator at every parallelism level — the
+/// serial and parallel builds are bit-identical by construction.
+const GRAPH_CHUNK_BLOCKS: usize = 32;
+
+/// Per-chunk partial aggregation of the block scan.
+struct ChunkAccum {
+    edges: BTreeMap<Pair, EdgeInfo>,
+    block_counts: BTreeMap<usize, u32>,
+}
+
 impl BlockingGraph {
     /// Builds the graph in one pass over the blocks.
     pub fn build(collection: &EntityCollection, blocks: &BlockCollection) -> Self {
+        Self::build_impl(collection, blocks, Parallelism::serial())
+    }
+
+    /// Parallel [`build`]: blocks are aggregated in fixed-size chunks across
+    /// worker threads and the partials merged in chunk order, so the output
+    /// (including the non-associative `f64` ARCS sums) is bit-identical to
+    /// the serial path at every thread count.
+    ///
+    /// [`build`]: BlockingGraph::build
+    pub fn par_build(
+        collection: &EntityCollection,
+        blocks: &BlockCollection,
+        par: Parallelism,
+    ) -> Self {
+        Self::build_impl(collection, blocks, par)
+    }
+
+    fn build_impl(
+        collection: &EntityCollection,
+        blocks: &BlockCollection,
+        par: Parallelism,
+    ) -> Self {
         let n = collection.len();
+        let partials = par_map_chunks(
+            par,
+            blocks.blocks(),
+            GRAPH_CHUNK_BLOCKS,
+            |chunk: &[Block]| {
+                let mut acc = ChunkAccum {
+                    edges: BTreeMap::new(),
+                    block_counts: BTreeMap::new(),
+                };
+                for b in chunk {
+                    let card = b.comparisons(collection);
+                    for &e in b.entities() {
+                        *acc.block_counts.entry(e.index()).or_insert(0) += 1;
+                    }
+                    if card == 0 {
+                        continue;
+                    }
+                    let w = 1.0 / card as f64;
+                    for p in b.pairs(collection) {
+                        let info = acc.edges.entry(p).or_default();
+                        info.common_blocks += 1;
+                        info.arcs += w;
+                    }
+                }
+                acc
+            },
+        );
+        // Merge partials left-to-right (chunk order): each edge's ARCS
+        // contributions are added in the same grouping regardless of how
+        // many threads produced the partials.
         let mut edges: BTreeMap<Pair, EdgeInfo> = BTreeMap::new();
         let mut entity_block_counts = vec![0u32; n];
-        for b in blocks.blocks() {
-            let card = b.comparisons(collection);
-            for &e in b.entities() {
-                entity_block_counts[e.index()] += 1;
-            }
-            if card == 0 {
-                continue;
-            }
-            let w = 1.0 / card as f64;
-            for p in b.pairs(collection) {
+        for acc in partials {
+            for (p, part) in acc.edges {
                 let info = edges.entry(p).or_default();
-                info.common_blocks += 1;
-                info.arcs += w;
+                info.common_blocks += part.common_blocks;
+                info.arcs += part.arcs;
+            }
+            for (idx, count) in acc.block_counts {
+                entity_block_counts[idx] += count;
             }
         }
         let mut degrees = vec![0u32; n];

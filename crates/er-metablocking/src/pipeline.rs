@@ -6,6 +6,7 @@ use crate::weights::WeightingScheme;
 use er_blocking::block::BlockCollection;
 use er_core::collection::EntityCollection;
 use er_core::pair::Pair;
+use er_core::parallel::Parallelism;
 
 /// Restructures a blocking collection into a pruned comparison list:
 /// build graph → weigh edges → prune.
@@ -15,8 +16,27 @@ pub fn meta_block(
     weighting: WeightingScheme,
     pruning: PruningScheme,
 ) -> Vec<Pair> {
-    let graph = BlockingGraph::build(collection, blocks);
-    pruning.prune(&graph, weighting)
+    par_meta_block(
+        collection,
+        blocks,
+        weighting,
+        pruning,
+        Parallelism::serial(),
+    )
+}
+
+/// Parallel [`meta_block`]: graph construction, edge weighting and pruning
+/// all run under the given [`Parallelism`], with output bit-identical to
+/// the serial path at every thread count.
+pub fn par_meta_block(
+    collection: &EntityCollection,
+    blocks: &BlockCollection,
+    weighting: WeightingScheme,
+    pruning: PruningScheme,
+    par: Parallelism,
+) -> Vec<Pair> {
+    let graph = BlockingGraph::par_build(collection, blocks, par);
+    pruning.par_prune(&graph, weighting, par)
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 use crate::graph::BlockingGraph;
 use crate::weights::WeightingScheme;
 use er_core::pair::Pair;
+use er_core::parallel::{par_map, Parallelism};
 use std::collections::BTreeSet;
 
 /// The pruning schemes.
@@ -60,12 +61,39 @@ impl PruningScheme {
     /// Applies the scheme to a graph under a weighting scheme, returning the
     /// retained comparisons in canonical pair order.
     pub fn prune(self, graph: &BlockingGraph, weighting: WeightingScheme) -> Vec<Pair> {
-        let weighted = weighting.weigh_all(graph);
+        self.prune_impl(graph, weighting, Parallelism::serial())
+    }
+
+    /// Parallel [`prune`]: edge weighting and the per-node survivor
+    /// computation of the node-centric schemes run across worker threads;
+    /// thresholds, sorts and survivor merging stay serial over
+    /// deterministically ordered vectors. Output is bit-identical to the
+    /// serial path at every thread count.
+    ///
+    /// [`prune`]: PruningScheme::prune
+    pub fn par_prune(
+        self,
+        graph: &BlockingGraph,
+        weighting: WeightingScheme,
+        par: Parallelism,
+    ) -> Vec<Pair> {
+        self.prune_impl(graph, weighting, par)
+    }
+
+    fn prune_impl(
+        self,
+        graph: &BlockingGraph,
+        weighting: WeightingScheme,
+        par: Parallelism,
+    ) -> Vec<Pair> {
+        let weighted = weighting.par_weigh_all(graph, par);
         if weighted.is_empty() {
             return Vec::new();
         }
         match self {
             PruningScheme::Wep => {
+                // Serial sum in edge order: the mean is identical at every
+                // thread count because `weighted` is.
                 let mean: f64 =
                     weighted.iter().map(|(_, w)| w).sum::<f64>() / weighted.len() as f64;
                 weighted
@@ -83,11 +111,11 @@ impl PruningScheme {
                 kept
             }
             PruningScheme::Wnp | PruningScheme::ReciprocalWnp => {
-                self.node_centric(graph, &weighted, NodeRule::MeanThreshold)
+                self.node_centric(graph, &weighted, NodeRule::MeanThreshold, par)
             }
             PruningScheme::Cnp | PruningScheme::ReciprocalCnp => {
                 let k = (graph.total_assignments() as usize / graph.n_entities().max(1)).max(1);
-                self.node_centric(graph, &weighted, NodeRule::TopK(k))
+                self.node_centric(graph, &weighted, NodeRule::TopK(k), par)
             }
         }
     }
@@ -97,6 +125,7 @@ impl PruningScheme {
         graph: &BlockingGraph,
         weighted: &[(Pair, f64)],
         rule: NodeRule,
+        par: Parallelism,
     ) -> Vec<Pair> {
         let n = graph.n_entities();
         // Adjacency of (weight, pair) per node.
@@ -105,13 +134,14 @@ impl PruningScheme {
             adj[p.first().index()].push((w, p));
             adj[p.second().index()].push((w, p));
         }
-        // Survivors per node.
-        let mut survivor_count: std::collections::BTreeMap<Pair, u8> = Default::default();
-        for edges in &mut adj {
+        // Per-node survivors: each neighborhood's decision is a pure
+        // function of its own adjacency list, so the scan parallelizes as an
+        // order-preserving map; survivors are then merged in node order.
+        let keeps = par_map(par, &adj, |edges| {
             if edges.is_empty() {
-                continue;
+                return Vec::new();
             }
-            let keep: Vec<Pair> = match rule {
+            match rule {
                 NodeRule::MeanThreshold => {
                     let mean: f64 = edges.iter().map(|(w, _)| w).sum::<f64>() / edges.len() as f64;
                     edges
@@ -121,10 +151,14 @@ impl PruningScheme {
                         .collect()
                 }
                 NodeRule::TopK(k) => {
-                    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-                    edges.iter().take(k).map(|(_, p)| *p).collect()
+                    let mut sorted = edges.clone();
+                    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                    sorted.into_iter().take(k).map(|(_, p)| p).collect()
                 }
-            };
+            }
+        });
+        let mut survivor_count: std::collections::BTreeMap<Pair, u8> = Default::default();
+        for keep in keeps {
             for p in keep {
                 *survivor_count.entry(p).or_insert(0) += 1;
             }
@@ -143,6 +177,7 @@ impl PruningScheme {
     }
 }
 
+#[derive(Clone, Copy)]
 enum NodeRule {
     MeanThreshold,
     TopK(usize),

@@ -14,6 +14,7 @@
 
 use crate::graph::BlockingGraph;
 use er_core::pair::Pair;
+use er_core::parallel::{par_map, Parallelism};
 
 /// The five weighting schemes of \[22\].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -91,10 +92,17 @@ impl WeightingScheme {
 
     /// Materializes all edge weights, in edge order.
     pub fn weigh_all(self, graph: &BlockingGraph) -> Vec<(Pair, f64)> {
-        graph
-            .edges()
-            .map(|(p, _)| (p, self.weight(graph, p)))
-            .collect()
+        self.par_weigh_all(graph, Parallelism::serial())
+    }
+
+    /// Parallel [`weigh_all`]: every weight is a pure per-edge function of
+    /// the (immutable) graph, so an order-preserving parallel map yields the
+    /// exact same vector as the serial path at every thread count.
+    ///
+    /// [`weigh_all`]: WeightingScheme::weigh_all
+    pub fn par_weigh_all(self, graph: &BlockingGraph, par: Parallelism) -> Vec<(Pair, f64)> {
+        let edges: Vec<Pair> = graph.edges().map(|(p, _)| p).collect();
+        par_map(par, &edges, |&p| (p, self.weight(graph, p)))
     }
 }
 

@@ -42,8 +42,9 @@ use er_core::ground_truth::GroundTruth;
 use er_core::matching::{Matcher, TfIdfMatcher, ThresholdMatcher};
 use er_core::metrics::{BlockingQuality, MatchQuality};
 use er_core::pair::Pair;
+use er_core::parallel::Parallelism;
 use er_core::similarity::SetMeasure;
-use er_metablocking::{meta_block, PruningScheme, WeightingScheme};
+use er_metablocking::{par_meta_block, PruningScheme, WeightingScheme};
 use std::time::{Duration, Instant};
 
 /// Blocking-stage selection.
@@ -172,11 +173,13 @@ pub struct Pipeline {
     meta_blocking: Option<MetaBlockingStage>,
     matching: MatchingStage,
     clustering: ClusteringStage,
+    parallelism: Parallelism,
 }
 
 impl Pipeline {
     /// Starts a builder with the Web-of-data defaults: token blocking, auto
-    /// purging, ARCS/WNP meta-blocking, Jaccard-0.4 matching.
+    /// purging, ARCS/WNP meta-blocking, Jaccard-0.4 matching, serial
+    /// execution.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder {
             blocking: BlockingStage::Token,
@@ -184,6 +187,7 @@ impl Pipeline {
             meta_blocking: Some(MetaBlockingStage::default()),
             matching: MatchingStage::jaccard(0.4),
             clustering: ClusteringStage::default(),
+            parallelism: Parallelism::serial(),
         }
     }
 
@@ -198,35 +202,20 @@ impl Pipeline {
                 MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
             }
             block_based => {
-                let blocks = match block_based {
-                    BlockingStage::Token => TokenBlocking::new().build(collection),
-                    BlockingStage::AttributeClustering => {
-                        AttributeClusteringBlocking::new().build(collection)
-                    }
-                    BlockingStage::StandardKey(attr) => {
-                        StandardBlocking::on_attribute(attr.clone()).build(collection)
-                    }
-                    BlockingStage::QGrams(q) => QGramsBlocking::new(*q).build(collection),
-                    BlockingStage::MinHash(bands, rows) => {
-                        MinHashBlocking::new(*bands, *rows).build(collection)
-                    }
-                    BlockingStage::SortedNeighborhood(..) => unreachable!("handled above"),
-                };
-                let blocks = match self.cleaning {
-                    CleaningStage::None => blocks,
-                    CleaningStage::AutoPurge => cleaning::auto_purge(&blocks, collection),
-                    CleaningStage::PurgeAndFilter(ratio) => {
-                        let purged = cleaning::auto_purge(&blocks, collection);
-                        cleaning::filter_blocks(&purged, collection, ratio)
-                    }
-                };
+                let blocks = self.build_blocks(collection, block_based);
                 report.blocking_time = t0.elapsed();
                 let blocked = blocks.distinct_pairs(collection);
                 report.blocked_comparisons = blocked.len() as u64;
                 // ---- meta-blocking ------------------------------------------
                 if let Some(mb) = self.meta_blocking {
                     let t1 = Instant::now();
-                    let kept = meta_block(collection, &blocks, mb.weighting, mb.pruning);
+                    let kept = par_meta_block(
+                        collection,
+                        &blocks,
+                        mb.weighting,
+                        mb.pruning,
+                        self.parallelism,
+                    );
                     report.meta_blocking_time = t1.elapsed();
                     kept
                 } else {
@@ -241,19 +230,20 @@ impl Pipeline {
         report.scheduled_comparisons = candidates.len() as u64;
 
         // ---- matching -------------------------------------------------------
-        // Scores are retained for the score-aware clustering stages.
+        // Scores are retained for the score-aware clustering stages. The
+        // comparisons run under the configured parallelism as an
+        // order-preserving map, so the match list is identical at every
+        // thread count.
         let t2 = Instant::now();
-        fn decide<M: Matcher>(
+        fn decide<M: Matcher + Sync>(
             collection: &EntityCollection,
             candidates: &[Pair],
             m: &M,
+            par: Parallelism,
         ) -> Vec<(Pair, f64)> {
-            candidates
-                .iter()
-                .filter_map(|&p| {
-                    let d = er_core::matching::compare_pair(collection, m, p);
-                    d.is_match.then_some((p, d.score))
-                })
+            er_core::matching::par_decide_candidates(collection, m, candidates, par)
+                .into_iter()
+                .filter_map(|(p, d)| d.is_match.then_some((p, d.score)))
                 .collect()
         }
         let scored_matches: Vec<(Pair, f64)> = match &self.matching {
@@ -261,11 +251,13 @@ impl Pipeline {
                 collection,
                 &candidates,
                 &ThresholdMatcher::new(*measure, *threshold),
+                self.parallelism,
             ),
             MatchingStage::TfIdf(threshold) => decide(
                 collection,
                 &candidates,
                 &TfIdfMatcher::from_collection(collection, *threshold),
+                self.parallelism,
             ),
         };
         report.matching_time = t2.elapsed();
@@ -358,32 +350,53 @@ impl Pipeline {
                 MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
             }
             block_based => {
-                let blocks = match block_based {
-                    BlockingStage::Token => TokenBlocking::new().build(collection),
-                    BlockingStage::AttributeClustering => {
-                        AttributeClusteringBlocking::new().build(collection)
-                    }
-                    BlockingStage::StandardKey(attr) => {
-                        StandardBlocking::on_attribute(attr.clone()).build(collection)
-                    }
-                    BlockingStage::QGrams(q) => QGramsBlocking::new(*q).build(collection),
-                    BlockingStage::MinHash(bands, rows) => {
-                        MinHashBlocking::new(*bands, *rows).build(collection)
-                    }
-                    BlockingStage::SortedNeighborhood(..) => unreachable!(),
-                };
-                let blocks = match self.cleaning {
-                    CleaningStage::None => blocks,
-                    CleaningStage::AutoPurge => cleaning::auto_purge(&blocks, collection),
-                    CleaningStage::PurgeAndFilter(ratio) => {
-                        let purged = cleaning::auto_purge(&blocks, collection);
-                        cleaning::filter_blocks(&purged, collection, ratio)
-                    }
-                };
+                let blocks = self.build_blocks(collection, block_based);
                 match self.meta_blocking {
-                    Some(mb) => meta_block(collection, &blocks, mb.weighting, mb.pruning),
+                    Some(mb) => par_meta_block(
+                        collection,
+                        &blocks,
+                        mb.weighting,
+                        mb.pruning,
+                        self.parallelism,
+                    ),
                     None => blocks.distinct_pairs(collection),
                 }
+            }
+        }
+    }
+
+    /// Builds and cleans the blocking collection for a block-producing
+    /// stage, running the hot blocking kernels under the configured
+    /// parallelism.
+    fn build_blocks(
+        &self,
+        collection: &EntityCollection,
+        stage: &BlockingStage,
+    ) -> er_blocking::block::BlockCollection {
+        let blocks = match stage {
+            BlockingStage::Token => {
+                TokenBlocking::new().par_build(collection, self.parallelism)
+            }
+            BlockingStage::AttributeClustering => {
+                AttributeClusteringBlocking::new().par_build(collection, self.parallelism)
+            }
+            BlockingStage::StandardKey(attr) => {
+                StandardBlocking::on_attribute(attr.clone()).build(collection)
+            }
+            BlockingStage::QGrams(q) => QGramsBlocking::new(*q).build(collection),
+            BlockingStage::MinHash(bands, rows) => {
+                MinHashBlocking::new(*bands, *rows).build(collection)
+            }
+            BlockingStage::SortedNeighborhood(..) => {
+                unreachable!("pair-producing stage handled by callers")
+            }
+        };
+        match self.cleaning {
+            CleaningStage::None => blocks,
+            CleaningStage::AutoPurge => cleaning::auto_purge(&blocks, collection),
+            CleaningStage::PurgeAndFilter(ratio) => {
+                let purged = cleaning::auto_purge(&blocks, collection);
+                cleaning::filter_blocks(&purged, collection, ratio)
             }
         }
     }
@@ -437,6 +450,7 @@ pub struct PipelineBuilder {
     meta_blocking: Option<MetaBlockingStage>,
     matching: MatchingStage,
     clustering: ClusteringStage,
+    parallelism: Parallelism,
 }
 
 impl PipelineBuilder {
@@ -476,6 +490,14 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets the execution parallelism of the hot kernels (blocking,
+    /// meta-blocking, matching). The result of a run is bit-identical at
+    /// every setting — parallelism only changes wall-clock time.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
     /// Finalizes the pipeline.
     pub fn build(self) -> Pipeline {
         Pipeline {
@@ -484,6 +506,7 @@ impl PipelineBuilder {
             meta_blocking: self.meta_blocking,
             matching: self.matching,
             clustering: self.clustering,
+            parallelism: self.parallelism,
         }
     }
 }
@@ -680,5 +703,23 @@ mod tests {
         let res = Pipeline::builder().build().run(&c);
         assert!(res.matches.is_empty());
         assert!(res.clusters.is_empty());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let ds = dataset();
+        let serial = Pipeline::builder().build().run(&ds.collection);
+        for threads in [2, 4, 8] {
+            let par = Pipeline::builder()
+                .parallelism(Parallelism::threads(threads))
+                .build()
+                .run(&ds.collection);
+            assert_eq!(par.matches, serial.matches, "{threads} threads");
+            assert_eq!(par.clusters, serial.clusters, "{threads} threads");
+            assert_eq!(
+                par.report.scheduled_comparisons, serial.report.scheduled_comparisons,
+                "{threads} threads"
+            );
+        }
     }
 }

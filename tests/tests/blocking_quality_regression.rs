@@ -1,0 +1,127 @@
+//! End-to-end regression lock on the E1 blocking-quality numbers.
+//!
+//! E1 (`er-bench::experiments::e1_blocking_quality`, binary
+//! `exp_blocking_quality`) measures PC / PQ / RR per blocking scheme and noise
+//! level on the 1500-entity dirty preset. Those numbers are quoted in
+//! EXPERIMENTS.md and anchor the paper-shape claims, so a silent drift in the
+//! generator, the tokenizer, or a blocking scheme must fail loudly rather
+//! than rot the report. This test recomputes a representative excerpt of the
+//! E1 table — the cheap schemes at every noise level — and pins each cell.
+//!
+//! Comparison counts are integers and locked exactly. PC/PQ/RR are pure
+//! deterministic f64 computations, locked to the 3–4 decimals the report
+//! prints (tolerance 5e-4 / 5e-5, i.e. the rounding the table applies).
+//!
+//! If this test fails after an *intentional* change (generator rework, noise
+//! model retuning), re-run `cargo run --release -p er-bench --bin
+//! exp_blocking_quality`, refresh the constants below from the new table, and
+//! update EXPERIMENTS.md in the same commit.
+
+use er_bench::dirty_preset;
+use er_blocking::sorted_neighborhood::{SortKey, SortedNeighborhood};
+use er_blocking::standard::StandardBlocking;
+use er_blocking::TokenBlocking;
+use er_core::metrics::BlockingQuality;
+use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+
+/// One locked row of the E1 table: (noise, scheme, comparisons, PC, PQ, RR).
+struct LockedRow {
+    noise: &'static str,
+    scheme: &'static str,
+    comparisons: u64,
+    pc: f64,
+    pq: f64,
+    rr: f64,
+}
+
+/// Values measured on the current seed (0xBE9C_0017) with the vendored PRNG
+/// stream — matching the E1 table in EXPERIMENTS.md.
+const LOCKED: &[LockedRow] = &[
+    // clean
+    row("clean", "standard(name)", 1184, 1.000, 1.0000, 1.000),
+    row("clean", "token", 1_132_194, 1.000, 0.0010, 0.604),
+    row("clean", "sorted-neighborhood", 21_483, 1.000, 0.0551, 0.992),
+    // light
+    row("light", "standard(name)", 773, 0.628, 1.0000, 1.000),
+    row("light", "token", 923_496, 0.994, 0.0013, 0.687),
+    row("light", "sorted-neighborhood", 21_816, 0.812, 0.0458, 0.993),
+    // moderate
+    row("moderate", "standard(name)", 280, 0.228, 0.9679, 1.000),
+    row("moderate", "token", 555_883, 0.946, 0.0020, 0.806),
+    row("moderate", "sorted-neighborhood", 21_483, 0.519, 0.0287, 0.992),
+    // heavy
+    row("heavy", "standard(name)", 108, 0.075, 0.8704, 1.000),
+    row("heavy", "token", 246_476, 0.687, 0.0035, 0.918),
+    row("heavy", "sorted-neighborhood", 21_969, 0.305, 0.0174, 0.993),
+];
+
+const fn row(
+    noise: &'static str,
+    scheme: &'static str,
+    comparisons: u64,
+    pc: f64,
+    pq: f64,
+    rr: f64,
+) -> LockedRow {
+    LockedRow {
+        noise,
+        scheme,
+        comparisons,
+        pc,
+        pq,
+        rr,
+    }
+}
+
+#[test]
+fn e1_excerpt_matches_locked_values() {
+    for (noise_name, noise) in NoiseModel::sweep() {
+        let ds = DirtyDataset::generate(&DirtyConfig {
+            noise,
+            ..dirty_preset(1500)
+        });
+        let c = &ds.collection;
+        let schemes: Vec<(&str, Vec<er_core::pair::Pair>)> = vec![
+            (
+                "standard(name)",
+                StandardBlocking::on_attribute("name")
+                    .build(c)
+                    .distinct_pairs(c),
+            ),
+            ("token", TokenBlocking::new().build(c).distinct_pairs(c)),
+            (
+                "sorted-neighborhood",
+                SortedNeighborhood::new(SortKey::FlattenedValue, 10).candidate_pairs(c),
+            ),
+        ];
+        for (scheme_name, pairs) in schemes {
+            let q = BlockingQuality::measure(&pairs, &ds.truth, c.total_possible_comparisons());
+            let locked = LOCKED
+                .iter()
+                .find(|r| r.noise == noise_name && r.scheme == scheme_name)
+                .unwrap_or_else(|| panic!("no locked row for {noise_name}/{scheme_name}"));
+            let ctx = format!("{noise_name}/{scheme_name}");
+            assert_eq!(q.comparisons, locked.comparisons, "comparisons drifted: {ctx}");
+            // Tolerances match the rounding the E1 table prints (f3 / f4):
+            // any real drift in the underlying computation exceeds them.
+            assert!(
+                (q.pc() - locked.pc).abs() < 5e-4,
+                "PC drifted: {ctx}: got {:.6}, locked {:.3}",
+                q.pc(),
+                locked.pc
+            );
+            assert!(
+                (q.pq() - locked.pq).abs() < 5e-5,
+                "PQ drifted: {ctx}: got {:.6}, locked {:.4}",
+                q.pq(),
+                locked.pq
+            );
+            assert!(
+                (q.rr() - locked.rr).abs() < 5e-4,
+                "RR drifted: {ctx}: got {:.6}, locked {:.3}",
+                q.rr(),
+                locked.rr
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline vendored substitute for the `criterion` crate.
+//!
+//! Implements the benchmarking surface the workspace uses — `Criterion`
+//! builder knobs, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple wall-clock harness: warm up for `warm_up_time`, then collect
+//! `sample_size` samples within `measurement_time` and report min/mean/max
+//! per iteration. No statistical outlier analysis, HTML reports, or
+//! baselines; numbers print to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped. The shim times one routine call per
+/// setup regardless of the variant; the enum exists for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark harness configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Collects timing samples for one benchmark routine.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget is spent, measuring nothing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Pick an iteration count per sample so one sample is ~1/sample_size
+        // of the measurement budget.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+            if measure_start.elapsed() > self.measurement_time * 2 {
+                break; // routine much slower than the warm-up estimate
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+            if measure_start.elapsed() > self.measurement_time * 4 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples collected)");
+            return;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let min = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions; both the positional and the
+/// `name/config/targets` forms of the real macro are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    fn probe(c: &mut Criterion) {
+        c.bench_function("probe", |b| b.iter(|| 0u8));
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = probe
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        shim_group();
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline vendored substitute for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` (structured scoped
+//! threads), which has been part of the standard library since Rust 1.63 as
+//! `std::thread::scope`. This shim adapts the std API to the crossbeam 0.8
+//! signatures the code was written against: `scope` returns a `Result` and
+//! spawned closures receive a `&Scope` argument.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`, wrapping the std scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns `Err` if the thread panicked.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Crossbeam passes the scope back into the
+        /// closure so nested spawns are possible; we preserve that shape.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope_copy = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope_copy)),
+            }
+        }
+    }
+
+    /// Mirror of `crossbeam::thread::scope`.
+    ///
+    /// Always returns `Ok`: under std scoped threads, a panicking child whose
+    /// handle was joined surfaces the panic at the `join()` call, and an
+    /// unjoined panicking child re-raises the panic when the scope exits —
+    /// so the crossbeam "any child panicked" `Err` case cannot be observed.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let v = super::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,572 @@
+//! Offline vendored substitute for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API the workspace's property
+//! tests use: the [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assume!`] macros, the [`Strategy`] trait with `prop_map`, string
+//! strategies from a small regex dialect, integer range strategies, tuple
+//! strategies, `any::<T>()`, and `proptest::collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case panics with its seed and case number;
+//!   re-run with the same build to reproduce (generation is deterministic
+//!   per test name and case index).
+//! - **No persistence.** `*.proptest-regressions` files are neither read nor
+//!   written.
+//! - The regex dialect covers literals, `.`, character classes with ranges
+//!   (`[a-d ]`), groups, and `{n}`/`{m,n}`/`*`/`+`/`?` quantifiers — the
+//!   forms used in this repo — not full regex.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// A value generator. `Value` is the generated type.
+///
+/// Unlike real proptest there is no value tree: `new_value` draws a fresh
+/// value directly from the RNG (no shrinking).
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates values satisfying `f` (up to a fixed retry budget, then
+    /// returns the last candidate regardless — callers in this repo always
+    /// pair this with tolerant assertions).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..100 {
+            let v = self.base.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Canonical strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                (self.start as u128 + rng.below(span as u64) as u128) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as u128 + rng.below(span as u64) as u128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset
+// ---------------------------------------------------------------------------
+
+mod regex_gen;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicates are retried a bounded
+    /// number of times, so small element domains may yield sets below the
+    /// requested minimum size (matching real proptest's duplicate-tolerant
+    /// behaviour closely enough for this repo's tests).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 10 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Size specification for collection strategies (`0..15`, `1..=8`, or an
+/// exact `usize`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.max <= self.min {
+            return self.min;
+        }
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// The usual glob import for tests.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+            TestCaseError::Fail(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(pat in strategy, ...)
+/// { body }` items carrying `#[test]`/doc attributes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), rng);)+
+                    // An immediately-invoked closure gives `prop_assert!` a
+                    // `Result` scope to early-return into.
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Discards the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(format!($($fmt)+)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..10, b in 5usize..=9) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+        }
+
+        #[test]
+        fn regex_class_quantifier(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn regex_group_shape(s in "[a-d]{1,3}( [a-d]{1,3}){0,4}") {
+            for word in s.split(' ') {
+                prop_assert!((1..=3).contains(&word.chars().count()));
+                prop_assert!(word.chars().all(|c| ('a'..='d').contains(&c)));
+            }
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u32..100, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| *x < 100));
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0u32..5, 0u32..5).prop_map(|(a, b)| (a.min(b), a.max(b)))) {
+            prop_assert!(p.0 <= p.1);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+
+        #[test]
+        fn any_bool_compiles(b in any::<bool>()) {
+            prop_assert!(b == (b as u8 == 1));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_form_parses(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test() {
+        let mut collected: Vec<BTreeSet<String>> = vec![];
+        for _ in 0..2 {
+            let mut values = BTreeSet::new();
+            crate::test_runner::run_cases(
+                &ProptestConfig::with_cases(10),
+                "determinism_probe",
+                |rng| {
+                    values.insert("[a-z]{1,8}".new_value(rng));
+                    Ok(())
+                },
+            );
+            collected.push(values);
+        }
+        assert_eq!(collected[0], collected[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "determinism_failure_probe")]
+    fn failures_panic_with_test_name() {
+        crate::test_runner::run_cases(
+            &ProptestConfig::with_cases(5),
+            "determinism_failure_probe",
+            |_rng| Err(TestCaseError::Fail("forced".into())),
+        );
+    }
+
+    #[test]
+    fn dot_strategy_exercises_unicode() {
+        let mut saw_multibyte = false;
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(64), "dot_probe", |rng| {
+            let s = ".{0,40}".new_value(rng);
+            if s.len() > s.chars().count() {
+                saw_multibyte = true;
+            }
+            Ok(())
+        });
+        assert!(saw_multibyte, "dot pool should include non-ASCII chars");
+    }
+}

@@ -1,0 +1,261 @@
+//! String generation from a small regex dialect.
+//!
+//! Supported syntax (the subset used by this repo's property tests):
+//! literal characters (including space), `.` (any char from a mixed
+//! ASCII/Unicode pool), character classes `[a-d ]` with ranges, groups
+//! `( ... )`, and quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` on the
+//! preceding atom. Alternation (`|`) and anchors are not supported.
+
+use crate::test_runner::TestRng;
+
+/// Pool for `.`: mixed-case ASCII, digits, punctuation, whitespace, and a
+/// few multi-byte code points so tokenisation/normalisation properties see
+/// Unicode (including 🄰, which is Other_Uppercase with no lowercase map).
+const ANY_POOL: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'Z', '0', '1', '2', '3',
+    '4', '5', '6', '7', '8', '9', ' ', ' ', ' ', '\t', '\n', '.', ',', ';', ':', '-', '_', '\'',
+    '"', '!', '?', '(', ')', '[', ']', '{', '}', '/', '\\', '@', '#', '$', '%', '&', '*', '+', '=',
+    '<', '>', '|', '~', '^', 'é', 'É', 'ß', 'Ω', 'ç', 'Æ', 'ø', '中', '文', 'д', 'Ж', '🄰', '🦀',
+    '½', 'Ⅷ',
+];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Any,
+    Class(Vec<char>),
+    Group(Vec<Term>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax outside the supported dialect (that's a bug in the test,
+/// not an input-dependent condition).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (terms, consumed) = parse_seq(&chars, 0, pattern);
+    assert_eq!(
+        consumed,
+        chars.len(),
+        "unbalanced pattern {pattern:?} (stopped at char {consumed})"
+    );
+    let mut out = String::new();
+    emit_seq(&terms, rng, &mut out);
+    out
+}
+
+/// Parses terms from `chars[pos..]` until end of input or an unmatched `)`.
+/// Returns the terms and the index after the last consumed char.
+fn parse_seq(chars: &[char], mut pos: usize, pattern: &str) -> (Vec<Term>, usize) {
+    let mut terms = Vec::new();
+    while pos < chars.len() {
+        let atom = match chars[pos] {
+            ')' => return (terms, pos),
+            '(' => {
+                let (inner, after) = parse_seq(chars, pos + 1, pattern);
+                assert!(
+                    after < chars.len() && chars[after] == ')',
+                    "unclosed group in pattern {pattern:?}"
+                );
+                pos = after + 1;
+                Atom::Group(inner)
+            }
+            '[' => {
+                let (class, after) = parse_class(chars, pos + 1, pattern);
+                pos = after;
+                Atom::Class(class)
+            }
+            '.' => {
+                pos += 1;
+                Atom::Any
+            }
+            '\\' => {
+                assert!(pos + 1 < chars.len(), "trailing backslash in {pattern:?}");
+                pos += 2;
+                Atom::Lit(chars[pos - 1])
+            }
+            c => {
+                assert!(
+                    !matches!(c, '|' | '^' | '$'),
+                    "unsupported regex feature {c:?} in pattern {pattern:?}"
+                );
+                pos += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max, after) = parse_quantifier(chars, pos, pattern);
+        pos = after;
+        terms.push(Term { atom, min, max });
+    }
+    (terms, pos)
+}
+
+/// Parses a character class body starting just after `[`; returns the
+/// expanded alphabet and the index after the closing `]`.
+fn parse_class(chars: &[char], mut pos: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    while pos < chars.len() && chars[pos] != ']' {
+        let c = chars[pos];
+        assert!(c != '^', "negated classes unsupported in {pattern:?}");
+        if pos + 2 < chars.len() && chars[pos + 1] == '-' && chars[pos + 2] != ']' {
+            let (lo, hi) = (c, chars[pos + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+            for v in (lo as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    class.push(ch);
+                }
+            }
+            pos += 3;
+        } else {
+            class.push(c);
+            pos += 1;
+        }
+    }
+    assert!(
+        pos < chars.len(),
+        "unclosed character class in {pattern:?}"
+    );
+    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+    (class, pos + 1)
+}
+
+/// Parses an optional quantifier at `pos`; returns (min, max, next_pos).
+fn parse_quantifier(chars: &[char], pos: usize, pattern: &str) -> (usize, usize, usize) {
+    if pos >= chars.len() {
+        return (1, 1, pos);
+    }
+    match chars[pos] {
+        '*' => (0, 8, pos + 1),
+        '+' => (1, 8, pos + 1),
+        '?' => (0, 1, pos + 1),
+        '{' => {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|i| pos + i)
+                .unwrap_or_else(|| panic!("unclosed quantifier in {pattern:?}"));
+            let body: String = chars[pos + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n: usize = body.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{body}}} in {pattern:?}")
+                    });
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min: usize = lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{body}}} in {pattern:?}")
+                    });
+                    let max: usize = if hi.trim().is_empty() {
+                        min + 8
+                    } else {
+                        hi.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad quantifier {{{body}}} in {pattern:?}")
+                        })
+                    };
+                    (min, max)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, pos),
+    }
+}
+
+fn emit_seq(terms: &[Term], rng: &mut TestRng, out: &mut String) {
+    for term in terms {
+        let reps = term.min + rng.below((term.max - term.min + 1) as u64) as usize;
+        for _ in 0..reps {
+            match &term.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Any => out.push(ANY_POOL[rng.below(ANY_POOL.len() as u64) as usize]),
+                Atom::Class(class) => {
+                    out.push(class[rng.below(class.len() as u64) as usize]);
+                }
+                Atom::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-c]{3}", &mut r);
+            assert_eq!(s.chars().count(), 3);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn bounded_repetition_with_space_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-d ]{0,20}", &mut r);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c) || c == ' '));
+        }
+    }
+
+    #[test]
+    fn grouped_words() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-d]{1,3}( [a-d]{1,3}){0,4}", &mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=5).contains(&words.len()));
+            for w in words {
+                assert!((1..=3).contains(&w.chars().count()), "word {w:?} in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("a\\.b", &mut r), "a.b");
+    }
+
+    #[test]
+    fn dot_generates_varied_chars() {
+        let mut r = rng();
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            for c in generate(".{0,10}", &mut r).chars() {
+                distinct.insert(c);
+            }
+        }
+        assert!(distinct.len() > 20, "only {} distinct chars", distinct.len());
+    }
+
+    #[test]
+    fn star_plus_question() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(generate("a*", &mut r).chars().count() <= 8);
+            assert!(!generate("a+", &mut r).is_empty());
+            assert!(generate("a?", &mut r).chars().count() <= 1);
+        }
+    }
+}

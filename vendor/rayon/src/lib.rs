@@ -1,0 +1,439 @@
+//! Offline vendored substitute for the `rayon` crate.
+//!
+//! Implements the subset the workspace uses — slice `par_iter`/`par_chunks`,
+//! `map`/`collect`, `join`, `ThreadPoolBuilder`/`ThreadPool::install`, and
+//! `current_num_threads` — on top of `std::thread::scope`.
+//!
+//! Unlike real rayon there is no work-stealing pool: each parallel operation
+//! splits its index space into one contiguous chunk per thread, runs the
+//! chunks on scoped threads, and concatenates the results **in chunk order**.
+//! That makes every combinator order-preserving by construction, which is
+//! exactly the determinism contract the workspace's `par_*` kernels rely on
+//! (see docs/parallelism.md).
+//!
+//! The active thread count is a thread-local set by [`ThreadPool::install`]
+//! (defaulting to `std::thread::available_parallelism`), so
+//! `pool.install(|| ...)` scopes parallelism exactly like rayon does.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Thread count installed for the current scope; 0 = uninitialised
+    /// (fall back to the machine's available parallelism).
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations will use in this scope.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (construction here is
+/// infallible, so it is never actually produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "use available parallelism", as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+}
+
+/// Mirror of `rayon::ThreadPool`. Holds no OS threads — threads are spawned
+/// per operation via `std::thread::scope` — but `install` scopes the thread
+/// count exactly like rayon's.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count active.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let effective = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(effective);
+            let guard = RestoreThreads { prev };
+            let out = op();
+            drop(guard);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Restores the previous installed thread count even if `op` panics.
+struct RestoreThreads {
+    prev: usize,
+}
+
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon::join closure panicked"))
+        })
+    }
+}
+
+pub mod iter {
+    use super::current_num_threads;
+
+    /// An indexed, order-preserving parallel iterator.
+    ///
+    /// Items are addressed by index so chunks can be produced independently
+    /// and concatenated in order — results never depend on thread count.
+    pub trait ParallelIterator: Sync + Sized {
+        type Item: Send;
+
+        /// Number of items.
+        fn par_len(&self) -> usize;
+
+        /// Produces the item at `index` (0 <= index < par_len()).
+        fn item_at(&self, index: usize) -> Self::Item;
+
+        fn map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Materialises all items in index order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_iter(self)
+        }
+
+        /// Applies `f` to every item. Order of side effects is unspecified
+        /// across chunks (as in rayon); `f` must be thread-safe.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            run_indexed(&self, &|item| f(item));
+        }
+
+        /// Sums items in chunk order (left-to-right association within and
+        /// across chunks is fixed by chunk layout, not thread count).
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+        {
+            let parts = collect_chunks(&self, &|item| item);
+            parts.into_iter().map(|c| c.into_iter().sum::<S>()).sum()
+        }
+    }
+
+    /// Splits `[0, len)` into one contiguous span per thread, maps every
+    /// index through `f`, and returns the per-chunk vectors in chunk order.
+    fn collect_chunks<P, U>(it: &P, f: &(impl Fn(P::Item) -> U + Sync)) -> Vec<Vec<U>>
+    where
+        P: ParallelIterator,
+        U: Send,
+    {
+        let len = it.par_len();
+        let threads = current_num_threads().max(1).min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            return vec![(0..len).map(|i| f(it.item_at(i))).collect()];
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..len)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(len);
+                    s.spawn(move || (start..end).map(|i| f(it.item_at(i))).collect::<Vec<U>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel iterator worker panicked"))
+                .collect()
+        })
+    }
+
+    fn run_indexed<P: ParallelIterator>(it: &P, f: &(impl Fn(P::Item) + Sync)) {
+        let len = it.par_len();
+        let threads = current_num_threads().max(1).min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            for i in 0..len {
+                f(it.item_at(i));
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..len)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(len);
+                    s.spawn(move || {
+                        for i in start..end {
+                            f(it.item_at(i));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel iterator worker panicked");
+            }
+        });
+    }
+
+    /// Collection types a parallel iterator can materialise into.
+    pub trait FromParallelIterator<T: Send>: Sized {
+        fn from_par_iter<P: ParallelIterator<Item = T>>(it: P) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<P: ParallelIterator<Item = T>>(it: P) -> Self {
+            let parts = collect_chunks(&it, &|item| item);
+            let mut out = Vec::with_capacity(it.par_len());
+            for part in parts {
+                out.extend(part);
+            }
+            out
+        }
+    }
+
+    /// `&slice` → parallel iterator over `&T`.
+    pub struct ParIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+        type Item = &'a T;
+
+        fn par_len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn item_at(&self, index: usize) -> &'a T {
+            &self.slice[index]
+        }
+    }
+
+    /// `slice.par_chunks(n)` → parallel iterator over `&[T]` windows.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        chunk: usize,
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+        type Item = &'a [T];
+
+        fn par_len(&self) -> usize {
+            self.slice.len().div_ceil(self.chunk)
+        }
+
+        fn item_at(&self, index: usize) -> &'a [T] {
+            let start = index * self.chunk;
+            let end = (start + self.chunk).min(self.slice.len());
+            &self.slice[start..end]
+        }
+    }
+
+    /// Mapped parallel iterator.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, U, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        U: Send,
+        F: Fn(I::Item) -> U + Sync,
+    {
+        type Item = U;
+
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+
+        fn item_at(&self, index: usize) -> U {
+            (self.f)(self.base.item_at(index))
+        }
+    }
+
+    /// `.par_iter()` entry point, mirroring rayon's trait of the same name.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send + 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParIter<'a, T>;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<'a, T>;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    /// `.par_chunks(n)` entry point, mirroring `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParChunks {
+                slice: self,
+                chunk: chunk_size,
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{join, current_num_threads, ThreadPoolBuilder};
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| *x as u64 * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x as u64 * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_is_thread_count_independent() {
+        let v: Vec<u32> = (0..257).collect();
+        let serial: Vec<u32> = v.iter().map(|x| x + 1).collect();
+        for n in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let par: Vec<u32> = pool.install(|| v.par_iter().map(|x| x + 1).collect());
+            assert_eq!(par, serial, "mismatch at {n} threads");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_slice() {
+        let v: Vec<u32> = (0..103).collect();
+        let chunks: Vec<&[u32]> = v.par_chunks(10).collect();
+        assert_eq!(chunks.len(), 11);
+        let flat: Vec<u32> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(flat, v);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let serial: u64 = v.iter().sum();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let par: u64 = pool.install(|| v.par_iter().map(|x| *x).sum());
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = vec![];
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}
