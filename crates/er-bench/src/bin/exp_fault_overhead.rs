@@ -1,0 +1,4 @@
+//! Runs experiment `e15_fault_overhead` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e15_fault_overhead();
+}

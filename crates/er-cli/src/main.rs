@@ -3,32 +3,38 @@
 //! ```text
 //! er generate --kind dirty --entities 1000 --noise moderate --seed 7 --out data/demo
 //! er resolve  --collection data/demo.collection.txt --truth data/demo.truth.txt \
-//!             --blocking token --weighting arcs --pruning wnp --threshold 0.4
+//!             --blocking token --weighting arcs --pruning wnp --threshold 0.4 \
+//!             --retries 3 --checkpoint-dir /tmp/er-ckpt --resume
 //! ```
 //!
 //! `generate` writes `<out>.collection.txt` and `<out>.truth.txt` in the
-//! `er_core::io` text format; `resolve` runs blocking → (optional)
-//! meta-blocking → threshold matching → clustering and, when ground truth is
-//! supplied, prints PC/PQ/RR for the candidates and precision/recall/F1 for
-//! the final matches. Argument parsing is hand-rolled to keep the workspace
-//! dependency-light.
+//! `er_core::io` text format; `resolve` runs the fault-tolerant pipeline —
+//! blocking → (optional) meta-blocking → threshold matching → clustering —
+//! and, when ground truth is supplied, prints PC/PQ/RR for the candidates
+//! and precision/recall/F1 for the final matches. Stage failures are retried
+//! under `--retries`; `--checkpoint-dir`/`--resume` persist and restore
+//! per-stage snapshots; `--fail-stage` injects a one-shot panic into a stage
+//! to demo recovery. Any unrecoverable pipeline error exits nonzero.
+//! Argument parsing is hand-rolled to keep the workspace dependency-light.
 
-use er_blocking::attribute_clustering::AttributeClusteringBlocking;
-use er_blocking::sorted_neighborhood::{SortKey, SortedNeighborhood};
-use er_blocking::TokenBlocking;
+use er_blocking::sorted_neighborhood::SortKey;
 use er_core::collection::EntityCollection;
-use er_core::matching::ThresholdMatcher;
+use er_core::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 use er_core::metrics::{BlockingQuality, MatchQuality};
-use er_core::pair::Pair;
-use er_core::similarity::SetMeasure;
+use er_core::parallel::Parallelism;
 use er_datagen::{
     CleanCleanConfig, CleanCleanDataset, DirtyConfig, DirtyDataset, LodConfig, LodDataset,
     NoiseModel,
 };
-use er_core::parallel::Parallelism;
-use er_metablocking::{par_meta_block, PruningScheme, WeightingScheme};
+use er_metablocking::{PruningScheme, WeightingScheme};
+use er_pipeline::recovery::{STAGE_BLOCKING, STAGE_MATCHING, STAGE_META_BLOCKING};
+use er_pipeline::{
+    BlockingStage, CleaningStage, ClusteringStage, MatchingStage, MetaBlockingStage, Pipeline,
+    RecoveryOptions,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,26 +65,41 @@ fn print_usage() {
          \x20            [--blocking token|attrcluster|sn|minhash]\n\
          \x20            [--weighting cbs|ecbs|js|ejs|arcs] [--pruning wep|cep|wnp|cnp|none]\n\
          \x20            [--threshold T] [--clustering closure|center|umc]\n\
-         \x20            [--threads N] [--show-matches N]\n\n\
+         \x20            [--threads N] [--show-matches N]\n\
+         \x20            [--retries N] [--checkpoint-dir DIR] [--resume]\n\
+         \x20            [--fail-stage blocking|meta-blocking|matching]\n\n\
          NOISE LEVELS: clean, light, moderate (default), heavy\n\
          THREADS: worker threads for the hot kernels; 0 = all cores,\n\
-         \x20        default 1 (serial). The output is identical either way."
+         \x20        default 1 (serial). The output is identical either way.\n\
+         FAULTS:  --retries N retries a failed stage up to N attempts (default 3);\n\
+         \x20        --checkpoint-dir DIR writes per-stage snapshots, --resume\n\
+         \x20        restores the deepest valid one; --fail-stage injects one\n\
+         \x20        panic into a stage's first attempt to demo recovery."
     );
 }
 
-/// Parses `--key value` flags into a map, rejecting unknown keys.
-fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, String>, String> {
+/// Parses flags into a map: `--key value` for keys in `allowed`, bare
+/// `--switch` (no value) for keys in `switches`. Unknown keys are rejected.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+    switches: &[&str],
+) -> Result<BTreeMap<String, String>, String> {
     let mut out = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        if switches.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         if !allowed.contains(&key) {
-            return Err(format!(
-                "unknown flag --{key} (allowed: {})",
-                allowed.join(", ")
-            ));
+            let mut all: Vec<&str> = allowed.iter().chain(switches).copied().collect();
+            all.sort_unstable();
+            return Err(format!("unknown flag --{key} (allowed: {})", all.join(", ")));
         }
         let value = args
             .get(i + 1)
@@ -98,7 +119,7 @@ fn noise_from(name: &str) -> Result<NoiseModel, String> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["kind", "entities", "noise", "seed", "out"])?;
+    let flags = parse_flags(args, &["kind", "entities", "noise", "seed", "out"], &[])?;
     let kind = flags.get("kind").map(String::as_str).unwrap_or("dirty");
     let entities: usize = flags
         .get("entities")
@@ -159,6 +180,51 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the fault-tolerance options from the resolve flags, validating
+/// flag combinations with proper errors instead of panics.
+fn recovery_options_from(flags: &BTreeMap<String, String>) -> Result<RecoveryOptions, String> {
+    let retries: u32 = flags
+        .get("retries")
+        .map(|v| v.parse().map_err(|_| format!("bad --retries {v:?}")))
+        .transpose()?
+        .unwrap_or(3);
+    if retries == 0 {
+        return Err("--retries must be at least 1 (the first attempt counts)".to_string());
+    }
+    let mut opts = RecoveryOptions::retrying(RetryPolicy::attempts(retries));
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        opts = opts.checkpoint_dir(dir);
+    }
+    if flags.contains_key("resume") {
+        if flags.get("checkpoint-dir").is_none() {
+            return Err("--resume requires --checkpoint-dir".to_string());
+        }
+        opts = opts.resume(true);
+    }
+    if let Some(stage) = flags.get("fail-stage") {
+        let stage: &'static str = match stage.as_str() {
+            "blocking" => STAGE_BLOCKING,
+            "meta-blocking" => STAGE_META_BLOCKING,
+            "matching" => STAGE_MATCHING,
+            other => {
+                return Err(format!(
+                    "unknown --fail-stage {other:?} (allowed: blocking, meta-blocking, matching)"
+                ))
+            }
+        };
+        // One panic on the stage's first attempt: recovered when retries
+        // allow, surfaced (or degraded, for meta-blocking) when they don't.
+        let plan = FaultPlan::none().inject(stage, 0, 0, FaultKind::Panic);
+        opts = opts.with_injector(Arc::new(FaultInjector::new(plan)));
+        // The injected panic is caught by the recovery layer; without this
+        // the default hook would still spray a backtrace over the output.
+        std::panic::set_hook(Box::new(|info| {
+            eprintln!("stage fault: {info}");
+        }));
+    }
+    Ok(opts)
+}
+
 fn cmd_resolve(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -172,7 +238,11 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             "clustering",
             "threads",
             "show-matches",
+            "retries",
+            "checkpoint-dir",
+            "fail-stage",
         ],
+        &["resume"],
     )?;
     let par = Parallelism::threads(
         flags
@@ -181,6 +251,7 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             .transpose()?
             .unwrap_or(1),
     );
+    let opts = recovery_options_from(&flags)?;
     let cpath = flags
         .get("collection")
         .ok_or("--collection FILE is required")?;
@@ -201,40 +272,22 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         })
         .transpose()?;
 
-    // Blocking.
+    // Stage selection mirrors the historical flag vocabulary onto the
+    // er-pipeline stages (no cleaning, matching the CLI's past behavior).
     let blocking = flags.get("blocking").map(String::as_str).unwrap_or("token");
-    let (blocks, candidates): (Option<er_blocking::BlockCollection>, Vec<Pair>) = match blocking {
-        "token" => {
-            let b = TokenBlocking::new().par_build(&collection, par);
-            let p = b.distinct_pairs(&collection);
-            (Some(b), p)
-        }
-        "attrcluster" => {
-            let b = AttributeClusteringBlocking::new().par_build(&collection, par);
-            let p = b.distinct_pairs(&collection);
-            (Some(b), p)
-        }
-        "sn" => (
-            None,
-            SortedNeighborhood::new(SortKey::FlattenedValue, 10).candidate_pairs(&collection),
-        ),
-        "minhash" => {
-            let b = er_blocking::minhash::MinHashBlocking::new(8, 2).build(&collection);
-            let p = b.distinct_pairs(&collection);
-            (Some(b), p)
-        }
+    let blocking_stage = match blocking {
+        "token" => BlockingStage::Token,
+        "attrcluster" => BlockingStage::AttributeClustering,
+        "sn" => BlockingStage::SortedNeighborhood(vec![SortKey::FlattenedValue], 10),
+        "minhash" => BlockingStage::MinHash(8, 2),
         other => return Err(format!("unknown --blocking {other:?}")),
     };
-    println!(
-        "blocking [{blocking}]: {} candidate comparisons",
-        candidates.len()
-    );
+    let pair_producing = matches!(blocking_stage, BlockingStage::SortedNeighborhood(..));
 
-    // Meta-blocking (only for block-based methods).
     let pruning = flags.get("pruning").map(String::as_str).unwrap_or("wnp");
-    let candidates = if pruning == "none" {
-        candidates
-    } else if let Some(blocks) = &blocks {
+    let meta = if pruning == "none" || pair_producing {
+        None
+    } else {
         let weighting = match flags.get("weighting").map(String::as_str).unwrap_or("arcs") {
             "cbs" => WeightingScheme::Cbs,
             "ecbs" => WeightingScheme::Ecbs,
@@ -250,20 +303,63 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             "cnp" => PruningScheme::Cnp,
             other => return Err(format!("unknown --pruning {other:?}")),
         };
-        let kept = par_meta_block(&collection, blocks, weighting, pruning, par);
-        println!(
-            "meta-blocking [{}/{}]: {} comparisons kept",
-            weighting.name(),
-            pruning.name(),
-            kept.len()
-        );
-        kept
-    } else {
-        candidates
+        Some(MetaBlockingStage { weighting, pruning })
     };
 
-    if let Some(t) = &truth {
-        let q = BlockingQuality::measure(&candidates, t, collection.total_possible_comparisons());
+    let threshold: f64 = flags
+        .get("threshold")
+        .map(|v| v.parse().map_err(|_| format!("bad --threshold {v:?}")))
+        .transpose()?
+        .unwrap_or(0.4);
+    let clustering = match flags
+        .get("clustering")
+        .map(String::as_str)
+        .unwrap_or("closure")
+    {
+        "closure" => ClusteringStage::ConnectedComponents,
+        "center" => ClusteringStage::Center,
+        "umc" => ClusteringStage::UniqueMapping,
+        other => return Err(format!("unknown --clustering {other:?}")),
+    };
+
+    let mut builder = Pipeline::builder()
+        .blocking(blocking_stage)
+        .cleaning(CleaningStage::None)
+        .matching(MatchingStage::jaccard(threshold))
+        .clustering(clustering)
+        .parallelism(par);
+    builder = match meta {
+        Some(mb) => builder.meta_blocking(mb),
+        None => builder.no_meta_blocking(),
+    };
+    let pipeline = builder.build();
+
+    // The fault-tolerant run: retried stages, optional checkpoints, loud
+    // degradation. Unrecoverable errors propagate to a nonzero exit.
+    let outcome = pipeline
+        .run_with_recovery(&collection, &opts)
+        .map_err(|e| e.to_string())?;
+    for event in &outcome.events {
+        println!("recovery: {event}");
+    }
+    if let Some(stage) = outcome.resumed_from {
+        println!("resumed from the {stage} checkpoint");
+    }
+    let report = &outcome.resolution.report;
+    println!(
+        "blocking [{blocking}]: {} candidate comparisons",
+        report.blocked_comparisons
+    );
+    if meta.is_some() && !outcome.degraded() && outcome.resumed_from != Some(STAGE_MATCHING) {
+        println!(
+            "meta-blocking [{}/{}]: {} comparisons kept",
+            meta.map(|m| m.weighting.name()).unwrap_or(""),
+            meta.map(|m| m.pruning.name()).unwrap_or(""),
+            report.scheduled_comparisons
+        );
+    }
+    if let (Some(t), Some(candidates)) = (&truth, &outcome.scheduled) {
+        let q = BlockingQuality::measure(candidates, t, collection.total_possible_comparisons());
         println!(
             "candidate quality: PC {:.3}  PQ {:.4}  RR {:.3}",
             q.pc(),
@@ -272,54 +368,20 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         );
     }
 
-    // Matching + clustering.
-    let threshold: f64 = flags
-        .get("threshold")
-        .map(|v| v.parse().map_err(|_| format!("bad --threshold {v:?}")))
-        .transpose()?
-        .unwrap_or(0.4);
-    let matcher = ThresholdMatcher::new(SetMeasure::Jaccard, threshold);
-    // Retain scores for the score-aware clustering options.
-    let scored: Vec<(Pair, f64)> =
-        er_core::matching::par_decide_candidates(&collection, &matcher, &candidates, par)
-            .into_iter()
-            .filter_map(|(p, d)| d.is_match.then_some((p, d.score)))
-            .collect();
-    let clustering = flags
-        .get("clustering")
-        .map(String::as_str)
-        .unwrap_or("closure");
-    let (matches, clusters) = match clustering {
-        "closure" => {
-            let matches: Vec<Pair> = scored.iter().map(|(p, _)| *p).collect();
-            let clusters = er_core::clusters::components_from_matches(collection.len(), &matches);
-            (matches, clusters)
-        }
-        "center" => {
-            let clusters =
-                er_core::match_clustering::center_clustering(collection.len(), &scored, 0.0);
-            let matches: Vec<Pair> =
-                er_core::ground_truth::GroundTruth::from_clusters(clusters.iter())
-                    .iter()
-                    .collect();
-            (matches, clusters)
-        }
-        "umc" => {
-            let matches =
-                er_core::match_clustering::unique_mapping_clustering(&collection, &scored, 0.0);
-            let clusters = er_core::clusters::components_from_matches(collection.len(), &matches);
-            (matches, clusters)
-        }
-        other => return Err(format!("unknown --clustering {other:?}")),
-    };
-    let non_singleton = clusters.iter().filter(|c| c.len() > 1).count();
+    let matches = &outcome.resolution.matches;
+    let non_singleton = outcome
+        .resolution
+        .clusters
+        .iter()
+        .filter(|c| c.len() > 1)
+        .count();
     println!(
         "matching [jaccard >= {threshold}]: {} match pairs, {} multi-description entities",
         matches.len(),
         non_singleton
     );
     if let Some(t) = &truth {
-        let q = MatchQuality::measure(collection.len(), &matches, t);
+        let q = MatchQuality::measure(collection.len(), matches, t);
         println!(
             "match quality: precision {:.3}  recall {:.3}  F1 {:.3}",
             q.precision(),
@@ -357,16 +419,28 @@ mod tests {
 
     #[test]
     fn parse_flags_happy_path() {
-        let f = parse_flags(&s(&["--kind", "dirty", "--out", "x"]), &["kind", "out"]).unwrap();
+        let f = parse_flags(&s(&["--kind", "dirty", "--out", "x"]), &["kind", "out"], &[]).unwrap();
         assert_eq!(f["kind"], "dirty");
         assert_eq!(f["out"], "x");
     }
 
     #[test]
     fn parse_flags_rejects_unknown_and_dangling() {
-        assert!(parse_flags(&s(&["--bogus", "1"]), &["kind"]).is_err());
-        assert!(parse_flags(&s(&["--kind"]), &["kind"]).is_err());
-        assert!(parse_flags(&s(&["kind", "dirty"]), &["kind"]).is_err());
+        assert!(parse_flags(&s(&["--bogus", "1"]), &["kind"], &[]).is_err());
+        assert!(parse_flags(&s(&["--kind"]), &["kind"], &[]).is_err());
+        assert!(parse_flags(&s(&["kind", "dirty"]), &["kind"], &[]).is_err());
+    }
+
+    #[test]
+    fn parse_flags_switches_take_no_value() {
+        let f = parse_flags(
+            &s(&["--resume", "--kind", "dirty"]),
+            &["kind"],
+            &["resume"],
+        )
+        .unwrap();
+        assert_eq!(f["resume"], "true");
+        assert_eq!(f["kind"], "dirty");
     }
 
     #[test]
@@ -377,24 +451,20 @@ mod tests {
         assert!(noise_from("extreme").is_err());
     }
 
+    fn generate(prefix: &str, kind: &str, entities: &str) {
+        cmd_generate(&s(&[
+            "--kind", kind, "--entities", entities, "--noise", "light", "--seed", "5", "--out",
+            prefix,
+        ]))
+        .unwrap();
+    }
+
     #[test]
     fn generate_and_resolve_round_trip() {
         let dir = std::env::temp_dir().join("er_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let prefix = dir.join("demo").to_string_lossy().to_string();
-        cmd_generate(&s(&[
-            "--kind",
-            "dirty",
-            "--entities",
-            "150",
-            "--noise",
-            "light",
-            "--seed",
-            "5",
-            "--out",
-            &prefix,
-        ]))
-        .unwrap();
+        generate(&prefix, "dirty", "150");
         cmd_resolve(&s(&[
             "--collection",
             &format!("{prefix}.collection.txt"),
@@ -433,17 +503,7 @@ mod tests {
         let dir = std::env::temp_dir().join("er_cli_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let prefix = dir.join("cc").to_string_lossy().to_string();
-        cmd_generate(&s(&[
-            "--kind",
-            "cleanclean",
-            "--entities",
-            "120",
-            "--noise",
-            "light",
-            "--out",
-            &prefix,
-        ]))
-        .unwrap();
+        generate(&prefix, "cleanclean", "120");
         cmd_resolve(&s(&[
             "--collection",
             &format!("{prefix}.collection.txt"),
@@ -469,5 +529,84 @@ mod tests {
     fn resolve_missing_file_errors() {
         let err = cmd_resolve(&s(&["--collection", "/nonexistent/file.txt"])).unwrap_err();
         assert!(err.contains("/nonexistent/file.txt"));
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_a_proper_error() {
+        let err = cmd_resolve(&s(&["--collection", "x.txt", "--resume"])).unwrap_err();
+        assert!(err.contains("--resume requires --checkpoint-dir"), "{err}");
+    }
+
+    #[test]
+    fn zero_retries_is_a_proper_error() {
+        let err = cmd_resolve(&s(&["--collection", "x.txt", "--retries", "0"])).unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fail_stage_is_a_proper_error() {
+        let err =
+            cmd_resolve(&s(&["--collection", "x.txt", "--fail-stage", "sorting"])).unwrap_err();
+        assert!(err.contains("--fail-stage"), "{err}");
+    }
+
+    #[test]
+    fn injected_stage_failure_is_recovered_by_retries() {
+        let dir = std::env::temp_dir().join("er_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("ft").to_string_lossy().to_string();
+        generate(&prefix, "dirty", "120");
+        // Default --retries 3 absorbs the single injected panic.
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--fail-stage",
+            "blocking",
+        ]))
+        .unwrap();
+        // With one attempt the blocking failure is unrecoverable → Err, which
+        // main() turns into a nonzero exit.
+        let err = cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--fail-stage",
+            "blocking",
+            "--retries",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("blocking"), "{err}");
+        // A meta-blocking failure degrades instead of failing, even with a
+        // single attempt.
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--fail-stage",
+            "meta-blocking",
+            "--retries",
+            "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn checkpoint_and_resume_through_the_cli() {
+        let dir = std::env::temp_dir().join("er_cli_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("ck").to_string_lossy().to_string();
+        let ckpt = dir.join("ckpts").to_string_lossy().to_string();
+        generate(&prefix, "dirty", "120");
+        let base = s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--checkpoint-dir",
+            &ckpt,
+        ]);
+        cmd_resolve(&base).unwrap();
+        assert!(std::path::Path::new(&ckpt).join("matched.ckpt").exists());
+        let mut resumed = base.clone();
+        resumed.push("--resume".to_string());
+        cmd_resolve(&resumed).unwrap();
+        let _ = std::fs::remove_dir_all(dir.join("ckpts"));
     }
 }

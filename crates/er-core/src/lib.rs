@@ -22,7 +22,10 @@
 //! * **ground truth** handling and the **evaluation metrics** used across the
 //!   blocking / meta-blocking / progressive ER literature: pair completeness
 //!   (PC), pairs quality (PQ), reduction ratio (RR) and progressive recall
-//!   curves ([`ground_truth`], [`metrics`]).
+//!   curves ([`ground_truth`], [`metrics`]);
+//! * **fault-tolerance primitives** — deterministic fault injection, retry
+//!   policies with deterministic backoff jitter, and speculation rules used
+//!   by the execution layers ([`fault`]).
 //!
 //! Downstream crates build the tutorial's pipeline on top of this: blocking
 //! (`er-blocking`), meta-blocking (`er-metablocking`), parallel execution
@@ -35,6 +38,7 @@
 pub mod clusters;
 pub mod collection;
 pub mod entity;
+pub mod fault;
 pub mod ground_truth;
 pub mod io;
 pub mod match_clustering;
@@ -48,6 +52,7 @@ pub mod tokenize;
 
 pub use collection::{EntityCollection, ResolutionMode};
 pub use entity::{Entity, EntityId, KbId};
+pub use fault::{ExecPolicy, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use ground_truth::GroundTruth;
 pub use matching::{CountingMatcher, Matcher};
 pub use pair::Pair;

@@ -12,9 +12,30 @@
 //! Results are returned sorted by key, which makes the output independent of
 //! the worker count — the property every equivalence test in this workspace
 //! relies on.
+//!
+//! # Fault tolerance
+//!
+//! The `run*` methods assume an infallible runtime: a panicking task kills
+//! the job, exactly like the seed engine. The `try_run*` methods execute
+//! every map and reduce task under an [`ExecPolicy`]
+//! (`er_core::fault`): per-task panics and transient errors are caught and
+//! the *failed task only* is retried with exponential backoff and
+//! deterministic jitter; stragglers optionally get a speculative backup
+//! attempt whose result is taken by **identity, not timing** (both attempts
+//! run the same pure function over the same input, so whichever finishes
+//! first writes the one possible value). Any run that completes is therefore
+//! bit-identical to the fault-free run — the same contract
+//! `docs/parallelism.md` establishes for thread counts, extended to failure
+//! schedules. A task that exhausts its attempts surfaces as [`ExecError`]
+//! instead of panicking.
 
+use er_core::fault::ExecPolicy;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Job statistics, mirroring the counters a Hadoop job would report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -25,6 +46,305 @@ pub struct JobStats {
     pub combined_records: u64,
     /// Distinct keys seen by reducers.
     pub reduce_groups: u64,
+    /// Retry attempts scheduled after task failures (`try_run*` only).
+    pub tasks_retried: u64,
+    /// Speculative backup attempts launched for stragglers (`try_run*` only).
+    pub tasks_speculated: u64,
+    /// Faults fired by the policy's injector during this job.
+    pub faults_injected: u64,
+}
+
+/// A task failed every attempt its [`ExecPolicy`] allowed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecError {
+    /// Execution stage (`"map"` or `"reduce"`).
+    pub stage: String,
+    /// Index of the failing task within the stage.
+    pub task: usize,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// Message of the final failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stage {:?} task {} failed after {} attempt(s): {}",
+            self.stage, self.task, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Retry/speculation accounting of one stage.
+#[derive(Clone, Copy, Debug, Default)]
+struct TaskCounters {
+    retried: u64,
+    speculated: u64,
+}
+
+/// One queued task attempt; `not_before` implements backoff without
+/// blocking a worker slot.
+struct QueuedAttempt {
+    task: usize,
+    attempt: u32,
+    not_before: Instant,
+}
+
+/// Shared scheduler state of [`execute_tasks`].
+struct ExecState<O> {
+    queue: VecDeque<QueuedAttempt>,
+    /// First-finisher-wins result slot per task.
+    results: Vec<Option<O>>,
+    completed: usize,
+    /// Durations of completed tasks (support for the straggler median).
+    durations: Vec<Duration>,
+    /// Currently running attempts: `(task, attempt, started)`.
+    running: Vec<(usize, u32, Instant)>,
+    /// Live (queued or running) attempts per task.
+    live: Vec<u32>,
+    /// Next attempt number to issue per task.
+    next_attempt: Vec<u32>,
+    /// Whether a speculative backup was already launched per task.
+    speculated: Vec<bool>,
+    counters: TaskCounters,
+    fatal: Option<ExecError>,
+}
+
+/// Runs `tasks` on `workers` threads under a fault-tolerance policy.
+///
+/// Each task is a pure function of its (shared, re-borrowable) input, so a
+/// failed attempt can be retried and a straggler can race a backup without
+/// changing the output: `results[i]` is always `run(&tasks[i])` of *some*
+/// successful attempt, and all successful attempts produce the same value.
+/// Results are returned in task order, which keeps the caller's merge order
+/// identical to the fault-free engine.
+fn execute_tasks<T, O, F>(
+    stage: &str,
+    tasks: &[T],
+    workers: usize,
+    policy: &ExecPolicy,
+    run: F,
+) -> Result<(Vec<O>, TaskCounters), ExecError>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    if tasks.is_empty() {
+        return Ok((Vec::new(), TaskCounters::default()));
+    }
+    let n = tasks.len();
+    let now = Instant::now();
+    let state = Mutex::new(ExecState {
+        queue: (0..n)
+            .map(|task| QueuedAttempt {
+                task,
+                attempt: 0,
+                not_before: now,
+            })
+            .collect(),
+        results: (0..n).map(|_| None).collect(),
+        completed: 0,
+        durations: Vec::with_capacity(n),
+        running: Vec::new(),
+        live: vec![1; n],
+        next_attempt: vec![1; n],
+        speculated: vec![false; n],
+        counters: TaskCounters::default(),
+        fatal: None,
+    });
+    let cv = Condvar::new();
+    let state = &state;
+    let cv = &cv;
+    let run = &run;
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(move |_| worker_loop(stage, tasks, policy, state, cv, run));
+        }
+    })
+    .expect("task executor scope failed");
+    let st = state.lock().expect("executor state poisoned");
+    if let Some(e) = &st.fatal {
+        return Err(e.clone());
+    }
+    let counters = st.counters;
+    let results = {
+        // Move the slots out in task order; every slot is filled when no
+        // fatal error was recorded.
+        let mut st = st;
+        st.results
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| slot.take().unwrap_or_else(|| panic!("task {i} missing result")))
+            .collect()
+    };
+    Ok((results, counters))
+}
+
+/// One worker thread of [`execute_tasks`]: claim an eligible attempt, run it
+/// with injection + panic catching, record the outcome, repeat.
+fn worker_loop<T, O, F>(
+    stage: &str,
+    tasks: &[T],
+    policy: &ExecPolicy,
+    state: &Mutex<ExecState<O>>,
+    cv: &Condvar,
+    run: &F,
+) where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    let n = tasks.len();
+    loop {
+        // ---- claim an attempt (or exit) ------------------------------------
+        let claimed = {
+            let mut st = state.lock().expect("executor state poisoned");
+            loop {
+                if st.fatal.is_some() || st.completed == n {
+                    cv.notify_all();
+                    return;
+                }
+                let now = Instant::now();
+                if let Some(spec) = &policy.speculation {
+                    launch_speculative_backups(&mut st, spec, &policy.retry, now);
+                }
+                if let Some(pos) = st.queue.iter().position(|q| q.not_before <= now) {
+                    let q = st.queue.remove(pos).expect("position exists");
+                    st.running.push((q.task, q.attempt, now));
+                    break (q.task, q.attempt);
+                }
+                // Nothing ready: sleep until the earliest backoff expires, a
+                // speculation poll is due, or another worker wakes us. Only
+                // speculation needs periodic polling; otherwise idle workers
+                // park until notified, so they don't steal cycles from the
+                // threads doing real work.
+                let mut wait = if policy.speculation.is_some() {
+                    Duration::from_millis(2)
+                } else {
+                    Duration::from_secs(60)
+                };
+                if let Some(earliest) = st.queue.iter().map(|q| q.not_before).min() {
+                    wait = wait.min(earliest.saturating_duration_since(now));
+                }
+                let (g, _) = cv
+                    .wait_timeout(st, wait.max(Duration::from_micros(100)))
+                    .expect("executor state poisoned");
+                st = g;
+            }
+        };
+        let (task, attempt) = claimed;
+
+        // ---- run the attempt outside the lock ------------------------------
+        let started = Instant::now();
+        let outcome: Result<O, String> = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inj) = &policy.injector {
+                inj.fire(stage, task, attempt)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(run(&tasks[task]))
+        }))
+        .unwrap_or_else(|panic_payload| Err(panic_message(&panic_payload)));
+
+        // ---- record the outcome --------------------------------------------
+        let mut st = state.lock().expect("executor state poisoned");
+        st.running
+            .retain(|&(t, a, _)| !(t == task && a == attempt));
+        st.live[task] -= 1;
+        match outcome {
+            Ok(out) => {
+                if st.results[task].is_none() {
+                    st.results[task] = Some(out);
+                    st.completed += 1;
+                    st.durations.push(started.elapsed());
+                }
+                // A slower duplicate of an already-completed task is simply
+                // dropped: result identity, not timing, decides the output.
+            }
+            Err(message) => {
+                if st.results[task].is_some() {
+                    // A backup already completed the task; this failure is
+                    // moot.
+                } else if st.next_attempt[task] < policy.retry.max_attempts {
+                    let next = st.next_attempt[task];
+                    st.next_attempt[task] += 1;
+                    st.live[task] += 1;
+                    st.counters.retried += 1;
+                    let backoff = policy.retry.backoff_for(stage, task, next);
+                    st.queue.push_back(QueuedAttempt {
+                        task,
+                        attempt: next,
+                        not_before: Instant::now() + backoff,
+                    });
+                } else if st.live[task] == 0 {
+                    st.fatal = Some(ExecError {
+                        stage: stage.to_string(),
+                        task,
+                        attempts: st.next_attempt[task],
+                        message,
+                    });
+                }
+            }
+        }
+        cv.notify_all();
+    }
+}
+
+/// The Hadoop speculative-execution rule: any running attempt older than
+/// `straggler_factor ×` the median completed-task duration (and the
+/// configured floor) gets one backup attempt, provided the task still has
+/// attempt budget. Called with the state lock held.
+fn launch_speculative_backups<O>(
+    st: &mut ExecState<O>,
+    spec: &er_core::fault::SpeculationConfig,
+    retry: &er_core::fault::RetryPolicy,
+    now: Instant,
+) {
+    if st.durations.len() < spec.min_completed {
+        return;
+    }
+    let mut ds = st.durations.clone();
+    ds.sort_unstable();
+    let median = ds[ds.len() / 2];
+    let threshold = median.mul_f64(spec.straggler_factor).max(spec.min_runtime);
+    let stragglers: Vec<usize> = st
+        .running
+        .iter()
+        .filter(|&&(task, _, started)| {
+            st.results[task].is_none()
+                && !st.speculated[task]
+                && now.duration_since(started) > threshold
+                && st.next_attempt[task] < retry.max_attempts
+        })
+        .map(|&(task, _, _)| task)
+        .collect();
+    for task in stragglers {
+        let attempt = st.next_attempt[task];
+        st.next_attempt[task] += 1;
+        st.live[task] += 1;
+        st.speculated[task] = true;
+        st.counters.speculated += 1;
+        st.queue.push_back(QueuedAttempt {
+            task,
+            attempt,
+            not_before: now,
+        });
+    }
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("task panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("task panicked: {s}")
+    } else {
+        "task panicked".to_string()
+    }
 }
 
 /// A configured MapReduce job. `I` is the input record type, `K`/`V` the
@@ -195,8 +515,173 @@ where
                 map_output_records,
                 combined_records,
                 reduce_groups,
+                ..JobStats::default()
             },
         )
+    }
+}
+
+/// Fault-tolerant variants. A failed or speculated task must be able to
+/// re-read its shared input, so the closures borrow instead of consuming:
+/// map tasks re-borrow their input chunk (hence `map_fn` takes `&I`) and
+/// reduce tasks re-borrow their merged key groups (hence `reduce_fn` takes
+/// `&[V]`, not `Vec<V>`). That keeps the fault-free path clone-free and
+/// cost-equal to `run`.
+impl<I, K, V, R> MapReduce<I, K, V, R>
+where
+    I: Send + Sync,
+    K: Ord + Hash + Clone + Send + Sync,
+    V: Send + Sync,
+    R: Send,
+{
+    /// Fault-tolerant [`run`](MapReduce::run): executes under `policy`,
+    /// retrying failed tasks and (optionally) speculating on stragglers.
+    /// A completed run is bit-identical to the fault-free `run`; a task that
+    /// exhausts its attempts yields an [`ExecError`] instead of panicking.
+    pub fn try_run<MF, RF>(
+        &self,
+        inputs: &[I],
+        policy: &ExecPolicy,
+        map_fn: MF,
+        reduce_fn: RF,
+    ) -> Result<(Vec<R>, JobStats), ExecError>
+    where
+        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        RF: Fn(&K, &[V]) -> Vec<R> + Sync,
+    {
+        self.try_run_with_combiner(
+            inputs,
+            policy,
+            map_fn,
+            None::<fn(&K, Vec<V>) -> Vec<V>>,
+            reduce_fn,
+        )
+    }
+
+    /// Fault-tolerant [`run_with_combiner`](MapReduce::run_with_combiner);
+    /// see [`try_run`](MapReduce::try_run).
+    pub fn try_run_with_combiner<MF, CF, RF>(
+        &self,
+        inputs: &[I],
+        policy: &ExecPolicy,
+        map_fn: MF,
+        combine_fn: Option<CF>,
+        reduce_fn: RF,
+    ) -> Result<(Vec<R>, JobStats), ExecError>
+    where
+        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        CF: Fn(&K, Vec<V>) -> Vec<V> + Sync,
+        RF: Fn(&K, &[V]) -> Vec<R> + Sync,
+    {
+        let workers = self.workers;
+        let faults_before = policy.faults_injected();
+        // ---- map phase: one task per input chunk ---------------------------
+        // Identical chunk geometry to `run`, so outputs merge in the same
+        // order and the results are bit-identical.
+        let chunk = inputs.len().div_ceil(workers).max(1);
+        let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+        type Shuffle<K, V> = Vec<std::collections::HashMap<K, Vec<V>>>;
+        let map_fn = &map_fn;
+        let combine_fn = &combine_fn;
+        type MapOut<K, V> = (Vec<(Shuffle<K, V>, u64, u64)>, TaskCounters);
+        let (mapper_outputs, map_counters): MapOut<K, V> =
+            execute_tasks("map", &chunks, workers, policy, |chunk_inputs: &&[I]| {
+                let mut partitions: Shuffle<K, V> = (0..workers)
+                    .map(|_| std::collections::HashMap::new())
+                    .collect();
+                let mut emitted = 0u64;
+                for input in *chunk_inputs {
+                    let mut emit = |k: K, v: V| {
+                        emitted += 1;
+                        let p = partition_of(&k, workers);
+                        partitions[p].entry(k).or_default().push(v);
+                    };
+                    map_fn(input, &mut emit);
+                }
+                let mut combined = emitted;
+                if let Some(cf) = combine_fn {
+                    combined = 0;
+                    for part in &mut partitions {
+                        for (k, vs) in part.iter_mut() {
+                            let taken = std::mem::take(vs);
+                            *vs = cf(k, taken);
+                            combined += vs.len() as u64;
+                        }
+                    }
+                }
+                (partitions, emitted, combined)
+            })?;
+        let map_output_records: u64 = mapper_outputs.iter().map(|(_, e, _)| e).sum();
+        let combined_records: u64 = mapper_outputs.iter().map(|(_, _, c)| c).sum();
+
+        // ---- shuffle (task order == mapper order == the fault-free order) --
+        let mut partition_inputs: Vec<Vec<std::collections::HashMap<K, Vec<V>>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (mapper_parts, _, _) in mapper_outputs {
+            for (p, m) in mapper_parts.into_iter().enumerate() {
+                partition_inputs[p].push(m);
+            }
+        }
+
+        // ---- merge (infrastructure, outside the retry machinery) -----------
+        // Each partition's groups are merged and key-sorted ONCE, consuming
+        // the shuffle output by move; reduce attempts only re-borrow the
+        // merged entries. Keeping the merge out of the retryable task makes
+        // the fault-free path cost-equal to `run` (no per-attempt rebuild);
+        // only the user `reduce_fn` call — the part that can actually fault
+        // — is re-runnable.
+        let merged_partitions: Vec<Vec<(K, Vec<V>)>> = partition_inputs
+            .into_iter()
+            .map(|maps| {
+                let mut merged: std::collections::HashMap<K, Vec<V>> =
+                    std::collections::HashMap::new();
+                for m in maps {
+                    for (k, vs) in m {
+                        merged.entry(k).or_default().extend(vs);
+                    }
+                }
+                let mut entries: Vec<(K, Vec<V>)> = merged.into_iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                entries
+            })
+            .collect();
+
+        // ---- reduce phase: one task per partition --------------------------
+        // Re-runnable: attempts only borrow the immutable merged entries.
+        // Outputs are positional (entry order); keys are moved out of
+        // `merged_partitions` afterwards so attempts never clone anything.
+        let reduce_fn = &reduce_fn;
+        let (reducer_outputs, reduce_counters): (Vec<Vec<Vec<R>>>, TaskCounters) =
+            execute_tasks(
+                "reduce",
+                &merged_partitions,
+                workers,
+                policy,
+                |entries: &Vec<(K, Vec<V>)>| {
+                    entries.iter().map(|(k, vs)| reduce_fn(k, vs)).collect()
+                },
+            )?;
+        let reduce_groups: u64 = merged_partitions.iter().map(|p| p.len() as u64).sum();
+        let mut keyed: Vec<(K, Vec<R>)> = merged_partitions
+            .into_iter()
+            .zip(reducer_outputs)
+            .flat_map(|(entries, outs)| {
+                entries.into_iter().map(|(k, _)| k).zip(outs)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let results: Vec<R> = keyed.into_iter().flat_map(|(_, rs)| rs).collect();
+        Ok((
+            results,
+            JobStats {
+                map_output_records,
+                combined_records,
+                reduce_groups,
+                tasks_retried: map_counters.retried + reduce_counters.retried,
+                tasks_speculated: map_counters.speculated + reduce_counters.speculated,
+                faults_injected: policy.faults_injected() - faults_before,
+            },
+        ))
     }
 }
 
@@ -360,8 +845,138 @@ where
                 map_output_records,
                 combined_records,
                 reduce_groups,
+                ..JobStats::default()
             },
         )
+    }
+}
+
+/// Fault-tolerant variant of the fold engine; bounds as on
+/// [`MapReduce::try_run`]: re-runnable tasks borrow their inputs, so
+/// `finish_fn` takes `&A` instead of consuming the accumulator.
+impl<I, K, A, R> FoldMapReduce<I, K, A, R>
+where
+    I: Send + Sync,
+    K: Ord + Hash + Clone + Send + Sync,
+    A: Default + Send + Sync,
+    R: Send,
+{
+    /// Fault-tolerant [`run`](FoldMapReduce::run): executes under `policy`
+    /// with per-task retry/backoff and optional speculation. Completed runs
+    /// are bit-identical to the fault-free `run`.
+    pub fn try_run<V, MF, FF, GF, RF>(
+        &self,
+        inputs: &[I],
+        policy: &ExecPolicy,
+        map_fn: MF,
+        fold_fn: FF,
+        merge_fn: GF,
+        finish_fn: RF,
+    ) -> Result<(Vec<R>, JobStats), ExecError>
+    where
+        V: Send,
+        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        FF: Fn(&mut A, V) + Sync,
+        GF: Fn(&mut A, A) + Sync,
+        RF: Fn(&K, &A) -> Vec<R> + Sync,
+    {
+        let workers = self.workers;
+        let faults_before = policy.faults_injected();
+        let chunk = inputs.len().div_ceil(workers).max(1);
+        let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+        let map_fn = &map_fn;
+        let fold_fn = &fold_fn;
+        type Parts<K, A> = Vec<std::collections::HashMap<K, A>>;
+        type MapOut<K, A> = (Vec<(Parts<K, A>, u64)>, TaskCounters);
+        let (mapper_outputs, map_counters): MapOut<K, A> =
+            execute_tasks("map", &chunks, workers, policy, |chunk_inputs: &&[I]| {
+                let mut partitions: Parts<K, A> = (0..workers)
+                    .map(|_| std::collections::HashMap::new())
+                    .collect();
+                let mut emitted = 0u64;
+                for input in *chunk_inputs {
+                    let mut emit = |k: K, v: V| {
+                        emitted += 1;
+                        let p = partition_of(&k, workers);
+                        let acc = partitions[p].entry(k).or_default();
+                        fold_fn(acc, v);
+                    };
+                    map_fn(input, &mut emit);
+                }
+                (partitions, emitted)
+            })?;
+        let map_output_records: u64 = mapper_outputs.iter().map(|(_, e)| e).sum();
+
+        let mut partition_inputs: Vec<Vec<std::collections::HashMap<K, A>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let mut combined_records = 0u64;
+        for (mapper_parts, _) in mapper_outputs {
+            for (p, m) in mapper_parts.into_iter().enumerate() {
+                combined_records += m.len() as u64;
+                partition_inputs[p].push(m);
+            }
+        }
+
+        // ---- merge (infrastructure, outside the retry machinery) -----------
+        // Consumes the shuffle output by move so the fault-free path pays no
+        // clones; retried reduce attempts re-borrow the merged entries and
+        // clone only the per-key accumulator.
+        let merge_fn = &merge_fn;
+        let merged_partitions: Vec<Vec<(K, A)>> = partition_inputs
+            .into_iter()
+            .map(|maps| {
+                let mut merged: std::collections::HashMap<K, A> =
+                    std::collections::HashMap::new();
+                for m in maps {
+                    for (k, a) in m {
+                        match merged.entry(k) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                merge_fn(e.get_mut(), a)
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(a);
+                            }
+                        }
+                    }
+                }
+                let mut entries: Vec<(K, A)> = merged.into_iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                entries
+            })
+            .collect();
+
+        let finish_fn = &finish_fn;
+        let (reducer_outputs, reduce_counters): (Vec<Vec<Vec<R>>>, TaskCounters) =
+            execute_tasks(
+                "reduce",
+                &merged_partitions,
+                workers,
+                policy,
+                |entries: &Vec<(K, A)>| {
+                    entries.iter().map(|(k, a)| finish_fn(k, a)).collect()
+                },
+            )?;
+        let reduce_groups: u64 = merged_partitions.iter().map(|p| p.len() as u64).sum();
+        let mut keyed: Vec<(K, Vec<R>)> = merged_partitions
+            .into_iter()
+            .zip(reducer_outputs)
+            .flat_map(|(entries, outs)| {
+                entries.into_iter().map(|(k, _)| k).zip(outs)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let results: Vec<R> = keyed.into_iter().flat_map(|(_, rs)| rs).collect();
+        Ok((
+            results,
+            JobStats {
+                map_output_records,
+                combined_records,
+                reduce_groups,
+                tasks_retried: map_counters.retried + reduce_counters.retried,
+                tasks_speculated: map_counters.speculated + reduce_counters.speculated,
+                faults_injected: policy.faults_injected() - faults_before,
+            },
+        ))
     }
 }
 
@@ -515,5 +1130,202 @@ mod tests {
         let (out, stats) = fold_word_count(vec![], 2);
         assert!(out.is_empty());
         assert_eq!(stats, JobStats::default());
+    }
+
+    // ---- fault tolerance ---------------------------------------------------
+
+    use er_core::fault::{
+        FaultInjector, FaultKind, FaultPlan, RetryPolicy, SpeculationConfig,
+    };
+    use std::sync::Arc;
+
+    fn try_word_count(
+        texts: &[&str],
+        workers: usize,
+        policy: &ExecPolicy,
+    ) -> Result<(Vec<(String, u64)>, JobStats), ExecError> {
+        let mr: MapReduce<&str, String, u64, (String, u64)> = MapReduce::new(workers);
+        mr.try_run(
+            texts,
+            policy,
+            |text: &&str, emit: &mut dyn FnMut(String, u64)| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+        )
+    }
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 1,
+        }
+    }
+
+    #[test]
+    fn try_run_matches_run_without_faults() {
+        let texts = vec!["x y z", "y z w", "z w v", "w v u", "v u t"];
+        let policy = ExecPolicy::default();
+        for workers in [1, 2, 4] {
+            let (reference, ref_stats) = word_count(texts.clone(), workers, false);
+            let (out, stats) = try_word_count(&texts, workers, &policy).unwrap();
+            assert_eq!(out, reference, "workers={workers}");
+            assert_eq!(stats.map_output_records, ref_stats.map_output_records);
+            assert_eq!(stats.combined_records, ref_stats.combined_records);
+            assert_eq!(stats.reduce_groups, ref_stats.reduce_groups);
+            assert_eq!(stats.tasks_retried, 0);
+            assert_eq!(stats.faults_injected, 0);
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_the_same_result() {
+        let texts = vec!["a b a", "b c", "a", "c c d"];
+        let reference = word_count(texts.clone(), 2, false).0;
+        let plan = FaultPlan::none()
+            .inject("map", 0, 0, FaultKind::Transient)
+            .inject("reduce", 1, 0, FaultKind::Transient);
+        let policy = ExecPolicy {
+            retry: fast_retry(3),
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            speculation: None,
+        };
+        let (out, stats) = try_word_count(&texts, 2, &policy).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(stats.tasks_retried, 2);
+        assert_eq!(stats.faults_injected, 2);
+    }
+
+    #[test]
+    fn panics_are_caught_and_retried() {
+        let texts = vec!["a b", "c d", "e f", "g h"];
+        let reference = word_count(texts.clone(), 4, false).0;
+        let plan = FaultPlan::none()
+            .inject("map", 2, 0, FaultKind::Panic)
+            .inject("map", 2, 1, FaultKind::Panic);
+        let policy = ExecPolicy {
+            retry: fast_retry(3),
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            speculation: None,
+        };
+        let (out, stats) = try_word_count(&texts, 4, &policy).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(stats.tasks_retried, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_error_not_panic() {
+        let texts = vec!["a b", "c d"];
+        let plan = FaultPlan::none().inject_all_attempts("map", 0, 10, FaultKind::Panic);
+        let policy = ExecPolicy {
+            retry: fast_retry(2),
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            speculation: None,
+        };
+        let err = try_word_count(&texts, 2, &policy).unwrap_err();
+        assert_eq!(err.stage, "map");
+        assert_eq!(err.task, 0);
+        assert_eq!(err.attempts, 2);
+        assert!(err.to_string().contains("failed after 2 attempt"));
+    }
+
+    #[test]
+    fn speculation_races_a_straggler_and_keeps_the_result_identical() {
+        // Many fast tasks establish a sub-millisecond median; task 0 is
+        // delayed far beyond the straggler threshold on its first attempt,
+        // so a backup launches, completes cleanly, and fills the result slot
+        // first — with output identical to the fault-free run. (The job's
+        // join still waits out the abandoned attempt: in-process threads
+        // cannot be killed; see docs/fault_tolerance.md.)
+        let texts: Vec<String> = (0..16).map(|i| format!("w{} common", i % 4)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let reference = word_count(refs.clone(), 8, false).0;
+        let plan = FaultPlan::none().inject(
+            "map",
+            0,
+            0,
+            FaultKind::Delay(Duration::from_millis(150)),
+        );
+        let policy = ExecPolicy {
+            retry: fast_retry(3),
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            speculation: Some(SpeculationConfig {
+                straggler_factor: 2.0,
+                min_completed: 1,
+                min_runtime: Duration::from_millis(10),
+            }),
+        };
+        let (out, stats) = try_word_count(&refs, 8, &policy).unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(stats.tasks_speculated, 1, "one backup for the straggler");
+    }
+
+    #[test]
+    fn fold_try_run_matches_fold_run_under_faults() {
+        let texts = vec!["x y z", "y z w", "z w v", "w v u"];
+        let reference = fold_word_count(texts.clone(), 3).0;
+        let plan = FaultPlan::none()
+            .inject("map", 1, 0, FaultKind::Transient)
+            .inject("reduce", 0, 0, FaultKind::Panic);
+        let policy = ExecPolicy {
+            retry: fast_retry(3),
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            speculation: None,
+        };
+        let mr: FoldMapReduce<&str, String, u64, (String, u64)> = FoldMapReduce::new(3);
+        let (out, stats) = mr
+            .try_run(
+                &texts,
+                &policy,
+                |text: &&str, emit: &mut dyn FnMut(String, u64)| {
+                    for w in text.split_whitespace() {
+                        emit(w.to_string(), 1);
+                    }
+                },
+                |acc, v| *acc += v,
+                |acc, other| *acc += other,
+                |k, acc| vec![(k.clone(), *acc)],
+            )
+            .unwrap();
+        assert_eq!(out, reference);
+        assert_eq!(stats.tasks_retried, 2);
+        assert_eq!(stats.map_output_records, 12);
+    }
+
+    #[test]
+    fn try_run_empty_input() {
+        let policy = ExecPolicy::default();
+        let (out, stats) = try_word_count(&[], 4, &policy).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats, JobStats::default());
+    }
+
+    #[test]
+    fn seeded_schedules_are_absorbed_bit_identically() {
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("t{} t{} shared", i % 7, i % 3))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let reference = word_count(refs.clone(), 1, false).0;
+        let mut total_faults = 0;
+        for seed in 0..6u64 {
+            for workers in [1, 2, 4] {
+                let plan =
+                    FaultPlan::seeded(er_core::fault::SeededFaults::absorbable(seed));
+                let policy = ExecPolicy {
+                    retry: fast_retry(4),
+                    injector: Some(Arc::new(FaultInjector::new(plan))),
+                    speculation: None,
+                };
+                let (out, stats) = try_word_count(&refs, workers, &policy).unwrap();
+                assert_eq!(out, reference, "seed={seed} workers={workers}");
+                total_faults += stats.faults_injected;
+            }
+        }
+        assert!(total_faults > 0, "the sweep must actually inject faults");
     }
 }

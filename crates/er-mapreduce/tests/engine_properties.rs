@@ -1,8 +1,14 @@
-//! Property tests for the MapReduce engine: worker-count invariance and
-//! equivalence between the vec-valued and fold-style variants.
+//! Property tests for the MapReduce engine: worker-count invariance,
+//! equivalence between the vec-valued and fold-style variants, and
+//! retry-under-faults invariance of the fault-tolerant entry points.
 
+use er_core::fault::{
+    ExecPolicy, FaultInjector, FaultPlan, RetryPolicy, SeededFaults, SpeculationConfig,
+};
 use er_mapreduce::engine::{FoldMapReduce, MapReduce};
 use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Sequential word-count reference.
 fn reference(texts: &[String]) -> Vec<(String, u64)> {
@@ -50,6 +56,35 @@ fn run_fold(texts: Vec<String>, workers: usize) -> Vec<(String, u64)> {
         |k, acc| vec![(k.clone(), acc)],
     )
     .0
+}
+
+/// Word count through the fault-tolerant entry point, returning the output
+/// and `JobStats.reduce_groups`.
+fn run_try(texts: &[String], workers: usize, policy: &ExecPolicy) -> (Vec<(String, u64)>, u64) {
+    let mr: MapReduce<String, String, u64, (String, u64)> = MapReduce::new(workers);
+    let (out, stats) = mr
+        .try_run(
+            texts,
+            policy,
+            |text: &String, emit: &mut dyn FnMut(String, u64)| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+        )
+        .expect("absorbable schedule must complete");
+    (out, stats.reduce_groups)
+}
+
+/// A fast-backoff policy so fault-heavy property cases stay quick.
+fn fast_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::from_micros(50),
+        max_backoff: Duration::from_millis(1),
+        jitter_seed: 7,
+    }
 }
 
 proptest! {
@@ -183,5 +218,60 @@ proptest! {
         prop_assert_eq!(stats.reduce_groups as usize, out.len());
         let summed: u64 = out.iter().map(|(_, c)| c).sum();
         prop_assert_eq!(summed, total_words);
+    }
+
+    /// Retry under transient faults never changes the reducer output or
+    /// `JobStats.reduce_groups`, for any (seed, workers, max_attempts): the
+    /// engine's fault-free-equivalence contract as a property.
+    #[test]
+    fn retries_never_change_reduce_groups_or_output(
+        texts in proptest::collection::vec("[a-d ]{0,20}", 0..15),
+        workers in 1usize..9,
+        seed in any::<u64>(),
+        max_attempts in 2u32..5,
+    ) {
+        let clean = run_try(&texts, workers, &ExecPolicy::default());
+        // Transient-only schedule, gated so the last attempt is always
+        // fault-free — absorbable by construction.
+        let plan = FaultPlan::seeded(SeededFaults {
+            seed,
+            panic_per_mille: 0,
+            transient_per_mille: 400,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            max_attempt: max_attempts - 1,
+        });
+        let policy = ExecPolicy::retrying(fast_retry(max_attempts))
+            .with_injector(Arc::new(FaultInjector::new(plan)));
+        let faulty = run_try(&texts, workers, &policy);
+        prop_assert_eq!(&faulty.0, &clean.0, "reducer output drifted");
+        prop_assert_eq!(faulty.1, clean.1, "reduce_groups drifted");
+    }
+
+    /// Worker-count invariance of the fault-tolerant path, with speculation
+    /// toggled on and off: an aggressive speculation config (every task
+    /// slower than the median gets a backup) must not change the output.
+    #[test]
+    fn try_run_output_is_independent_of_workers_and_speculation(
+        texts in proptest::collection::vec("[a-d ]{0,20}", 0..15),
+        speculate in any::<bool>(),
+    ) {
+        let policy = |speculate: bool| {
+            let mut p = ExecPolicy::retrying(fast_retry(2));
+            if speculate {
+                p = p.with_speculation(SpeculationConfig {
+                    straggler_factor: 1.0,
+                    min_completed: 1,
+                    min_runtime: Duration::ZERO,
+                });
+            }
+            p
+        };
+        let baseline = run_try(&texts, 1, &policy(false));
+        for workers in 2usize..=8 {
+            let got = run_try(&texts, workers, &policy(speculate));
+            prop_assert_eq!(&got.0, &baseline.0, "workers={}", workers);
+            prop_assert_eq!(got.1, baseline.1, "workers={}", workers);
+        }
     }
 }

@@ -29,6 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod recovery;
+
+pub use recovery::{PipelineError, RecoveryEvent, RecoveryOptions, RecoveryOutcome};
+
 use er_blocking::attribute_clustering::AttributeClusteringBlocking;
 use er_blocking::cleaning;
 use er_blocking::minhash::MinHashBlocking;
@@ -230,11 +234,29 @@ impl Pipeline {
         report.scheduled_comparisons = candidates.len() as u64;
 
         // ---- matching -------------------------------------------------------
-        // Scores are retained for the score-aware clustering stages. The
-        // comparisons run under the configured parallelism as an
-        // order-preserving map, so the match list is identical at every
-        // thread count.
         let t2 = Instant::now();
+        let scored_matches = self.score_candidates(collection, &candidates);
+        report.matching_time = t2.elapsed();
+        report.matched_comparisons = candidates.len() as u64;
+
+        // ---- clustering -----------------------------------------------------
+        let (matches, clusters) = self.cluster(collection, scored_matches);
+        Resolution {
+            matches,
+            clusters,
+            report,
+        }
+    }
+
+    /// Runs the configured matching stage over the candidates, keeping the
+    /// scores the score-aware clustering stages need. The comparisons run
+    /// under the configured parallelism as an order-preserving map, so the
+    /// match list is identical at every thread count.
+    fn score_candidates(
+        &self,
+        collection: &EntityCollection,
+        candidates: &[Pair],
+    ) -> Vec<(Pair, f64)> {
         fn decide<M: Matcher + Sync>(
             collection: &EntityCollection,
             candidates: &[Pair],
@@ -246,29 +268,19 @@ impl Pipeline {
                 .filter_map(|(p, d)| d.is_match.then_some((p, d.score)))
                 .collect()
         }
-        let scored_matches: Vec<(Pair, f64)> = match &self.matching {
+        match &self.matching {
             MatchingStage::Threshold(measure, threshold) => decide(
                 collection,
-                &candidates,
+                candidates,
                 &ThresholdMatcher::new(*measure, *threshold),
                 self.parallelism,
             ),
             MatchingStage::TfIdf(threshold) => decide(
                 collection,
-                &candidates,
+                candidates,
                 &TfIdfMatcher::from_collection(collection, *threshold),
                 self.parallelism,
             ),
-        };
-        report.matching_time = t2.elapsed();
-        report.matched_comparisons = candidates.len() as u64;
-
-        // ---- clustering -----------------------------------------------------
-        let (matches, clusters) = self.cluster(collection, scored_matches);
-        Resolution {
-            matches,
-            clusters,
-            report,
         }
     }
 

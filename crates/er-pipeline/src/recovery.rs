@@ -1,0 +1,942 @@
+//! Fault-tolerant pipeline execution: stage retry, checkpoint/resume and
+//! graceful degradation.
+//!
+//! The tutorial's web-scale systems assume the *runtime* masks failures; this
+//! module gives the in-process pipeline the same contract:
+//!
+//! * **Stage retry** — each stage (blocking → meta-blocking → matching) runs
+//!   under a [`RetryPolicy`]: per-stage panics and transient errors are
+//!   caught and the stage is re-run with deterministic exponential backoff.
+//!   Stages are pure functions of the input collection, so a retried run is
+//!   bit-identical to an undisturbed one.
+//! * **Checkpoint/resume** — with a checkpoint directory configured, the
+//!   output of each completed stage is serialized (`blocked.ckpt`,
+//!   `scheduled.ckpt`, `matched.ckpt`) in a line-oriented text format.
+//!   A resumed run loads the deepest valid checkpoint and skips everything
+//!   before it. Checkpoints carry a fingerprint of the collection and the
+//!   pipeline configuration; a mismatched, corrupted or truncated checkpoint
+//!   is rejected with a warning and the run proceeds from scratch instead of
+//!   crashing. Match scores are stored as the hex IEEE-754 bit pattern, so a
+//!   resumed run is bit-identical to an uninterrupted one.
+//! * **Graceful degradation** — if meta-blocking fails even after retries,
+//!   the run falls back to the unpruned blocked comparisons with a loud
+//!   warning instead of aborting: correctness (recall) is preserved at the
+//!   price of efficiency. Unrecoverable blocking or matching failures
+//!   surface as a typed [`PipelineError`].
+//!
+//! Every recovery action is recorded as a [`RecoveryEvent`] in the returned
+//! [`RecoveryOutcome`], so callers (and tests) can assert on exactly what
+//! happened.
+
+use crate::{BlockingStage, Pipeline, Resolution, StageReport};
+use er_blocking::block::{Block, BlockCollection};
+use er_blocking::sorted_neighborhood::MultiPassSortedNeighborhood;
+use er_core::collection::EntityCollection;
+use er_core::entity::EntityId;
+use er_core::fault::{FaultInjector, RetryPolicy};
+use er_core::pair::Pair;
+use er_metablocking::par_meta_block;
+use std::fmt;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Stage name used for fault keys, events and errors.
+pub const STAGE_BLOCKING: &str = "blocking";
+/// Stage name of the meta-blocking / comparison-scheduling stage.
+pub const STAGE_META_BLOCKING: &str = "meta-blocking";
+/// Stage name of the matching stage.
+pub const STAGE_MATCHING: &str = "matching";
+
+/// How a fault-tolerant run executes: retry policy, optional fault injection
+/// (tests/demos) and optional checkpointing.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryOptions {
+    /// Directory for stage checkpoints; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the deepest valid checkpoint in `checkpoint_dir`.
+    pub resume: bool,
+    /// Per-stage retry policy.
+    pub retry: RetryPolicy,
+    /// Fault injector consulted at every stage attempt (stage × task 0 ×
+    /// attempt). `None` runs fault-free.
+    pub injector: Option<Arc<FaultInjector>>,
+}
+
+impl RecoveryOptions {
+    /// Options with the given retry policy and neither checkpointing nor
+    /// fault injection.
+    pub fn retrying(retry: RetryPolicy) -> Self {
+        RecoveryOptions {
+            retry,
+            ..RecoveryOptions::default()
+        }
+    }
+
+    /// Enables checkpointing under `dir`.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables resuming from existing checkpoints.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Installs a fault injector.
+    pub fn with_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+}
+
+/// One recovery action taken during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A stage attempt failed and was retried.
+    StageRetried {
+        /// Which stage.
+        stage: &'static str,
+        /// The attempt that failed (0-based).
+        failed_attempt: u32,
+        /// The failure message.
+        error: String,
+    },
+    /// Meta-blocking failed unrecoverably; the run fell back to the
+    /// unpruned blocked comparisons.
+    MetaBlockingDegraded {
+        /// The final failure message.
+        error: String,
+    },
+    /// A stage checkpoint was loaded and the stage skipped.
+    CheckpointLoaded {
+        /// Which stage's checkpoint.
+        stage: &'static str,
+    },
+    /// A stage checkpoint was written.
+    CheckpointSaved {
+        /// Which stage's checkpoint.
+        stage: &'static str,
+    },
+    /// An existing checkpoint was rejected (corrupt, truncated or from a
+    /// different collection/configuration); the run proceeds without it.
+    CheckpointRejected {
+        /// Which stage's checkpoint.
+        stage: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Writing a checkpoint failed; the run continues uncheckpointed.
+    CheckpointWriteFailed {
+        /// Which stage's checkpoint.
+        stage: &'static str,
+        /// The I/O failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::StageRetried {
+                stage,
+                failed_attempt,
+                error,
+            } => write!(f, "{stage}: attempt {failed_attempt} failed ({error}); retrying"),
+            RecoveryEvent::MetaBlockingDegraded { error } => write!(
+                f,
+                "meta-blocking failed unrecoverably ({error}); falling back to unpruned blocks"
+            ),
+            RecoveryEvent::CheckpointLoaded { stage } => {
+                write!(f, "{stage}: checkpoint loaded, stage skipped")
+            }
+            RecoveryEvent::CheckpointSaved { stage } => write!(f, "{stage}: checkpoint saved"),
+            RecoveryEvent::CheckpointRejected { stage, reason } => {
+                write!(f, "{stage}: checkpoint rejected ({reason})")
+            }
+            RecoveryEvent::CheckpointWriteFailed { stage, reason } => {
+                write!(f, "{stage}: checkpoint write failed ({reason})")
+            }
+        }
+    }
+}
+
+/// An unrecoverable pipeline failure: a stage exhausted its retry budget.
+#[derive(Clone, Debug)]
+pub struct PipelineError {
+    /// The stage that failed.
+    pub stage: &'static str,
+    /// Attempts made (including the first).
+    pub attempts: u32,
+    /// The final failure message.
+    pub message: String,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline stage {:?} failed after {} attempt(s): {}",
+            self.stage, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The result of a fault-tolerant run.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// The resolution — bit-identical to `Pipeline::run` whenever the run
+    /// completes without degradation.
+    pub resolution: Resolution,
+    /// Every recovery action taken, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// The deepest stage restored from a checkpoint, if any.
+    pub resumed_from: Option<&'static str>,
+    /// The scheduled candidate comparisons, for candidate-level quality
+    /// reporting. `None` when the run resumed past scheduling (from a
+    /// matched checkpoint).
+    pub scheduled: Option<Vec<Pair>>,
+}
+
+impl RecoveryOutcome {
+    /// Whether meta-blocking degraded to unpruned blocks.
+    pub fn degraded(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::MetaBlockingDegraded { .. }))
+    }
+
+    /// Number of stage retries performed.
+    pub fn stage_retries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::StageRetried { .. }))
+            .count()
+    }
+}
+
+impl Pipeline {
+    /// Runs the pipeline under a fault-tolerance policy: per-stage retry
+    /// with deterministic backoff, optional checkpoint/resume, and graceful
+    /// degradation of meta-blocking. A run that completes without
+    /// degradation produces a [`Resolution`] bit-identical to
+    /// [`Pipeline::run`].
+    pub fn run_with_recovery(
+        &self,
+        collection: &EntityCollection,
+        opts: &RecoveryOptions,
+    ) -> Result<RecoveryOutcome, PipelineError> {
+        let mut events: Vec<RecoveryEvent> = Vec::new();
+        let mut report = StageReport::default();
+        let store = opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| CheckpointStore::new(dir.clone(), fingerprint(self, collection)));
+        let mut resumed_from: Option<&'static str> = None;
+
+        // ---- deepest checkpoint first: matched ------------------------------
+        if opts.resume {
+            if let Some(s) = &store {
+                match s.load_matched() {
+                    Ok(Some(m)) => {
+                        report.blocked_comparisons = m.blocked;
+                        report.scheduled_comparisons = m.scheduled;
+                        report.matched_comparisons = m.scheduled;
+                        events.push(RecoveryEvent::CheckpointLoaded {
+                            stage: STAGE_MATCHING,
+                        });
+                        let (matches, clusters) = self.cluster(collection, m.scored);
+                        return Ok(RecoveryOutcome {
+                            resolution: Resolution {
+                                matches,
+                                clusters,
+                                report,
+                            },
+                            events,
+                            resumed_from: Some(STAGE_MATCHING),
+                            scheduled: None,
+                        });
+                    }
+                    Ok(None) => {}
+                    Err(reason) => reject(&mut events, STAGE_MATCHING, reason),
+                }
+            }
+        }
+
+        // ---- candidates: scheduled checkpoint, else blocking (+ meta) -------
+        let mut candidates: Option<Vec<Pair>> = None;
+        if opts.resume {
+            if let Some(s) = &store {
+                match s.load_scheduled() {
+                    Ok(Some(sc)) => {
+                        report.blocked_comparisons = sc.blocked;
+                        events.push(RecoveryEvent::CheckpointLoaded {
+                            stage: STAGE_META_BLOCKING,
+                        });
+                        resumed_from = Some(STAGE_META_BLOCKING);
+                        candidates = Some(sc.pairs);
+                    }
+                    Ok(None) => {}
+                    Err(reason) => reject(&mut events, STAGE_META_BLOCKING, reason),
+                }
+            }
+        }
+
+        let candidates: Vec<Pair> = match candidates {
+            Some(c) => c,
+            None => {
+                let c =
+                    self.blocked_candidates(collection, opts, &store, &mut events, &mut report, &mut resumed_from)?;
+                if let Some(s) = &store {
+                    match s.save_scheduled(&c, report.blocked_comparisons) {
+                        Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
+                            stage: STAGE_META_BLOCKING,
+                        }),
+                        Err(e) => warn_write(&mut events, STAGE_META_BLOCKING, e),
+                    }
+                }
+                c
+            }
+        };
+        report.scheduled_comparisons = candidates.len() as u64;
+
+        // ---- matching -------------------------------------------------------
+        let t2 = Instant::now();
+        let scored = run_stage(STAGE_MATCHING, opts, &mut events, || {
+            self.score_candidates(collection, &candidates)
+        })?;
+        report.matching_time = t2.elapsed();
+        report.matched_comparisons = candidates.len() as u64;
+        if let Some(s) = &store {
+            match s.save_matched(&scored, report.blocked_comparisons, report.scheduled_comparisons)
+            {
+                Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
+                    stage: STAGE_MATCHING,
+                }),
+                Err(e) => warn_write(&mut events, STAGE_MATCHING, e),
+            }
+        }
+
+        // ---- clustering (cheap; always re-run) ------------------------------
+        let (matches, clusters) = self.cluster(collection, scored);
+        Ok(RecoveryOutcome {
+            resolution: Resolution {
+                matches,
+                clusters,
+                report,
+            },
+            events,
+            resumed_from,
+            scheduled: Some(candidates),
+        })
+    }
+
+    /// Produces the scheduled candidate comparisons under fault tolerance:
+    /// blocking (checkpointed, retried) followed by meta-blocking (retried,
+    /// degradable to the unpruned blocked pairs).
+    #[allow(clippy::too_many_arguments)]
+    fn blocked_candidates(
+        &self,
+        collection: &EntityCollection,
+        opts: &RecoveryOptions,
+        store: &Option<CheckpointStore>,
+        events: &mut Vec<RecoveryEvent>,
+        report: &mut StageReport,
+        resumed_from: &mut Option<&'static str>,
+    ) -> Result<Vec<Pair>, PipelineError> {
+        if let BlockingStage::SortedNeighborhood(keys, window) = &self.blocking {
+            // Pair-producing method: blocking directly yields the schedule.
+            let t0 = Instant::now();
+            let pairs = run_stage(STAGE_BLOCKING, opts, events, || {
+                MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
+            })?;
+            report.blocking_time = t0.elapsed();
+            report.blocked_comparisons = pairs.len() as u64;
+            return Ok(pairs);
+        }
+
+        // ---- blocking: checkpoint or retried run ---------------------------
+        let mut blocks: Option<BlockCollection> = None;
+        if opts.resume {
+            if let Some(s) = store {
+                match s.load_blocked() {
+                    Ok(Some(b)) => {
+                        events.push(RecoveryEvent::CheckpointLoaded {
+                            stage: STAGE_BLOCKING,
+                        });
+                        *resumed_from = Some(STAGE_BLOCKING);
+                        blocks = Some(b);
+                    }
+                    Ok(None) => {}
+                    Err(reason) => reject(events, STAGE_BLOCKING, reason),
+                }
+            }
+        }
+        let blocks = match blocks {
+            Some(b) => b,
+            None => {
+                let t0 = Instant::now();
+                let b = run_stage(STAGE_BLOCKING, opts, events, || {
+                    self.build_blocks(collection, &self.blocking)
+                })?;
+                report.blocking_time = t0.elapsed();
+                if let Some(s) = store {
+                    match s.save_blocked(&b) {
+                        Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
+                            stage: STAGE_BLOCKING,
+                        }),
+                        Err(e) => warn_write(events, STAGE_BLOCKING, e),
+                    }
+                }
+                b
+            }
+        };
+        let blocked_pairs = blocks.distinct_pairs(collection);
+        report.blocked_comparisons = blocked_pairs.len() as u64;
+
+        // ---- meta-blocking: retried, degradable ----------------------------
+        match self.meta_blocking {
+            Some(mb) => {
+                let t1 = Instant::now();
+                match run_stage(STAGE_META_BLOCKING, opts, events, || {
+                    par_meta_block(collection, &blocks, mb.weighting, mb.pruning, self.parallelism)
+                }) {
+                    Ok(kept) => {
+                        report.meta_blocking_time = t1.elapsed();
+                        Ok(kept)
+                    }
+                    Err(err) => {
+                        // Degrade, loudly: recall is preserved because the
+                        // unpruned blocked comparisons are a superset of
+                        // anything meta-blocking would schedule.
+                        eprintln!(
+                            "warning: {err}; degrading to {} unpruned blocked comparisons",
+                            blocked_pairs.len()
+                        );
+                        events.push(RecoveryEvent::MetaBlockingDegraded {
+                            error: err.message,
+                        });
+                        Ok(blocked_pairs)
+                    }
+                }
+            }
+            None => Ok(blocked_pairs),
+        }
+    }
+}
+
+/// Runs one stage under the retry policy: panics and injected transient
+/// faults are caught; the stage is re-run after a deterministic backoff
+/// until it succeeds or the attempt budget is exhausted.
+fn run_stage<T>(
+    stage: &'static str,
+    opts: &RecoveryOptions,
+    events: &mut Vec<RecoveryEvent>,
+    f: impl Fn() -> T,
+) -> Result<T, PipelineError> {
+    let max = opts.retry.max_attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 0..max {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inj) = &opts.injector {
+                inj.fire(stage, 0, attempt)?;
+            }
+            Ok::<T, er_core::fault::TransientFault>(f())
+        }));
+        match outcome {
+            Ok(Ok(v)) => return Ok(v),
+            Ok(Err(transient)) => last_error = transient.to_string(),
+            Err(payload) => last_error = panic_message(payload.as_ref()),
+        }
+        if attempt + 1 < max {
+            events.push(RecoveryEvent::StageRetried {
+                stage,
+                failed_attempt: attempt,
+                error: last_error.clone(),
+            });
+            let backoff = opts.retry.backoff_for(stage, 0, attempt + 1);
+            if !backoff.is_zero() {
+                thread::sleep(backoff);
+            }
+        }
+    }
+    Err(PipelineError {
+        stage,
+        attempts: max,
+        message: last_error,
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+fn reject(events: &mut Vec<RecoveryEvent>, stage: &'static str, reason: String) {
+    eprintln!("warning: {stage} checkpoint rejected ({reason}); running the stage from scratch");
+    events.push(RecoveryEvent::CheckpointRejected { stage, reason });
+}
+
+fn warn_write(events: &mut Vec<RecoveryEvent>, stage: &'static str, err: std::io::Error) {
+    eprintln!("warning: failed to write {stage} checkpoint ({err}); continuing uncheckpointed");
+    events.push(RecoveryEvent::CheckpointWriteFailed {
+        stage,
+        reason: err.to_string(),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint store
+// ---------------------------------------------------------------------------
+
+/// Fingerprint binding a checkpoint to one (collection, configuration) pair.
+/// Cheap by design — it hashes the collection's size/mode and the pipeline's
+/// configuration, not the full data — so it catches the common operator
+/// mistakes (different dataset, different flags), not adversarial edits.
+fn fingerprint(pipeline: &Pipeline, collection: &EntityCollection) -> u64 {
+    let summary = format!(
+        "n={} mode={:?} blocking={:?} cleaning={:?} meta={:?} matching={:?} clustering={:?}",
+        collection.len(),
+        collection.mode(),
+        pipeline.blocking,
+        pipeline.cleaning,
+        pipeline.meta_blocking,
+        pipeline.matching,
+        pipeline.clustering,
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in summary.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const CKPT_MAGIC: &str = "er-checkpoint";
+const CKPT_VERSION: &str = "v1";
+const FOOTER: &str = "end";
+
+struct CheckpointStore {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+/// A loaded `scheduled.ckpt`.
+struct ScheduledCkpt {
+    pairs: Vec<Pair>,
+    blocked: u64,
+}
+
+/// A loaded `matched.ckpt`.
+struct MatchedCkpt {
+    scored: Vec<(Pair, f64)>,
+    blocked: u64,
+    scheduled: u64,
+}
+
+impl CheckpointStore {
+    fn new(dir: PathBuf, fingerprint: u64) -> Self {
+        CheckpointStore { dir, fingerprint }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Writes `lines` atomically (temp file + rename) under a fingerprinted
+    /// header and an explicit footer that detects truncation.
+    fn write_file(
+        &self,
+        name: &str,
+        stage: &str,
+        extra: &str,
+        lines: impl Iterator<Item = String>,
+    ) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut w = std::io::BufWriter::new(fs::File::create(&tmp)?);
+            writeln!(
+                w,
+                "{CKPT_MAGIC} {CKPT_VERSION} stage={stage} fingerprint={:016x}{extra}",
+                self.fingerprint
+            )?;
+            for line in lines {
+                writeln!(w, "{line}")?;
+            }
+            writeln!(w, "{FOOTER}")?;
+            w.flush()?;
+        }
+        fs::rename(&tmp, self.path(name))
+    }
+
+    /// Reads a checkpoint: `Ok(None)` when absent, `Err(reason)` when the
+    /// header, fingerprint or footer is wrong, `Ok(Some(body_lines))`
+    /// otherwise.
+    fn read_file(&self, name: &str, stage: &str) -> Result<Option<(String, Vec<String>)>, String> {
+        let path = self.path(name);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot open {}: {e}", path.display())),
+        };
+        let mut lines = BufReader::new(file).lines();
+        let header = match lines.next() {
+            Some(Ok(h)) => h,
+            _ => return Err("empty checkpoint".to_string()),
+        };
+        let mut fields = header.split(' ');
+        if fields.next() != Some(CKPT_MAGIC) || fields.next() != Some(CKPT_VERSION) {
+            return Err("bad magic/version".to_string());
+        }
+        if fields.next() != Some(&format!("stage={stage}")[..]) {
+            return Err("wrong stage".to_string());
+        }
+        match fields.next().and_then(|f| f.strip_prefix("fingerprint=")) {
+            Some(hex) => {
+                let got = u64::from_str_radix(hex, 16).map_err(|_| "bad fingerprint".to_string())?;
+                if got != self.fingerprint {
+                    return Err(
+                        "fingerprint mismatch (different collection or configuration)".to_string()
+                    );
+                }
+            }
+            None => return Err("missing fingerprint".to_string()),
+        }
+        let mut body = Vec::new();
+        for line in lines {
+            body.push(line.map_err(|e| format!("read error: {e}"))?);
+        }
+        if body.pop().as_deref() != Some(FOOTER) {
+            return Err("truncated checkpoint (missing footer)".to_string());
+        }
+        Ok(Some((header, body)))
+    }
+
+    fn save_blocked(&self, blocks: &BlockCollection) -> std::io::Result<()> {
+        self.write_file(
+            "blocked.ckpt",
+            STAGE_BLOCKING,
+            "",
+            blocks.blocks().iter().map(|b| {
+                let ids: Vec<String> = b.entities().iter().map(|e| e.0.to_string()).collect();
+                format!("{}\t{}", escape(b.key()), ids.join(","))
+            }),
+        )
+    }
+
+    fn load_blocked(&self) -> Result<Option<BlockCollection>, String> {
+        let Some((_, body)) = self.read_file("blocked.ckpt", STAGE_BLOCKING)? else {
+            return Ok(None);
+        };
+        let mut blocks = Vec::with_capacity(body.len());
+        for (i, line) in body.iter().enumerate() {
+            let (key, ids) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("line {}: missing tab", i + 2))?;
+            let entities = ids
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<u32>().map(EntityId))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("line {}: bad entity id: {e}", i + 2))?;
+            blocks.push(Block::new(unescape(key)?, entities));
+        }
+        Ok(Some(BlockCollection::new(blocks)))
+    }
+
+    fn save_scheduled(&self, pairs: &[Pair], blocked: u64) -> std::io::Result<()> {
+        self.write_file(
+            "scheduled.ckpt",
+            STAGE_META_BLOCKING,
+            &format!(" blocked={blocked}"),
+            pairs
+                .iter()
+                .map(|p| format!("{} {}", p.first().0, p.second().0)),
+        )
+    }
+
+    fn load_scheduled(&self) -> Result<Option<ScheduledCkpt>, String> {
+        let Some((header, body)) = self.read_file("scheduled.ckpt", STAGE_META_BLOCKING)? else {
+            return Ok(None);
+        };
+        let blocked = header_field(&header, "blocked")?;
+        let mut pairs = Vec::with_capacity(body.len());
+        for (i, line) in body.iter().enumerate() {
+            let mut it = line.split(' ');
+            let (Some(a), Some(b), None) = (it.next(), it.next(), it.next()) else {
+                return Err(format!("line {}: expected two ids", i + 2));
+            };
+            let a: u32 = a.parse().map_err(|e| format!("line {}: {e}", i + 2))?;
+            let b: u32 = b.parse().map_err(|e| format!("line {}: {e}", i + 2))?;
+            pairs.push(Pair::new(EntityId(a), EntityId(b)));
+        }
+        Ok(Some(ScheduledCkpt { pairs, blocked }))
+    }
+
+    fn save_matched(
+        &self,
+        scored: &[(Pair, f64)],
+        blocked: u64,
+        scheduled: u64,
+    ) -> std::io::Result<()> {
+        self.write_file(
+            "matched.ckpt",
+            STAGE_MATCHING,
+            &format!(" blocked={blocked} scheduled={scheduled}"),
+            scored.iter().map(|(p, s)| {
+                // Scores as IEEE-754 bit patterns: bit-identical round-trip.
+                format!("{} {} {:016x}", p.first().0, p.second().0, s.to_bits())
+            }),
+        )
+    }
+
+    fn load_matched(&self) -> Result<Option<MatchedCkpt>, String> {
+        let Some((header, body)) = self.read_file("matched.ckpt", STAGE_MATCHING)? else {
+            return Ok(None);
+        };
+        let blocked = header_field(&header, "blocked")?;
+        let scheduled = header_field(&header, "scheduled")?;
+        let mut scored = Vec::with_capacity(body.len());
+        for (i, line) in body.iter().enumerate() {
+            let mut it = line.split(' ');
+            let (Some(a), Some(b), Some(bits), None) = (it.next(), it.next(), it.next(), it.next())
+            else {
+                return Err(format!("line {}: expected id id score", i + 2));
+            };
+            let a: u32 = a.parse().map_err(|e| format!("line {}: {e}", i + 2))?;
+            let b: u32 = b.parse().map_err(|e| format!("line {}: {e}", i + 2))?;
+            let bits = u64::from_str_radix(bits, 16).map_err(|e| format!("line {}: {e}", i + 2))?;
+            scored.push((Pair::new(EntityId(a), EntityId(b)), f64::from_bits(bits)));
+        }
+        Ok(Some(MatchedCkpt {
+            scored,
+            blocked,
+            scheduled,
+        }))
+    }
+}
+
+fn header_field(header: &str, name: &str) -> Result<u64, String> {
+    for field in header.split(' ') {
+        if let Some(v) = field.strip_prefix(&format!("{name}=")[..]) {
+            return v.parse().map_err(|e| format!("bad {name} field: {e}"));
+        }
+    }
+    Err(format!("missing {name} field"))
+}
+
+/// Escapes a block key for the one-line-per-block format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape: \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::fault::{FaultKind, FaultPlan};
+    use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn dataset() -> DirtyDataset {
+        DirtyDataset::generate(&DirtyConfig::sized(200, NoiseModel::light(), 77))
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "er-recovery-test-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn fault_free_recovery_run_matches_plain_run() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let plain = p.run(&ds.collection);
+        let out = p
+            .run_with_recovery(&ds.collection, &RecoveryOptions::default())
+            .unwrap();
+        assert_eq!(out.resolution.matches, plain.matches);
+        assert_eq!(out.resolution.clusters, plain.clusters);
+        assert!(out.events.is_empty());
+        assert_eq!(out.resumed_from, None);
+    }
+
+    #[test]
+    fn transient_stage_faults_are_retried_to_the_same_result() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let plain = p.run(&ds.collection);
+        let plan = FaultPlan::none()
+            .inject(STAGE_BLOCKING, 0, 0, FaultKind::Transient)
+            .inject(STAGE_MATCHING, 0, 0, FaultKind::Panic);
+        let opts = RecoveryOptions::retrying(RetryPolicy::attempts(3))
+            .with_injector(Arc::new(FaultInjector::new(plan)));
+        let out = p.run_with_recovery(&ds.collection, &opts).unwrap();
+        assert_eq!(out.resolution.matches, plain.matches);
+        assert_eq!(out.resolution.clusters, plain.clusters);
+        assert_eq!(out.stage_retries(), 2);
+    }
+
+    #[test]
+    fn exhausted_blocking_retries_surface_as_error() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let plan = FaultPlan::none().inject_all_attempts(STAGE_BLOCKING, 0, 3, FaultKind::Panic);
+        let opts = RecoveryOptions::retrying(RetryPolicy::attempts(3))
+            .with_injector(Arc::new(FaultInjector::new(plan)));
+        let err = p.run_with_recovery(&ds.collection, &opts).unwrap_err();
+        assert_eq!(err.stage, STAGE_BLOCKING);
+        assert_eq!(err.attempts, 3);
+        assert!(err.message.contains("panic"), "{}", err.message);
+    }
+
+    #[test]
+    fn meta_blocking_failure_degrades_to_unpruned_blocks() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let plan =
+            FaultPlan::none().inject_all_attempts(STAGE_META_BLOCKING, 0, 2, FaultKind::Transient);
+        let opts = RecoveryOptions::retrying(RetryPolicy::attempts(2))
+            .with_injector(Arc::new(FaultInjector::new(plan)));
+        let out = p.run_with_recovery(&ds.collection, &opts).unwrap();
+        assert!(out.degraded());
+        // The degraded run schedules every blocked comparison — a superset
+        // of the pruned schedule, so recall cannot drop.
+        assert_eq!(
+            out.resolution.report.scheduled_comparisons,
+            out.resolution.report.blocked_comparisons
+        );
+        let reference = Pipeline::builder().no_meta_blocking().build().run(&ds.collection);
+        assert_eq!(out.resolution.matches, reference.matches);
+    }
+
+    #[test]
+    fn checkpoints_resume_to_identical_output() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let plain = p.run(&ds.collection);
+        let dir = tmp_dir("resume");
+        let opts = RecoveryOptions::default().checkpoint_dir(&dir);
+        let first = p.run_with_recovery(&ds.collection, &opts).unwrap();
+        assert_eq!(first.resolution.matches, plain.matches);
+        // All three stage checkpoints exist now; a resumed run restores the
+        // deepest (matched) and skips everything.
+        let resumed = p
+            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .unwrap();
+        assert_eq!(resumed.resumed_from, Some(STAGE_MATCHING));
+        assert_eq!(resumed.resolution.matches, plain.matches);
+        assert_eq!(resumed.resolution.clusters, plain.clusters);
+        assert_eq!(
+            resumed.resolution.report.scheduled_comparisons,
+            plain.report.scheduled_comparisons
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_falls_back_to_clean_run() {
+        let ds = dataset();
+        let p = Pipeline::builder().build();
+        let plain = p.run(&ds.collection);
+        let dir = tmp_dir("corrupt");
+        let opts = RecoveryOptions::default().checkpoint_dir(&dir);
+        p.run_with_recovery(&ds.collection, &opts).unwrap();
+        // Truncate matched.ckpt (drop the footer) and scribble over
+        // scheduled.ckpt.
+        let matched = dir.join("matched.ckpt");
+        let contents = fs::read_to_string(&matched).unwrap();
+        fs::write(&matched, &contents[..contents.len() - FOOTER.len() - 1]).unwrap();
+        fs::write(dir.join("scheduled.ckpt"), "garbage\n").unwrap();
+        let out = p
+            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .unwrap();
+        let rejected = out
+            .events
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::CheckpointRejected { .. }))
+            .count();
+        assert_eq!(rejected, 2, "matched + scheduled rejected: {:?}", out.events);
+        assert_eq!(out.resumed_from, Some(STAGE_BLOCKING), "blocked.ckpt still valid");
+        assert_eq!(out.resolution.matches, plain.matches);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_rejects_checkpoints_from_other_configurations() {
+        let ds = dataset();
+        let dir = tmp_dir("fingerprint");
+        let p = Pipeline::builder().build();
+        let opts = RecoveryOptions::default().checkpoint_dir(&dir);
+        p.run_with_recovery(&ds.collection, &opts).unwrap();
+        // A different matching threshold must not accept the old snapshots.
+        let other = Pipeline::builder()
+            .matching(crate::MatchingStage::jaccard(0.7))
+            .build();
+        let out = other
+            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .unwrap();
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::CheckpointRejected { .. })),
+            "{:?}",
+            out.events
+        );
+        assert_eq!(out.resolution.matches, other.run(&ds.collection).matches);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn block_key_escaping_round_trips() {
+        for key in ["plain", "tab\there", "multi\nline", "back\\slash", ""] {
+            assert_eq!(unescape(&escape(key)).unwrap(), key);
+        }
+    }
+}

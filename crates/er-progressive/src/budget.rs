@@ -6,23 +6,35 @@ use er_core::matching::Matcher;
 use er_core::metrics::ProgressiveCurve;
 use er_core::pair::Pair;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// A comparison budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Budget {
     /// Execute at most this many comparisons.
     Comparisons(u64),
+    /// Execute until the wall-clock deadline passes, then stop with partial
+    /// results. The outcome's `comparisons` and recall curve report exactly
+    /// how far the run got — progressive ER's graceful-degradation contract.
+    Deadline(Instant),
     /// Execute the whole schedule.
     Unlimited,
 }
 
 impl Budget {
-    /// Whether `executed` comparisons exhaust the budget.
+    /// Whether `executed` comparisons exhaust the budget. Deadline budgets
+    /// consult the wall clock instead of the comparison count.
     pub fn exhausted(&self, executed: u64) -> bool {
         match self {
             Budget::Comparisons(b) => executed >= *b,
+            Budget::Deadline(d) => Instant::now() >= *d,
             Budget::Unlimited => false,
         }
+    }
+
+    /// A deadline budget expiring after `timeout` from now.
+    pub fn timeout(timeout: std::time::Duration) -> Budget {
+        Budget::Deadline(Instant::now() + timeout)
     }
 }
 
@@ -188,5 +200,25 @@ mod tests {
         assert!(!Budget::Comparisons(5).exhausted(4));
         assert!(Budget::Comparisons(5).exhausted(5));
         assert!(!Budget::Unlimited.exhausted(u64::MAX));
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_results_not_a_panic() {
+        let (c, truth) = setup();
+        let oracle = OracleMatcher::new(&truth);
+        let expired = Budget::Deadline(Instant::now());
+        let out = run_schedule(&c, &oracle, c.all_pairs(), expired, &truth);
+        assert_eq!(out.comparisons, 0, "no budget, no comparisons");
+        assert_eq!(out.curve.final_recall(), 0.0);
+    }
+
+    #[test]
+    fn generous_deadline_behaves_like_unlimited() {
+        let (c, truth) = setup();
+        let oracle = OracleMatcher::new(&truth);
+        let generous = Budget::timeout(std::time::Duration::from_secs(3600));
+        let out = run_schedule(&c, &oracle, c.all_pairs(), generous, &truth);
+        assert_eq!(out.comparisons, 15);
+        assert_eq!(out.curve.final_recall(), 1.0);
     }
 }

@@ -109,7 +109,9 @@ impl<'a> WindowScheduler<'a> {
             // --- scheduling phase: pick this window's comparisons ---------
             let remaining = match budget {
                 Budget::Comparisons(b) => (b - executed).min(self.config.window_size),
-                Budget::Unlimited => self.config.window_size,
+                // A deadline is re-checked before every window; within one
+                // window the full size is scheduled.
+                Budget::Deadline(_) | Budget::Unlimited => self.config.window_size,
             };
             let mut window: Vec<(Pair, f64)> = pending.iter().map(|(p, s)| (*p, *s)).collect();
             window.sort_by(|a, b| {

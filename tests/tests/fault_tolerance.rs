@@ -1,0 +1,379 @@
+//! Fault-tolerance headline suite: the **fault-free-equivalence** contract.
+//!
+//! PR 1 established that every parallel kernel is bit-identical to its serial
+//! counterpart at any worker count. This suite extends the contract to
+//! *failure schedules*: any MapReduce job or pipeline run that **completes**
+//! under injected faults — panics, transient errors, artificial delays,
+//! retried under a [`RetryPolicy`] — produces output bit-identical to the
+//! fault-free run; any run that cannot complete degrades gracefully (typed
+//! error, meta-blocking fallback, partial progressive results) instead of
+//! panicking.
+//!
+//! The fault schedules are seeded and deterministic (`FaultPlan::seeded`), a
+//! pure function of (seed, stage, task, attempt) — independent of timing and
+//! worker count — so every run here is reproducible. CI sweeps the
+//! environment knobs:
+//!
+//! * `ER_FAULT_SEED=n`  — check only schedule seed `n` (default: seeds 0..24)
+//! * `ER_FAULT_WORKERS=n` — check only `n` workers (default: {1, 2, 4})
+
+use er_core::collection::EntityCollection;
+use er_core::fault::{
+    fault_seed_from_env, ExecPolicy, FaultInjector, FaultKind, FaultPlan, RetryPolicy,
+    SeededFaults, SpeculationConfig,
+};
+use er_core::metrics::MatchQuality;
+use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+use er_mapreduce::engine::{JobStats, MapReduce};
+use er_pipeline::recovery::{STAGE_BLOCKING, STAGE_MATCHING, STAGE_META_BLOCKING};
+use er_pipeline::{Pipeline, RecoveryEvent, RecoveryOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn dataset(entities: usize, seed: u64) -> DirtyDataset {
+    DirtyDataset::generate(&DirtyConfig::sized(entities, NoiseModel::light(), seed))
+}
+
+/// Schedule seeds under test: the CI matrix pins one via `ER_FAULT_SEED`,
+/// a bare `cargo test` sweeps two dozen.
+fn fault_seeds() -> Vec<u64> {
+    match fault_seed_from_env() {
+        Some(s) => vec![s],
+        None => (0..24).collect(),
+    }
+}
+
+/// Worker counts under test (`ER_FAULT_WORKERS` pins one for the CI matrix).
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("ER_FAULT_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(w) => vec![w],
+        None => vec![1, 2, 4],
+    }
+}
+
+/// A representative MapReduce job: token frequencies over a dirty
+/// collection, reduced to (token, count) pairs.
+fn token_count_inputs(c: &EntityCollection) -> Vec<String> {
+    (0..c.len())
+        .map(|i| {
+            c.entity(er_core::entity::EntityId(i as u32))
+                .attributes()
+                .iter()
+                .map(|(_, v)| v.clone())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+#[allow(clippy::ptr_arg)] // must match `Fn(&I, …)` with I = String exactly
+fn map_tokens(line: &String, emit: &mut dyn FnMut(String, u64)) {
+    for tok in line.split_whitespace() {
+        emit(tok.to_lowercase(), 1);
+    }
+}
+
+#[allow(clippy::ptr_arg)] // must match `Fn(&K, …)` with K = String exactly
+fn reduce_count(k: &String, vs: &[u64]) -> Vec<(String, u64)> {
+    vec![(k.clone(), vs.iter().sum())]
+}
+
+fn fault_free_reference(inputs: &[String], workers: usize) -> (Vec<(String, u64)>, JobStats) {
+    MapReduce::new(workers)
+        .try_run(inputs, &ExecPolicy::default(), map_tokens, reduce_count)
+        .expect("fault-free run cannot fail")
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce: seeded schedules, multiple worker counts
+// ---------------------------------------------------------------------------
+
+/// The headline equivalence: dozens of seeded fault schedules (panic +
+/// transient + delay faults over map and reduce tasks), each absorbed by the
+/// retry policy, all bit-identical to the fault-free run — at every worker
+/// count, with and without speculation.
+#[test]
+fn seeded_mapreduce_schedules_are_absorbed_bit_identically() {
+    let ds = dataset(250, 42);
+    let inputs = token_count_inputs(&ds.collection);
+    let reference = fault_free_reference(&inputs, 1).0;
+    let mut faults_seen = 0u64;
+    for seed in fault_seeds() {
+        for workers in worker_counts() {
+            for speculate in [false, true] {
+                let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(
+                    SeededFaults::absorbable(seed),
+                )));
+                let mut policy = ExecPolicy::retrying(RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: std::time::Duration::from_micros(100),
+                    max_backoff: std::time::Duration::from_millis(2),
+                    jitter_seed: seed,
+                })
+                .with_injector(Arc::clone(&injector));
+                if speculate {
+                    policy = policy.with_speculation(SpeculationConfig::default());
+                }
+                let (out, stats) = MapReduce::new(workers)
+                    .try_run(&inputs, &policy, map_tokens, reduce_count)
+                    .unwrap_or_else(|e| {
+                        panic!("absorbable schedule seed={seed} workers={workers}: {e}")
+                    });
+                assert_eq!(
+                    out, reference,
+                    "seed={seed} workers={workers} speculate={speculate}"
+                );
+                faults_seen += stats.faults_injected;
+            }
+        }
+    }
+    // A pinned (ER_FAULT_SEED, ER_FAULT_WORKERS) cell has only a handful of
+    // eligible first attempts and may legitimately draw zero faults; the
+    // no-vacuous-pass guard applies to the full sweep.
+    if fault_seeds().len() > 1 {
+        assert!(faults_seen > 0, "the sweep must actually inject faults");
+    }
+}
+
+/// An unabsorbable schedule (a task that fails on every attempt) surfaces as
+/// a typed error — never a panic, never a partial/corrupt result.
+#[test]
+fn unabsorbable_mapreduce_schedule_errors_gracefully() {
+    let ds = dataset(120, 7);
+    let inputs = token_count_inputs(&ds.collection);
+    for workers in worker_counts() {
+        let plan = FaultPlan::none().inject_all_attempts("map", 0, 3, FaultKind::Panic);
+        let policy = ExecPolicy::retrying(RetryPolicy::attempts(3))
+            .with_injector(Arc::new(FaultInjector::new(plan)));
+        let err = MapReduce::new(workers)
+            .try_run(&inputs, &policy, map_tokens, reduce_count)
+            .expect_err("schedule must exhaust the retry budget");
+        assert_eq!(err.stage, "map");
+        assert_eq!(err.attempts, 3);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: stage-level faults
+// ---------------------------------------------------------------------------
+
+/// Seeded stage-level fault schedules over the full pipeline: every schedule
+/// the retry budget absorbs yields a resolution bit-identical to
+/// `Pipeline::run`.
+#[test]
+fn pipeline_output_under_absorbable_stage_faults_is_bit_identical() {
+    let ds = dataset(200, 9);
+    let p = Pipeline::builder().build();
+    let plain = p.run(&ds.collection);
+    let mut faults_seen = 0u64;
+    for seed in fault_seeds() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(
+            // Delay-free: stage schedules only need panic/transient coverage,
+            // and per-stage delays would just slow the suite down.
+            SeededFaults {
+                seed,
+                panic_per_mille: 250,
+                transient_per_mille: 250,
+                delay_per_mille: 0,
+                delay: std::time::Duration::ZERO,
+                max_attempt: 1,
+            },
+        )));
+        let opts = RecoveryOptions::retrying(RetryPolicy::attempts(3))
+            .with_injector(Arc::clone(&injector));
+        let out = p
+            .run_with_recovery(&ds.collection, &opts)
+            .unwrap_or_else(|e| panic!("absorbable schedule seed={seed}: {e}"));
+        assert!(!out.degraded(), "seed={seed}: absorbable ⇒ no degradation");
+        assert_eq!(out.resolution.matches, plain.matches, "seed={seed}");
+        assert_eq!(out.resolution.clusters, plain.clusters, "seed={seed}");
+        faults_seen += injector.injected();
+    }
+    if fault_seeds().len() > 1 {
+        assert!(faults_seen > 0, "the sweep must actually inject faults");
+    }
+}
+
+/// Meta-blocking failing every attempt degrades to the unpruned blocked
+/// comparisons: same matches as a no-meta-blocking pipeline, recall no worse
+/// than the pruned run — and the degradation is recorded, not silent.
+#[test]
+fn meta_blocking_degradation_preserves_recall() {
+    let ds = dataset(200, 11);
+    let p = Pipeline::builder().build();
+    let plan =
+        FaultPlan::none().inject_all_attempts(STAGE_META_BLOCKING, 0, 3, FaultKind::Transient);
+    let opts = RecoveryOptions::retrying(RetryPolicy::attempts(3))
+        .with_injector(Arc::new(FaultInjector::new(plan)));
+    let degraded = p.run_with_recovery(&ds.collection, &opts).unwrap();
+    assert!(degraded.degraded());
+
+    let unpruned = Pipeline::builder().no_meta_blocking().build();
+    assert_eq!(
+        degraded.resolution.matches,
+        unpruned.run(&ds.collection).matches
+    );
+
+    let n = ds.collection.len();
+    let q_degraded = MatchQuality::measure(n, &degraded.resolution.matches, &ds.truth);
+    let q_pruned = MatchQuality::measure(n, &p.run(&ds.collection).matches, &ds.truth);
+    assert!(
+        q_degraded.recall() >= q_pruned.recall(),
+        "degrading to a superset schedule cannot lose recall: {} vs {}",
+        q_degraded.recall(),
+        q_pruned.recall()
+    );
+}
+
+/// Blocking or matching failing every attempt is unrecoverable: a typed
+/// `PipelineError` (the CLI maps it to a nonzero exit), never a panic.
+#[test]
+fn unabsorbable_pipeline_schedules_error_gracefully() {
+    let ds = dataset(120, 13);
+    let p = Pipeline::builder().build();
+    for stage in [STAGE_BLOCKING, STAGE_MATCHING] {
+        let plan = FaultPlan::none().inject_all_attempts(stage, 0, 2, FaultKind::Panic);
+        let opts = RecoveryOptions::retrying(RetryPolicy::attempts(2))
+            .with_injector(Arc::new(FaultInjector::new(plan)));
+        let err = p.run_with_recovery(&ds.collection, &opts).unwrap_err();
+        assert_eq!(err.stage, stage);
+        assert_eq!(err.attempts, 2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume at every stage boundary
+// ---------------------------------------------------------------------------
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("er-ft-suite-{}-{tag}", std::process::id()))
+}
+
+/// For each stage boundary, a run resumed from exactly that checkpoint (the
+/// deeper ones removed, simulating a crash mid-pipeline) reproduces the
+/// uninterrupted output bit-for-bit.
+#[test]
+fn resume_from_each_stage_boundary_is_bit_identical() {
+    let ds = dataset(200, 17);
+    let p = Pipeline::builder().build();
+    let plain = p.run(&ds.collection);
+    let boundaries: [(&str, &[&str]); 3] = [
+        // (resume point, checkpoint files to delete first)
+        (STAGE_MATCHING, &[]),
+        (STAGE_META_BLOCKING, &["matched.ckpt"]),
+        (STAGE_BLOCKING, &["matched.ckpt", "scheduled.ckpt"]),
+    ];
+    for (expect_stage, delete) in boundaries {
+        let dir = tmp_dir(&format!("boundary-{expect_stage}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RecoveryOptions::default().checkpoint_dir(&dir);
+        p.run_with_recovery(&ds.collection, &opts).unwrap();
+        for f in delete {
+            std::fs::remove_file(dir.join(f)).unwrap();
+        }
+        let resumed = p
+            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .unwrap();
+        assert_eq!(resumed.resumed_from, Some(expect_stage));
+        assert_eq!(resumed.resolution.matches, plain.matches, "{expect_stage}");
+        assert_eq!(
+            resumed.resolution.clusters, plain.clusters,
+            "{expect_stage}"
+        );
+        assert_eq!(
+            resumed.resolution.report.blocked_comparisons, plain.report.blocked_comparisons,
+            "{expect_stage}"
+        );
+        assert_eq!(
+            resumed.resolution.report.scheduled_comparisons, plain.report.scheduled_comparisons,
+            "{expect_stage}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Corrupting every checkpoint forces a clean run: warnings recorded for the
+/// rejects, output still bit-identical, no crash.
+#[test]
+fn fully_corrupted_checkpoints_fall_back_to_a_clean_run() {
+    let ds = dataset(150, 19);
+    let p = Pipeline::builder().build();
+    let plain = p.run(&ds.collection);
+    let dir = tmp_dir("corrupt-all");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = RecoveryOptions::default().checkpoint_dir(&dir);
+    p.run_with_recovery(&ds.collection, &opts).unwrap();
+    for f in ["blocked.ckpt", "scheduled.ckpt", "matched.ckpt"] {
+        std::fs::write(dir.join(f), "not a checkpoint\n").unwrap();
+    }
+    let out = p
+        .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+        .unwrap();
+    assert_eq!(out.resumed_from, None, "nothing valid to resume from");
+    let rejects = out
+        .events
+        .iter()
+        .filter(|e| matches!(e, RecoveryEvent::CheckpointRejected { .. }))
+        .count();
+    assert_eq!(rejects, 3, "{:?}", out.events);
+    assert_eq!(out.resolution.matches, plain.matches);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Faults during a checkpointed run and a resume after a simulated crash
+/// compose: the final output still equals the undisturbed pipeline.
+#[test]
+fn faults_and_resume_compose_bit_identically() {
+    let ds = dataset(150, 23);
+    let p = Pipeline::builder().build();
+    let plain = p.run(&ds.collection);
+    let dir = tmp_dir("faults-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    // First run: transient faults on first attempts, checkpoints written.
+    let plan = FaultPlan::none()
+        .inject(STAGE_BLOCKING, 0, 0, FaultKind::Transient)
+        .inject(STAGE_META_BLOCKING, 0, 0, FaultKind::Transient);
+    let opts = RecoveryOptions::retrying(RetryPolicy::attempts(3))
+        .with_injector(Arc::new(FaultInjector::new(plan)))
+        .checkpoint_dir(&dir);
+    let first = p.run_with_recovery(&ds.collection, &opts).unwrap();
+    assert_eq!(first.resolution.matches, plain.matches);
+    assert_eq!(first.stage_retries(), 2);
+    // "Crash" after matching; resume skips straight to clustering — and a
+    // would-be fault in an already-checkpointed stage never fires.
+    let resume_plan =
+        FaultPlan::none().inject_all_attempts(STAGE_BLOCKING, 0, 3, FaultKind::Panic);
+    let resume_opts = RecoveryOptions::retrying(RetryPolicy::attempts(3))
+        .with_injector(Arc::new(FaultInjector::new(resume_plan)))
+        .checkpoint_dir(&dir)
+        .resume(true);
+    let resumed = p.run_with_recovery(&ds.collection, &resume_opts).unwrap();
+    assert_eq!(resumed.resumed_from, Some(STAGE_MATCHING));
+    assert_eq!(resumed.resolution.matches, plain.matches);
+    assert_eq!(resumed.resolution.clusters, plain.clusters);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Progressive: budget expiry yields partial results
+// ---------------------------------------------------------------------------
+
+/// An expired deadline budget stops the progressive run with partial results
+/// and honest stats — the "graceful degradation" half of progressive ER.
+#[test]
+fn progressive_deadline_expiry_emits_partial_results() {
+    let ds = dataset(150, 29);
+    let p = Pipeline::builder().build();
+    let expired = er_progressive::Budget::Deadline(std::time::Instant::now());
+    let out = p.run_progressive(&ds.collection, &ds.truth, expired);
+    assert_eq!(out.comparisons, 0);
+    assert_eq!(out.curve.final_recall(), 0.0);
+    let generous = er_progressive::Budget::timeout(std::time::Duration::from_secs(3600));
+    let full = p.run_progressive(&ds.collection, &ds.truth, generous);
+    let unlimited = p.run_progressive(&ds.collection, &ds.truth, er_progressive::Budget::Unlimited);
+    assert_eq!(full.matches, unlimited.matches);
+    assert_eq!(full.comparisons, unlimited.comparisons);
+}
