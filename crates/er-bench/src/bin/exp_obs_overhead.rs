@@ -1,0 +1,4 @@
+//! Runs experiment `e16_obs_overhead` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e16_obs_overhead();
+}

@@ -895,13 +895,8 @@ pub fn e14_thread_scaling() {
         let pb = TokenBlocking::new().par_build(c, par);
         let p_blocking = t0.elapsed();
         let t0 = Instant::now();
-        let pm = er_metablocking::par_meta_block(
-            c,
-            &pb,
-            WeightingScheme::Arcs,
-            PruningScheme::Wnp,
-            par,
-        );
+        let pm =
+            er_metablocking::par_meta_block(c, &pb, WeightingScheme::Arcs, PruningScheme::Wnp, par);
         let p_meta = t0.elapsed();
         let t0 = Instant::now();
         let pj = SimilarityJoin::new(0.5, JoinAlgorithm::PPJoin).par_run(c, par);
@@ -1087,11 +1082,10 @@ pub fn e15_fault_overhead() {
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     println!("degradation paths (one run each):");
-    let retried_opts = RecoveryOptions::retrying(RetryPolicy::attempts(3)).with_injector(
-        std::sync::Arc::new(FaultInjector::new(
-            FaultPlan::none().inject("blocking", 0, 0, FaultKind::Transient),
-        )),
-    );
+    let retried_opts =
+        RecoveryOptions::retrying(RetryPolicy::attempts(3)).with_injector(std::sync::Arc::new(
+            FaultInjector::new(FaultPlan::none().inject("blocking", 0, 0, FaultKind::Transient)),
+        ));
     let retried = pipeline.run_with_recovery(c, &retried_opts).unwrap();
     println!(
         "  transient blocking fault : absorbed by retry ({} retries), output identical: {}",
@@ -1132,6 +1126,130 @@ pub fn e15_fault_overhead() {
     );
 }
 
+/// E16 — overhead of the observability layer when enabled versus the
+/// disabled default (acceptance: enabled-path overhead below 5%, outputs
+/// identical, snapshot covers every pipeline stage).
+pub fn e16_obs_overhead() {
+    use er_core::obs::Obs;
+    use er_pipeline::Pipeline;
+
+    banner("E16", "observability overhead and snapshot coverage");
+    let ds = DirtyDataset::generate(&dirty_preset(2500));
+    let c = &ds.collection;
+    // Same estimator as E15: each rep runs both variants back-to-back with
+    // alternating order (ambient load cancels within the pair), times are
+    // min-of-reps, overhead is the median of per-rep paired ratios.
+    let reps = 25;
+    let best = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[0]
+    };
+    let paired_overhead = |plain: &[f64], obs: &[f64]| -> f64 {
+        let mut ratios: Vec<f64> = plain.iter().zip(obs).map(|(p, o)| o / p).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        100.0 * (ratios[ratios.len() / 2] - 1.0)
+    };
+
+    // Disabled-path check: default pipelines carry a disabled Obs, so the
+    // "plain" side below *is* the disabled path; the instrumented side pays
+    // for a live registry, per-stage spans, and every counter/histogram.
+    let plain_pipeline = Pipeline::builder().build();
+    let obs_pipeline = Pipeline::builder().observability(Obs::enabled()).build();
+    let (mut plain_s, mut obs_s) = (Vec::new(), Vec::new());
+    let mut identical = true;
+    for rep in 0..=reps {
+        let (plain, with_obs) = if rep % 2 == 0 {
+            let t0 = Instant::now();
+            let a = plain_pipeline.run(c);
+            let plain = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let b = obs_pipeline.run(c);
+            let with_obs = t0.elapsed().as_secs_f64();
+            identical &= a.matches == b.matches && a.clusters == b.clusters;
+            (plain, with_obs)
+        } else {
+            let t0 = Instant::now();
+            let b = obs_pipeline.run(c);
+            let with_obs = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let a = plain_pipeline.run(c);
+            let plain = t0.elapsed().as_secs_f64();
+            identical &= a.matches == b.matches && a.clusters == b.clusters;
+            (plain, with_obs)
+        };
+        if rep > 0 {
+            // rep 0 is a warmup (allocator + cache state)
+            plain_s.push(plain);
+            obs_s.push(with_obs);
+        }
+    }
+    let over = paired_overhead(&plain_s, &obs_s);
+    let (t_plain, t_obs) = (best(&mut plain_s), best(&mut obs_s));
+
+    let table = Table::new(&[
+        ("surface", 22),
+        ("disabled", 10),
+        ("enabled", 10),
+        ("overhead", 9),
+        ("identical", 9),
+    ]);
+    table.row(&[
+        "pipeline end-to-end".to_string(),
+        format!("{:.1}ms", t_plain * 1e3),
+        format!("{:.1}ms", t_obs * 1e3),
+        format!("{over:+.1}%"),
+        if identical { "yes" } else { "NO" }.to_string(),
+    ]);
+
+    // Snapshot coverage: every Fig. 1 stage span plus the headline counters
+    // must be present after the instrumented runs above.
+    let snapshot = obs_pipeline.metrics();
+    let spans = [
+        "pipeline.run",
+        "pipeline.blocking",
+        "pipeline.cleaning",
+        "pipeline.meta_blocking",
+        "pipeline.matching",
+        "pipeline.clustering",
+    ];
+    let missing: Vec<&str> = spans
+        .iter()
+        .copied()
+        .filter(|s| snapshot.span(s).is_none())
+        .collect();
+    println!(
+        "snapshot coverage: {} counters, {} gauges, {} histograms, {} spans; \
+         missing stage spans: {}",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len(),
+        snapshot.spans.len(),
+        if missing.is_empty() {
+            "none".to_string()
+        } else {
+            missing.join(", ")
+        }
+    );
+    println!(
+        "  blocks built {} | comparisons {} -> {} (pruning ratio {:.3}) | matches {}",
+        snapshot.counter("blocking.blocks_built").unwrap_or(0),
+        snapshot
+            .counter("meta_blocking.comparisons_before")
+            .unwrap_or(0),
+        snapshot
+            .counter("meta_blocking.comparisons_after")
+            .unwrap_or(0),
+        snapshot.gauge("meta_blocking.pruning_ratio").unwrap_or(0.0),
+        snapshot.counter("pipeline.matches").unwrap_or(0)
+    );
+    println!(
+        "shape: the overhead row must stay below +5% (acceptance criterion) with\n\
+         identical=yes — metric recording is relaxed atomics on pre-created handles\n\
+         and never changes answers. The disabled path is the default for every\n\
+         pipeline; the coverage lines must name no missing stage span."
+    );
+}
+
 /// Runs the full suite in order.
 pub fn run_all() {
     e1_blocking_quality();
@@ -1149,4 +1267,5 @@ pub fn run_all() {
     e13_tokenizer_ablation();
     e14_thread_scaling();
     e15_fault_overhead();
+    e16_obs_overhead();
 }

@@ -164,6 +164,21 @@ impl BlockCollection {
         idx
     }
 
+    /// Records this collection into an observability registry: the
+    /// `blocking.blocks_built` counter and the `blocking.block_size` log2
+    /// histogram. No-op on a disabled handle.
+    pub fn record_obs(&self, obs: &er_core::obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("blocking.blocks_built")
+            .add(self.blocks.len() as u64);
+        let sizes = obs.histogram("blocking.block_size");
+        for b in &self.blocks {
+            sizes.record(b.len() as u64);
+        }
+    }
+
     /// Summary statistics for experiment output.
     pub fn stats(&self, collection: &EntityCollection) -> BlockStats {
         let distinct = self.distinct_pairs(collection).len() as u64;

@@ -9,6 +9,7 @@
 
 use crate::block::{blocks_from_keys, BlockCollection};
 use er_core::collection::EntityCollection;
+use er_core::obs::Obs;
 use er_core::parallel::{par_map, Parallelism};
 use er_core::tokenize::Tokenizer;
 
@@ -32,7 +33,7 @@ impl TokenBlocking {
 
     /// Builds the blocking collection: one block per distinct token.
     pub fn build(&self, collection: &EntityCollection) -> BlockCollection {
-        self.build_impl(collection, Parallelism::serial())
+        self.build_impl(collection, Parallelism::serial(), &Obs::disabled())
     }
 
     /// Parallel [`build`]: tokenizes entities across worker threads.
@@ -44,10 +45,29 @@ impl TokenBlocking {
     ///
     /// [`build`]: TokenBlocking::build
     pub fn par_build(&self, collection: &EntityCollection, par: Parallelism) -> BlockCollection {
-        self.build_impl(collection, par)
+        self.build_impl(collection, par, &Obs::disabled())
     }
 
-    fn build_impl(&self, collection: &EntityCollection, par: Parallelism) -> BlockCollection {
+    /// [`par_build`] with observability: records `blocking.tokens_indexed`
+    /// (token–entity index entries before grouping) plus the block counters
+    /// and block-size histogram of [`BlockCollection::record_obs`].
+    ///
+    /// [`par_build`]: TokenBlocking::par_build
+    pub fn par_build_obs(
+        &self,
+        collection: &EntityCollection,
+        par: Parallelism,
+        obs: &Obs,
+    ) -> BlockCollection {
+        self.build_impl(collection, par, obs)
+    }
+
+    fn build_impl(
+        &self,
+        collection: &EntityCollection,
+        par: Parallelism,
+        obs: &Obs,
+    ) -> BlockCollection {
         let entities: Vec<_> = collection.iter().collect();
         let keys = par_map(par, &entities, |e| {
             e.token_set(&self.tokenizer)
@@ -55,7 +75,13 @@ impl TokenBlocking {
                 .map(|t| (t, e.id()))
                 .collect::<Vec<_>>()
         });
-        blocks_from_keys(keys.into_iter().flatten())
+        if obs.is_enabled() {
+            let indexed: usize = keys.iter().map(Vec::len).sum();
+            obs.counter("blocking.tokens_indexed").add(indexed as u64);
+        }
+        let blocks = blocks_from_keys(keys.into_iter().flatten());
+        blocks.record_obs(obs);
+        blocks
     }
 }
 

@@ -1,0 +1,307 @@
+//! `er-metrics-check` — CI gate over an `er resolve --metrics-out` snapshot.
+//!
+//! ```text
+//! er-metrics-check metrics.json [--expect-fault-free]
+//! ```
+//!
+//! Parses the sorted-key JSON written by the CLI back into an
+//! [`er_core::obs::MetricsSnapshot`] and asserts the structural invariants a
+//! healthy block-based pipeline run must satisfy:
+//!
+//! - blocking did real work: `blocking.blocks_built` > 0 and the
+//!   `blocking.block_size` histogram is non-empty;
+//! - meta-blocking is consistent: `meta_blocking.comparisons_after` ≤
+//!   `meta_blocking.comparisons_before`, the pruned/before/after ledger adds
+//!   up, and the `meta_blocking.pruning_ratio` gauge is strictly positive;
+//! - every Fig. 1 stage span is present under the `pipeline.run` parent:
+//!   blocking, cleaning, meta-blocking, matching, clustering;
+//! - with `--expect-fault-free`: `recovery.stage_retries` exists and is 0.
+//!
+//! Every violated invariant is reported (not just the first); any violation
+//! exits nonzero so the CI job fails loudly.
+
+use er_core::obs::MetricsSnapshot;
+use std::process::ExitCode;
+
+/// The five Fig. 1 stage spans every block-based pipeline run must record.
+const STAGE_SPANS: [&str; 5] = [
+    "pipeline.blocking",
+    "pipeline.cleaning",
+    "pipeline.meta_blocking",
+    "pipeline.matching",
+    "pipeline.clustering",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut expect_fault_free = false;
+    for a in args {
+        match a.as_str() {
+            "--expect-fault-free" => expect_fault_free = true,
+            "--help" | "-h" => {
+                println!("usage: er-metrics-check SNAPSHOT.json [--expect-fault-free]");
+                return Ok(());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => {
+                if path.replace(other).is_some() {
+                    return Err("exactly one snapshot path is expected".to_string());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("usage: er-metrics-check SNAPSHOT.json [--expect-fault-free]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snapshot = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let failures = check(&snapshot, expect_fault_free);
+    if failures.is_empty() {
+        println!(
+            "ok: {} counters, {} gauges, {} histograms, {} spans — all invariants hold",
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len(),
+            snapshot.spans.len()
+        );
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("invariant violated: {f}");
+        }
+        Err(format!("{} invariant(s) violated", failures.len()))
+    }
+}
+
+/// Whether the span's parent chain reaches `pipeline.run` (bounded by the
+/// span count so a malformed cyclic snapshot cannot loop forever).
+fn descends_from_run(snapshot: &MetricsSnapshot, name: &str) -> bool {
+    let mut current = name;
+    for _ in 0..=snapshot.spans.len() {
+        match snapshot.span(current).and_then(|s| s.parent.as_deref()) {
+            Some("pipeline.run") => return true,
+            Some(parent) => current = parent,
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Runs every invariant, returning a message per violation.
+fn check(snapshot: &MetricsSnapshot, expect_fault_free: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut fail = |msg: String| failures.push(msg);
+
+    // Blocking produced blocks and measured their sizes.
+    match snapshot.counter("blocking.blocks_built") {
+        None => fail("blocking.blocks_built counter is missing".to_string()),
+        Some(0) => fail("blocking.blocks_built is 0 — blocking did nothing".to_string()),
+        Some(_) => {}
+    }
+    match snapshot.histograms.get("blocking.block_size") {
+        None => fail("blocking.block_size histogram is missing".to_string()),
+        Some(h) if h.count == 0 => fail("blocking.block_size histogram is empty".to_string()),
+        Some(_) => {}
+    }
+
+    // Meta-blocking prunes (never grows) the comparison set, and its
+    // before/after/pruned ledger is internally consistent.
+    let before = snapshot.counter("meta_blocking.comparisons_before");
+    let after = snapshot.counter("meta_blocking.comparisons_after");
+    let pruned = snapshot.counter("meta_blocking.comparisons_pruned");
+    match (before, after, pruned) {
+        (Some(b), Some(a), Some(p)) => {
+            if a > b {
+                fail(format!(
+                    "meta_blocking.comparisons_after ({a}) exceeds comparisons_before ({b})"
+                ));
+            }
+            if b.saturating_sub(a) != p {
+                fail(format!(
+                    "meta_blocking ledger mismatch: before ({b}) - after ({a}) != pruned ({p})"
+                ));
+            }
+        }
+        _ => fail(
+            "meta_blocking.comparisons_{before,after,pruned} counters are incomplete".to_string(),
+        ),
+    }
+    match snapshot.gauge("meta_blocking.pruning_ratio") {
+        None => fail("meta_blocking.pruning_ratio gauge is missing".to_string()),
+        Some(r) if r <= 0.0 || r.is_nan() => {
+            fail(format!("meta_blocking.pruning_ratio ({r}) is not > 0"));
+        }
+        Some(r) if r > 1.0 => fail(format!("meta_blocking.pruning_ratio ({r}) exceeds 1")),
+        Some(_) => {}
+    }
+
+    // Every pipeline stage recorded a span whose parent chain reaches
+    // pipeline.run (cleaning nests under blocking, the rest sit directly
+    // under the run span).
+    if snapshot.span("pipeline.run").is_none() {
+        fail("pipeline.run span is missing".to_string());
+    }
+    for name in STAGE_SPANS {
+        match snapshot.span(name) {
+            None => fail(format!("{name} span is missing")),
+            Some(s) if s.count == 0 => fail(format!("{name} span never closed")),
+            Some(_) => {
+                if !descends_from_run(snapshot, name) {
+                    fail(format!(
+                        "{name} span is not nested (directly or transitively) under pipeline.run"
+                    ));
+                }
+            }
+        }
+    }
+
+    // A fault-free run must report an explicit zero retry count.
+    if expect_fault_free {
+        match snapshot.counter("recovery.stage_retries") {
+            None => fail("recovery.stage_retries counter is missing".to_string()),
+            Some(0) => {}
+            Some(n) => fail(format!(
+                "recovery.stage_retries is {n} on a run expected to be fault-free"
+            )),
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::obs::{HistogramSnapshot, SpanSnapshot};
+
+    /// A minimal snapshot that satisfies every invariant.
+    fn healthy() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("blocking.blocks_built".into(), 10);
+        s.counters
+            .insert("meta_blocking.comparisons_before".into(), 100);
+        s.counters
+            .insert("meta_blocking.comparisons_after".into(), 40);
+        s.counters
+            .insert("meta_blocking.comparisons_pruned".into(), 60);
+        s.counters.insert("recovery.stage_retries".into(), 0);
+        s.gauges.insert("meta_blocking.pruning_ratio".into(), 0.6);
+        s.histograms.insert(
+            "blocking.block_size".into(),
+            HistogramSnapshot {
+                count: 10,
+                sum: 30,
+                buckets: Vec::new(),
+            },
+        );
+        s.spans.insert(
+            "pipeline.run".into(),
+            SpanSnapshot {
+                count: 1,
+                total_micros: 100,
+                parent: None,
+            },
+        );
+        for name in STAGE_SPANS {
+            s.spans.insert(
+                name.into(),
+                SpanSnapshot {
+                    count: 1,
+                    total_micros: 10,
+                    parent: Some("pipeline.run".into()),
+                },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn healthy_snapshot_passes() {
+        assert!(check(&healthy(), true).is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_reports_every_missing_piece() {
+        let failures = check(&MetricsSnapshot::default(), true);
+        assert!(failures.len() >= 8, "{failures:?}");
+    }
+
+    #[test]
+    fn after_exceeding_before_is_caught() {
+        let mut s = healthy();
+        s.counters
+            .insert("meta_blocking.comparisons_after".into(), 1000);
+        let failures = check(&s, false);
+        assert!(
+            failures.iter().any(|f| f.contains("exceeds")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn zero_pruning_ratio_is_caught() {
+        let mut s = healthy();
+        s.gauges.insert("meta_blocking.pruning_ratio".into(), 0.0);
+        s.counters
+            .insert("meta_blocking.comparisons_after".into(), 100);
+        s.counters
+            .insert("meta_blocking.comparisons_pruned".into(), 0);
+        let failures = check(&s, false);
+        assert!(
+            failures.iter().any(|f| f.contains("pruning_ratio")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn missing_stage_span_is_caught() {
+        let mut s = healthy();
+        s.spans.remove("pipeline.cleaning");
+        let failures = check(&s, false);
+        assert!(
+            failures.iter().any(|f| f.contains("pipeline.cleaning")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn retries_only_checked_when_fault_free_expected() {
+        let mut s = healthy();
+        s.counters.insert("recovery.stage_retries".into(), 2);
+        assert!(check(&s, false).is_empty());
+        let failures = check(&s, true);
+        assert!(
+            failures.iter().any(|f| f.contains("stage_retries")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn misparented_span_is_caught() {
+        let mut s = healthy();
+        s.spans.get_mut("pipeline.matching").unwrap().parent = None;
+        let failures = check(&s, false);
+        assert!(
+            failures.iter().any(|f| f.contains("not nested")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn transitive_nesting_is_accepted() {
+        let mut s = healthy();
+        s.spans.get_mut("pipeline.cleaning").unwrap().parent = Some("pipeline.blocking".into());
+        assert!(check(&s, true).is_empty());
+    }
+}

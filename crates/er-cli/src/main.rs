@@ -15,12 +15,17 @@
 //! under `--retries`; `--checkpoint-dir`/`--resume` persist and restore
 //! per-stage snapshots; `--fail-stage` injects a one-shot panic into a stage
 //! to demo recovery. Any unrecoverable pipeline error exits nonzero.
+//! `--metrics-out FILE` enables the [`er_core::obs`] registry and writes the
+//! run's metrics snapshot (counters, gauges, histograms, stage spans) as
+//! deterministic sorted-key JSON; the `er-metrics-check` companion binary
+//! asserts structural invariants over such a snapshot in CI.
 //! Argument parsing is hand-rolled to keep the workspace dependency-light.
 
 use er_blocking::sorted_neighborhood::SortKey;
 use er_core::collection::EntityCollection;
 use er_core::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 use er_core::metrics::{BlockingQuality, MatchQuality};
+use er_core::obs::Obs;
 use er_core::parallel::Parallelism;
 use er_datagen::{
     CleanCleanConfig, CleanCleanDataset, DirtyConfig, DirtyDataset, LodConfig, LodDataset,
@@ -67,14 +72,18 @@ fn print_usage() {
          \x20            [--threshold T] [--clustering closure|center|umc]\n\
          \x20            [--threads N] [--show-matches N]\n\
          \x20            [--retries N] [--checkpoint-dir DIR] [--resume]\n\
-         \x20            [--fail-stage blocking|meta-blocking|matching]\n\n\
+         \x20            [--fail-stage blocking|meta-blocking|matching]\n\
+         \x20            [--metrics-out FILE]\n\n\
          NOISE LEVELS: clean, light, moderate (default), heavy\n\
          THREADS: worker threads for the hot kernels; 0 = all cores,\n\
          \x20        default 1 (serial). The output is identical either way.\n\
          FAULTS:  --retries N retries a failed stage up to N attempts (default 3);\n\
          \x20        --checkpoint-dir DIR writes per-stage snapshots, --resume\n\
          \x20        restores the deepest valid one; --fail-stage injects one\n\
-         \x20        panic into a stage's first attempt to demo recovery."
+         \x20        panic into a stage's first attempt to demo recovery.\n\
+         METRICS: --metrics-out FILE enables the observability registry and\n\
+         \x20        writes the per-stage metrics snapshot as sorted-key JSON\n\
+         \x20        (validate it with the er-metrics-check companion binary)."
     );
 }
 
@@ -99,7 +108,10 @@ fn parse_flags(
         if !allowed.contains(&key) {
             let mut all: Vec<&str> = allowed.iter().chain(switches).copied().collect();
             all.sort_unstable();
-            return Err(format!("unknown flag --{key} (allowed: {})", all.join(", ")));
+            return Err(format!(
+                "unknown flag --{key} (allowed: {})",
+                all.join(", ")
+            ));
         }
         let value = args
             .get(i + 1)
@@ -241,6 +253,7 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             "retries",
             "checkpoint-dir",
             "fail-stage",
+            "metrics-out",
         ],
         &["resume"],
     )?;
@@ -322,12 +335,16 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown --clustering {other:?}")),
     };
 
+    let metrics_out = flags.get("metrics-out");
     let mut builder = Pipeline::builder()
         .blocking(blocking_stage)
         .cleaning(CleaningStage::None)
         .matching(MatchingStage::jaccard(threshold))
         .clustering(clustering)
         .parallelism(par);
+    if metrics_out.is_some() {
+        builder = builder.observability(Obs::enabled());
+    }
     builder = match meta {
         Some(mb) => builder.meta_blocking(mb),
         None => builder.no_meta_blocking(),
@@ -406,6 +423,11 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         };
         println!("  {:?}: {:?} == {:?}", p, name(p.first()), name(p.second()));
     }
+    if let Some(path) = metrics_out {
+        let json = pipeline.metrics().to_json();
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics snapshot written to {path}");
+    }
     Ok(())
 }
 
@@ -419,7 +441,12 @@ mod tests {
 
     #[test]
     fn parse_flags_happy_path() {
-        let f = parse_flags(&s(&["--kind", "dirty", "--out", "x"]), &["kind", "out"], &[]).unwrap();
+        let f = parse_flags(
+            &s(&["--kind", "dirty", "--out", "x"]),
+            &["kind", "out"],
+            &[],
+        )
+        .unwrap();
         assert_eq!(f["kind"], "dirty");
         assert_eq!(f["out"], "x");
     }
@@ -433,12 +460,7 @@ mod tests {
 
     #[test]
     fn parse_flags_switches_take_no_value() {
-        let f = parse_flags(
-            &s(&["--resume", "--kind", "dirty"]),
-            &["kind"],
-            &["resume"],
-        )
-        .unwrap();
+        let f = parse_flags(&s(&["--resume", "--kind", "dirty"]), &["kind"], &["resume"]).unwrap();
         assert_eq!(f["resume"], "true");
         assert_eq!(f["kind"], "dirty");
     }
@@ -453,7 +475,15 @@ mod tests {
 
     fn generate(prefix: &str, kind: &str, entities: &str) {
         cmd_generate(&s(&[
-            "--kind", kind, "--entities", entities, "--noise", "light", "--seed", "5", "--out",
+            "--kind",
+            kind,
+            "--entities",
+            entities,
+            "--noise",
+            "light",
+            "--seed",
+            "5",
+            "--out",
             prefix,
         ]))
         .unwrap();
@@ -587,6 +617,45 @@ mod tests {
             "1",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn metrics_out_writes_a_parsable_snapshot() {
+        let dir = std::env::temp_dir().join("er_cli_test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("obs").to_string_lossy().to_string();
+        let mpath = dir.join("metrics.json").to_string_lossy().to_string();
+        generate(&prefix, "dirty", "150");
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--truth",
+            &format!("{prefix}.truth.txt"),
+            "--metrics-out",
+            &mpath,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&mpath).unwrap();
+        let snapshot = er_core::obs::MetricsSnapshot::from_json(&text).unwrap();
+        assert!(snapshot.counter("blocking.blocks_built").unwrap() > 0);
+        assert!(
+            snapshot.counter("meta_blocking.comparisons_after").unwrap()
+                <= snapshot
+                    .counter("meta_blocking.comparisons_before")
+                    .unwrap()
+        );
+        assert_eq!(snapshot.counter("recovery.stage_retries"), Some(0));
+        for span in [
+            "pipeline.run",
+            "pipeline.blocking",
+            "pipeline.cleaning",
+            "pipeline.meta_blocking",
+            "pipeline.matching",
+            "pipeline.clustering",
+        ] {
+            assert!(snapshot.span(span).is_some(), "missing span {span}");
+        }
+        let _ = std::fs::remove_file(&mpath);
     }
 
     #[test]

@@ -341,7 +341,7 @@ impl Default for SpeculationConfig {
 }
 
 /// The fault-tolerance bundle an execution layer consumes: retry policy,
-/// optional injector, optional speculation.
+/// optional injector, optional speculation, optional observability.
 #[derive(Clone, Default)]
 pub struct ExecPolicy {
     /// Retry/backoff policy.
@@ -350,6 +350,9 @@ pub struct ExecPolicy {
     pub injector: Option<std::sync::Arc<FaultInjector>>,
     /// Speculative-execution rule; `None` disables speculation.
     pub speculation: Option<SpeculationConfig>,
+    /// Observability handle: execution layers mirror their job statistics
+    /// and per-task latency histograms into it. Disabled by default.
+    pub obs: crate::obs::Obs,
 }
 
 impl std::fmt::Debug for ExecPolicy {
@@ -358,6 +361,7 @@ impl std::fmt::Debug for ExecPolicy {
             .field("retry", &self.retry)
             .field("injector", &self.injector.as_ref().map(|i| i.injected()))
             .field("speculation", &self.speculation)
+            .field("obs", &self.obs)
             .finish()
     }
 }
@@ -380,6 +384,12 @@ impl ExecPolicy {
     /// Enables speculation.
     pub fn with_speculation(mut self, spec: SpeculationConfig) -> Self {
         self.speculation = Some(spec);
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn with_obs(mut self, obs: crate::obs::Obs) -> Self {
+        self.obs = obs;
         self
     }
 

@@ -25,7 +25,11 @@
 //!   curves ([`ground_truth`], [`metrics`]);
 //! * **fault-tolerance primitives** — deterministic fault injection, retry
 //!   policies with deterministic backoff jitter, and speculation rules used
-//!   by the execution layers ([`fault`]).
+//!   by the execution layers ([`fault`]);
+//! * **observability** — a zero-dependency, thread-safe metrics registry
+//!   (counters, gauges, log2-bucket histograms), wall-clock spans with parent
+//!   nesting, structured warning events with pluggable sinks, and
+//!   deterministic JSON snapshots ([`obs`]).
 //!
 //! Downstream crates build the tutorial's pipeline on top of this: blocking
 //! (`er-blocking`), meta-blocking (`er-metablocking`), parallel execution
@@ -45,6 +49,7 @@ pub mod match_clustering;
 pub mod matching;
 pub mod merge;
 pub mod metrics;
+pub mod obs;
 pub mod pair;
 pub mod parallel;
 pub mod similarity;
@@ -55,5 +60,6 @@ pub use entity::{Entity, EntityId, KbId};
 pub use fault::{ExecPolicy, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use ground_truth::GroundTruth;
 pub use matching::{CountingMatcher, Matcher};
+pub use obs::{Event, EventSink, MetricsSnapshot, Obs};
 pub use pair::Pair;
 pub use parallel::Parallelism;

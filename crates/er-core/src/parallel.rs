@@ -185,8 +185,6 @@ mod tests {
     fn empty_inputs() {
         let empty: Vec<u32> = vec![];
         assert!(par_map(Parallelism::threads(4), &empty, |x| *x).is_empty());
-        assert!(
-            par_map_chunks(Parallelism::threads(4), &empty, 8, |c| c.len()).is_empty()
-        );
+        assert!(par_map_chunks(Parallelism::threads(4), &empty, 8, |c| c.len()).is_empty());
     }
 }

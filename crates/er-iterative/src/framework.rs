@@ -81,6 +81,20 @@ pub struct IterationStats {
     pub discovered: u64,
 }
 
+impl IterationStats {
+    /// Mirrors these counters into an observability registry under the
+    /// `iterative.*` names (cumulative across runs). No-op on a disabled
+    /// handle.
+    pub fn record_obs(&self, obs: &er_core::obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("iterative.comparisons").add(self.comparisons);
+        obs.counter("iterative.matches").add(self.matches);
+        obs.counter("iterative.discovered").add(self.discovered);
+    }
+}
+
 /// The iterative resolver: owns the queue and drives the loop.
 pub struct IterativeResolver<'a, M> {
     collection: &'a EntityCollection,

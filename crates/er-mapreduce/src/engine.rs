@@ -54,6 +54,31 @@ pub struct JobStats {
     pub faults_injected: u64,
 }
 
+impl JobStats {
+    /// Mirrors these counters into an observability registry under the
+    /// `mapreduce.*` names. Stats are cumulative across jobs: each call adds
+    /// this job's values to the registry counters. No-op on a disabled
+    /// handle.
+    pub fn record_obs(&self, obs: &er_core::obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("mapreduce.map_output_records")
+            .add(self.map_output_records);
+        obs.counter("mapreduce.combined_records")
+            .add(self.combined_records);
+        obs.counter("mapreduce.reduce_groups")
+            .add(self.reduce_groups);
+        obs.counter("mapreduce.tasks_retried")
+            .add(self.tasks_retried);
+        obs.counter("mapreduce.tasks_speculated")
+            .add(self.tasks_speculated);
+        obs.counter("mapreduce.faults_injected")
+            .add(self.faults_injected);
+        obs.counter("mapreduce.jobs").incr();
+    }
+}
+
 /// A task failed every attempt its [`ExecPolicy`] allowed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecError {
@@ -158,12 +183,16 @@ where
         fatal: None,
     });
     let cv = Condvar::new();
+    // Handle created once per stage, outside the workers: recording on it is
+    // plain relaxed atomics, so the hot path never touches the registry lock.
+    let latency = policy.obs.histogram("mapreduce.task_latency_micros");
     let state = &state;
     let cv = &cv;
     let run = &run;
+    let latency = &latency;
     crossbeam::thread::scope(|s| {
         for _ in 0..workers.min(n) {
-            s.spawn(move |_| worker_loop(stage, tasks, policy, state, cv, run));
+            s.spawn(move |_| worker_loop(stage, tasks, policy, state, cv, run, latency));
         }
     })
     .expect("task executor scope failed");
@@ -179,7 +208,10 @@ where
         st.results
             .iter_mut()
             .enumerate()
-            .map(|(i, slot)| slot.take().unwrap_or_else(|| panic!("task {i} missing result")))
+            .map(|(i, slot)| {
+                slot.take()
+                    .unwrap_or_else(|| panic!("task {i} missing result"))
+            })
             .collect()
     };
     Ok((results, counters))
@@ -194,6 +226,7 @@ fn worker_loop<T, O, F>(
     state: &Mutex<ExecState<O>>,
     cv: &Condvar,
     run: &F,
+    latency: &er_core::obs::Histogram,
 ) where
     T: Sync,
     O: Send,
@@ -243,8 +276,7 @@ fn worker_loop<T, O, F>(
         let started = Instant::now();
         let outcome: Result<O, String> = catch_unwind(AssertUnwindSafe(|| {
             if let Some(inj) = &policy.injector {
-                inj.fire(stage, task, attempt)
-                    .map_err(|e| e.to_string())?;
+                inj.fire(stage, task, attempt).map_err(|e| e.to_string())?;
             }
             Ok(run(&tasks[task]))
         }))
@@ -252,15 +284,16 @@ fn worker_loop<T, O, F>(
 
         // ---- record the outcome --------------------------------------------
         let mut st = state.lock().expect("executor state poisoned");
-        st.running
-            .retain(|&(t, a, _)| !(t == task && a == attempt));
+        st.running.retain(|&(t, a, _)| !(t == task && a == attempt));
         st.live[task] -= 1;
         match outcome {
             Ok(out) => {
                 if st.results[task].is_none() {
                     st.results[task] = Some(out);
                     st.completed += 1;
-                    st.durations.push(started.elapsed());
+                    let elapsed = started.elapsed();
+                    st.durations.push(elapsed);
+                    latency.record(elapsed.as_micros() as u64);
                 }
                 // A slower duplicate of an already-completed task is simply
                 // dropped: result identity, not timing, decides the output.
@@ -651,37 +684,31 @@ where
         // Outputs are positional (entry order); keys are moved out of
         // `merged_partitions` afterwards so attempts never clone anything.
         let reduce_fn = &reduce_fn;
-        let (reducer_outputs, reduce_counters): (Vec<Vec<Vec<R>>>, TaskCounters) =
-            execute_tasks(
-                "reduce",
-                &merged_partitions,
-                workers,
-                policy,
-                |entries: &Vec<(K, Vec<V>)>| {
-                    entries.iter().map(|(k, vs)| reduce_fn(k, vs)).collect()
-                },
-            )?;
+        let (reducer_outputs, reduce_counters): (Vec<Vec<Vec<R>>>, TaskCounters) = execute_tasks(
+            "reduce",
+            &merged_partitions,
+            workers,
+            policy,
+            |entries: &Vec<(K, Vec<V>)>| entries.iter().map(|(k, vs)| reduce_fn(k, vs)).collect(),
+        )?;
         let reduce_groups: u64 = merged_partitions.iter().map(|p| p.len() as u64).sum();
         let mut keyed: Vec<(K, Vec<R>)> = merged_partitions
             .into_iter()
             .zip(reducer_outputs)
-            .flat_map(|(entries, outs)| {
-                entries.into_iter().map(|(k, _)| k).zip(outs)
-            })
+            .flat_map(|(entries, outs)| entries.into_iter().map(|(k, _)| k).zip(outs))
             .collect();
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         let results: Vec<R> = keyed.into_iter().flat_map(|(_, rs)| rs).collect();
-        Ok((
-            results,
-            JobStats {
-                map_output_records,
-                combined_records,
-                reduce_groups,
-                tasks_retried: map_counters.retried + reduce_counters.retried,
-                tasks_speculated: map_counters.speculated + reduce_counters.speculated,
-                faults_injected: policy.faults_injected() - faults_before,
-            },
-        ))
+        let stats = JobStats {
+            map_output_records,
+            combined_records,
+            reduce_groups,
+            tasks_retried: map_counters.retried + reduce_counters.retried,
+            tasks_speculated: map_counters.speculated + reduce_counters.speculated,
+            faults_injected: policy.faults_injected() - faults_before,
+        };
+        stats.record_obs(&policy.obs);
+        Ok((results, stats))
     }
 }
 
@@ -925,8 +952,7 @@ where
         let merged_partitions: Vec<Vec<(K, A)>> = partition_inputs
             .into_iter()
             .map(|maps| {
-                let mut merged: std::collections::HashMap<K, A> =
-                    std::collections::HashMap::new();
+                let mut merged: std::collections::HashMap<K, A> = std::collections::HashMap::new();
                 for m in maps {
                     for (k, a) in m {
                         match merged.entry(k) {
@@ -946,37 +972,31 @@ where
             .collect();
 
         let finish_fn = &finish_fn;
-        let (reducer_outputs, reduce_counters): (Vec<Vec<Vec<R>>>, TaskCounters) =
-            execute_tasks(
-                "reduce",
-                &merged_partitions,
-                workers,
-                policy,
-                |entries: &Vec<(K, A)>| {
-                    entries.iter().map(|(k, a)| finish_fn(k, a)).collect()
-                },
-            )?;
+        let (reducer_outputs, reduce_counters): (Vec<Vec<Vec<R>>>, TaskCounters) = execute_tasks(
+            "reduce",
+            &merged_partitions,
+            workers,
+            policy,
+            |entries: &Vec<(K, A)>| entries.iter().map(|(k, a)| finish_fn(k, a)).collect(),
+        )?;
         let reduce_groups: u64 = merged_partitions.iter().map(|p| p.len() as u64).sum();
         let mut keyed: Vec<(K, Vec<R>)> = merged_partitions
             .into_iter()
             .zip(reducer_outputs)
-            .flat_map(|(entries, outs)| {
-                entries.into_iter().map(|(k, _)| k).zip(outs)
-            })
+            .flat_map(|(entries, outs)| entries.into_iter().map(|(k, _)| k).zip(outs))
             .collect();
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         let results: Vec<R> = keyed.into_iter().flat_map(|(_, rs)| rs).collect();
-        Ok((
-            results,
-            JobStats {
-                map_output_records,
-                combined_records,
-                reduce_groups,
-                tasks_retried: map_counters.retried + reduce_counters.retried,
-                tasks_speculated: map_counters.speculated + reduce_counters.speculated,
-                faults_injected: policy.faults_injected() - faults_before,
-            },
-        ))
+        let stats = JobStats {
+            map_output_records,
+            combined_records,
+            reduce_groups,
+            tasks_retried: map_counters.retried + reduce_counters.retried,
+            tasks_speculated: map_counters.speculated + reduce_counters.speculated,
+            faults_injected: policy.faults_injected() - faults_before,
+        };
+        stats.record_obs(&policy.obs);
+        Ok((results, stats))
     }
 }
 
@@ -1134,9 +1154,7 @@ mod tests {
 
     // ---- fault tolerance ---------------------------------------------------
 
-    use er_core::fault::{
-        FaultInjector, FaultKind, FaultPlan, RetryPolicy, SpeculationConfig,
-    };
+    use er_core::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, SpeculationConfig};
     use std::sync::Arc;
 
     fn try_word_count(
@@ -1193,6 +1211,7 @@ mod tests {
             retry: fast_retry(3),
             injector: Some(Arc::new(FaultInjector::new(plan))),
             speculation: None,
+            obs: Default::default(),
         };
         let (out, stats) = try_word_count(&texts, 2, &policy).unwrap();
         assert_eq!(out, reference);
@@ -1211,6 +1230,7 @@ mod tests {
             retry: fast_retry(3),
             injector: Some(Arc::new(FaultInjector::new(plan))),
             speculation: None,
+            obs: Default::default(),
         };
         let (out, stats) = try_word_count(&texts, 4, &policy).unwrap();
         assert_eq!(out, reference);
@@ -1225,6 +1245,7 @@ mod tests {
             retry: fast_retry(2),
             injector: Some(Arc::new(FaultInjector::new(plan))),
             speculation: None,
+            obs: Default::default(),
         };
         let err = try_word_count(&texts, 2, &policy).unwrap_err();
         assert_eq!(err.stage, "map");
@@ -1244,12 +1265,8 @@ mod tests {
         let texts: Vec<String> = (0..16).map(|i| format!("w{} common", i % 4)).collect();
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
         let reference = word_count(refs.clone(), 8, false).0;
-        let plan = FaultPlan::none().inject(
-            "map",
-            0,
-            0,
-            FaultKind::Delay(Duration::from_millis(150)),
-        );
+        let plan =
+            FaultPlan::none().inject("map", 0, 0, FaultKind::Delay(Duration::from_millis(150)));
         let policy = ExecPolicy {
             retry: fast_retry(3),
             injector: Some(Arc::new(FaultInjector::new(plan))),
@@ -1258,6 +1275,7 @@ mod tests {
                 min_completed: 1,
                 min_runtime: Duration::from_millis(10),
             }),
+            obs: Default::default(),
         };
         let (out, stats) = try_word_count(&refs, 8, &policy).unwrap();
         assert_eq!(out, reference);
@@ -1275,6 +1293,7 @@ mod tests {
             retry: fast_retry(3),
             injector: Some(Arc::new(FaultInjector::new(plan))),
             speculation: None,
+            obs: Default::default(),
         };
         let mr: FoldMapReduce<&str, String, u64, (String, u64)> = FoldMapReduce::new(3);
         let (out, stats) = mr
@@ -1314,12 +1333,12 @@ mod tests {
         let mut total_faults = 0;
         for seed in 0..6u64 {
             for workers in [1, 2, 4] {
-                let plan =
-                    FaultPlan::seeded(er_core::fault::SeededFaults::absorbable(seed));
+                let plan = FaultPlan::seeded(er_core::fault::SeededFaults::absorbable(seed));
                 let policy = ExecPolicy {
                     retry: fast_retry(4),
                     injector: Some(Arc::new(FaultInjector::new(plan))),
                     speculation: None,
+                    obs: Default::default(),
                 };
                 let (out, stats) = try_word_count(&refs, workers, &policy).unwrap();
                 assert_eq!(out, reference, "seed={seed} workers={workers}");

@@ -25,6 +25,6 @@ pub mod supervised;
 pub mod weights;
 
 pub use graph::BlockingGraph;
-pub use pipeline::{meta_block, par_meta_block};
+pub use pipeline::{meta_block, par_meta_block, par_meta_block_obs};
 pub use pruning::PruningScheme;
 pub use weights::WeightingScheme;

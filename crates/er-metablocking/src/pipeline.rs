@@ -5,6 +5,7 @@ use crate::pruning::PruningScheme;
 use crate::weights::WeightingScheme;
 use er_blocking::block::BlockCollection;
 use er_core::collection::EntityCollection;
+use er_core::obs::Obs;
 use er_core::pair::Pair;
 use er_core::parallel::Parallelism;
 
@@ -37,6 +38,40 @@ pub fn par_meta_block(
 ) -> Vec<Pair> {
     let graph = BlockingGraph::par_build(collection, blocks, par);
     pruning.par_prune(&graph, weighting, par)
+}
+
+/// [`par_meta_block`] with observability: records the number of weighted
+/// graph edges (`meta_blocking.edges_weighted`), comparisons before and
+/// after pruning (`meta_blocking.comparisons_{before,after}` — before is the
+/// edge count, i.e. the distinct candidate pairs entering the graph), the
+/// comparisons discarded (`meta_blocking.comparisons_pruned`) and the
+/// pruning ratio gauge (`meta_blocking.pruning_ratio` = pruned / before).
+pub fn par_meta_block_obs(
+    collection: &EntityCollection,
+    blocks: &BlockCollection,
+    weighting: WeightingScheme,
+    pruning: PruningScheme,
+    par: Parallelism,
+    obs: &Obs,
+) -> Vec<Pair> {
+    let graph = BlockingGraph::par_build(collection, blocks, par);
+    let kept = pruning.par_prune(&graph, weighting, par);
+    if obs.is_enabled() {
+        let before = graph.n_edges() as u64;
+        let after = kept.len() as u64;
+        obs.counter("meta_blocking.edges_weighted").add(before);
+        obs.counter("meta_blocking.comparisons_before").add(before);
+        obs.counter("meta_blocking.comparisons_after").add(after);
+        obs.counter("meta_blocking.comparisons_pruned")
+            .add(before.saturating_sub(after));
+        let ratio = if before == 0 {
+            0.0
+        } else {
+            (before.saturating_sub(after)) as f64 / before as f64
+        };
+        obs.gauge("meta_blocking.pruning_ratio").set(ratio);
+    }
+    kept
 }
 
 #[cfg(test)]

@@ -45,10 +45,11 @@ use er_core::entity::EntityId;
 use er_core::ground_truth::GroundTruth;
 use er_core::matching::{Matcher, TfIdfMatcher, ThresholdMatcher};
 use er_core::metrics::{BlockingQuality, MatchQuality};
+use er_core::obs::{MetricsSnapshot, Obs};
 use er_core::pair::Pair;
 use er_core::parallel::Parallelism;
 use er_core::similarity::SetMeasure;
-use er_metablocking::{par_meta_block, PruningScheme, WeightingScheme};
+use er_metablocking::{par_meta_block_obs, PruningScheme, WeightingScheme};
 use std::time::{Duration, Instant};
 
 /// Blocking-stage selection.
@@ -178,12 +179,13 @@ pub struct Pipeline {
     matching: MatchingStage,
     clustering: ClusteringStage,
     parallelism: Parallelism,
+    obs: Obs,
 }
 
 impl Pipeline {
     /// Starts a builder with the Web-of-data defaults: token blocking, auto
     /// purging, ARCS/WNP meta-blocking, Jaccard-0.4 matching, serial
-    /// execution.
+    /// execution, observability disabled.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder {
             blocking: BlockingStage::Token,
@@ -192,34 +194,56 @@ impl Pipeline {
             matching: MatchingStage::jaccard(0.4),
             clustering: ClusteringStage::default(),
             parallelism: Parallelism::serial(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// The pipeline's observability handle (disabled unless the builder
+    /// installed one with [`PipelineBuilder::observability`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric recorded by runs of this
+    /// pipeline (empty when observability is disabled).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Runs the pipeline on a collection.
     pub fn run(&self, collection: &EntityCollection) -> Resolution {
+        let run_span = self.obs.span("pipeline.run");
         let mut report = StageReport::default();
 
         // ---- blocking (and cleaning) ---------------------------------------
         let t0 = Instant::now();
+        let blocking_span = self.obs.span("pipeline.blocking");
         let candidates: Vec<Pair> = match &self.blocking {
             BlockingStage::SortedNeighborhood(keys, window) => {
-                MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
+                let pairs = MultiPassSortedNeighborhood::new(keys.clone(), *window)
+                    .candidate_pairs(collection);
+                blocking_span.finish();
+                pairs
             }
             block_based => {
                 let blocks = self.build_blocks(collection, block_based);
                 report.blocking_time = t0.elapsed();
                 let blocked = blocks.distinct_pairs(collection);
+                blocking_span.finish();
                 report.blocked_comparisons = blocked.len() as u64;
                 // ---- meta-blocking ------------------------------------------
                 if let Some(mb) = self.meta_blocking {
                     let t1 = Instant::now();
-                    let kept = par_meta_block(
+                    let mb_span = self.obs.span("pipeline.meta_blocking");
+                    let kept = par_meta_block_obs(
                         collection,
                         &blocks,
                         mb.weighting,
                         mb.pruning,
                         self.parallelism,
+                        &self.obs,
                     );
+                    mb_span.finish();
                     report.meta_blocking_time = t1.elapsed();
                     kept
                 } else {
@@ -235,17 +259,50 @@ impl Pipeline {
 
         // ---- matching -------------------------------------------------------
         let t2 = Instant::now();
+        let matching_span = self.obs.span("pipeline.matching");
         let scored_matches = self.score_candidates(collection, &candidates);
+        matching_span.finish();
         report.matching_time = t2.elapsed();
         report.matched_comparisons = candidates.len() as u64;
 
         // ---- clustering -----------------------------------------------------
+        let clustering_span = self.obs.span("pipeline.clustering");
         let (matches, clusters) = self.cluster(collection, scored_matches);
+        clustering_span.finish();
+        self.record_run_counters(&report, &matches, &clusters);
+        run_span.finish();
         Resolution {
             matches,
             clusters,
             report,
         }
+    }
+
+    /// Records the per-run pipeline counters (cumulative across runs).
+    fn record_run_counters(
+        &self,
+        report: &StageReport,
+        matches: &[Pair],
+        clusters: &[Vec<EntityId>],
+    ) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs
+            .counter("pipeline.blocked_comparisons")
+            .add(report.blocked_comparisons);
+        self.obs
+            .counter("pipeline.scheduled_comparisons")
+            .add(report.scheduled_comparisons);
+        self.obs
+            .counter("pipeline.matched_comparisons")
+            .add(report.matched_comparisons);
+        self.obs
+            .counter("pipeline.matches")
+            .add(matches.len() as u64);
+        self.obs
+            .counter("pipeline.clusters")
+            .add(clusters.len() as u64);
     }
 
     /// Runs the configured matching stage over the candidates, keeping the
@@ -364,12 +421,13 @@ impl Pipeline {
             block_based => {
                 let blocks = self.build_blocks(collection, block_based);
                 match self.meta_blocking {
-                    Some(mb) => par_meta_block(
+                    Some(mb) => par_meta_block_obs(
                         collection,
                         &blocks,
                         mb.weighting,
                         mb.pruning,
                         self.parallelism,
+                        &self.obs,
                     ),
                     None => blocks.distinct_pairs(collection),
                 }
@@ -387,30 +445,50 @@ impl Pipeline {
     ) -> er_blocking::block::BlockCollection {
         let blocks = match stage {
             BlockingStage::Token => {
-                TokenBlocking::new().par_build(collection, self.parallelism)
+                TokenBlocking::new().par_build_obs(collection, self.parallelism, &self.obs)
             }
             BlockingStage::AttributeClustering => {
-                AttributeClusteringBlocking::new().par_build(collection, self.parallelism)
+                let b = AttributeClusteringBlocking::new().par_build(collection, self.parallelism);
+                b.record_obs(&self.obs);
+                b
             }
             BlockingStage::StandardKey(attr) => {
-                StandardBlocking::on_attribute(attr.clone()).build(collection)
+                let b = StandardBlocking::on_attribute(attr.clone()).build(collection);
+                b.record_obs(&self.obs);
+                b
             }
-            BlockingStage::QGrams(q) => QGramsBlocking::new(*q).build(collection),
+            BlockingStage::QGrams(q) => {
+                let b = QGramsBlocking::new(*q).build(collection);
+                b.record_obs(&self.obs);
+                b
+            }
             BlockingStage::MinHash(bands, rows) => {
-                MinHashBlocking::new(*bands, *rows).build(collection)
+                let b = MinHashBlocking::new(*bands, *rows).build(collection);
+                b.record_obs(&self.obs);
+                b
             }
             BlockingStage::SortedNeighborhood(..) => {
                 unreachable!("pair-producing stage handled by callers")
             }
         };
-        match self.cleaning {
+        // The cleaning span is recorded even for `CleaningStage::None`, so a
+        // snapshot always covers all five Fig. 1 stages for block-based runs.
+        let cleaning_span = self.obs.span("pipeline.cleaning");
+        let cleaned = match self.cleaning {
             CleaningStage::None => blocks,
             CleaningStage::AutoPurge => cleaning::auto_purge(&blocks, collection),
             CleaningStage::PurgeAndFilter(ratio) => {
                 let purged = cleaning::auto_purge(&blocks, collection);
                 cleaning::filter_blocks(&purged, collection, ratio)
             }
+        };
+        cleaning_span.finish();
+        if self.obs.is_enabled() && self.cleaning != CleaningStage::None {
+            self.obs
+                .counter("cleaning.blocks_kept")
+                .add(cleaned.len() as u64);
         }
+        cleaned
     }
 
     /// Runs the pipeline *progressively*: candidates are scheduled by the
@@ -429,7 +507,12 @@ impl Pipeline {
             er_progressive::hints::score_pairs(collection, &candidates, SetMeasure::Jaccard);
         let schedule = er_progressive::hints::sorted_pair_list(&scored);
         let oracle = er_core::matching::OracleMatcher::new(truth);
-        er_progressive::run_schedule(collection, &oracle, schedule, budget, truth)
+        let span = self.obs.span("pipeline.progressive");
+        let out = er_progressive::run_schedule_obs(
+            collection, &oracle, schedule, budget, truth, &self.obs,
+        );
+        span.finish();
+        out
     }
 
     /// Candidate-level quality of this pipeline's blocking stages.
@@ -463,6 +546,7 @@ pub struct PipelineBuilder {
     matching: MatchingStage,
     clustering: ClusteringStage,
     parallelism: Parallelism,
+    obs: Obs,
 }
 
 impl PipelineBuilder {
@@ -510,6 +594,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Installs an observability handle: runs record per-stage spans,
+    /// counters and histograms into it, and recovery warnings go through its
+    /// event sink. The default is [`Obs::disabled`], whose record paths are
+    /// no-ops.
+    pub fn observability(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Finalizes the pipeline.
     pub fn build(self) -> Pipeline {
         Pipeline {
@@ -519,6 +612,7 @@ impl PipelineBuilder {
             matching: self.matching,
             clustering: self.clustering,
             parallelism: self.parallelism,
+            obs: self.obs,
         }
     }
 }

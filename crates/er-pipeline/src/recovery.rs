@@ -34,8 +34,9 @@ use er_blocking::sorted_neighborhood::MultiPassSortedNeighborhood;
 use er_core::collection::EntityCollection;
 use er_core::entity::EntityId;
 use er_core::fault::{FaultInjector, RetryPolicy};
+use er_core::obs::{Event, Obs};
 use er_core::pair::Pair;
-use er_metablocking::par_meta_block;
+use er_metablocking::par_meta_block_obs;
 use std::fmt;
 use std::fs;
 use std::io::{BufRead, BufReader, Write};
@@ -148,7 +149,10 @@ impl fmt::Display for RecoveryEvent {
                 stage,
                 failed_attempt,
                 error,
-            } => write!(f, "{stage}: attempt {failed_attempt} failed ({error}); retrying"),
+            } => write!(
+                f,
+                "{stage}: attempt {failed_attempt} failed ({error}); retrying"
+            ),
             RecoveryEvent::MetaBlockingDegraded { error } => write!(
                 f,
                 "meta-blocking failed unrecoverably ({error}); falling back to unpruned blocks"
@@ -234,6 +238,10 @@ impl Pipeline {
         collection: &EntityCollection,
         opts: &RecoveryOptions,
     ) -> Result<RecoveryOutcome, PipelineError> {
+        let run_span = self.obs().span("pipeline.run");
+        // Pre-register the retry counter so a fault-free snapshot reports an
+        // explicit 0 instead of a missing key — the CI checker asserts on it.
+        self.obs().counter("recovery.stage_retries");
         let mut events: Vec<RecoveryEvent> = Vec::new();
         let mut report = StageReport::default();
         let store = opts
@@ -253,7 +261,10 @@ impl Pipeline {
                         events.push(RecoveryEvent::CheckpointLoaded {
                             stage: STAGE_MATCHING,
                         });
+                        let clustering_span = self.obs().span("pipeline.clustering");
                         let (matches, clusters) = self.cluster(collection, m.scored);
+                        clustering_span.finish();
+                        run_span.finish();
                         return Ok(RecoveryOutcome {
                             resolution: Resolution {
                                 matches,
@@ -266,7 +277,7 @@ impl Pipeline {
                         });
                     }
                     Ok(None) => {}
-                    Err(reason) => reject(&mut events, STAGE_MATCHING, reason),
+                    Err(reason) => reject(self.obs(), &mut events, STAGE_MATCHING, reason),
                 }
             }
         }
@@ -285,7 +296,7 @@ impl Pipeline {
                         candidates = Some(sc.pairs);
                     }
                     Ok(None) => {}
-                    Err(reason) => reject(&mut events, STAGE_META_BLOCKING, reason),
+                    Err(reason) => reject(self.obs(), &mut events, STAGE_META_BLOCKING, reason),
                 }
             }
         }
@@ -293,14 +304,20 @@ impl Pipeline {
         let candidates: Vec<Pair> = match candidates {
             Some(c) => c,
             None => {
-                let c =
-                    self.blocked_candidates(collection, opts, &store, &mut events, &mut report, &mut resumed_from)?;
+                let c = self.blocked_candidates(
+                    collection,
+                    opts,
+                    &store,
+                    &mut events,
+                    &mut report,
+                    &mut resumed_from,
+                )?;
                 if let Some(s) = &store {
                     match s.save_scheduled(&c, report.blocked_comparisons) {
                         Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
                             stage: STAGE_META_BLOCKING,
                         }),
-                        Err(e) => warn_write(&mut events, STAGE_META_BLOCKING, e),
+                        Err(e) => warn_write(self.obs(), &mut events, STAGE_META_BLOCKING, e),
                     }
                 }
                 c
@@ -310,23 +327,32 @@ impl Pipeline {
 
         // ---- matching -------------------------------------------------------
         let t2 = Instant::now();
-        let scored = run_stage(STAGE_MATCHING, opts, &mut events, || {
+        let matching_span = self.obs().span("pipeline.matching");
+        let scored = run_stage(self.obs(), STAGE_MATCHING, opts, &mut events, || {
             self.score_candidates(collection, &candidates)
         })?;
+        matching_span.finish();
         report.matching_time = t2.elapsed();
         report.matched_comparisons = candidates.len() as u64;
         if let Some(s) = &store {
-            match s.save_matched(&scored, report.blocked_comparisons, report.scheduled_comparisons)
-            {
+            match s.save_matched(
+                &scored,
+                report.blocked_comparisons,
+                report.scheduled_comparisons,
+            ) {
                 Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
                     stage: STAGE_MATCHING,
                 }),
-                Err(e) => warn_write(&mut events, STAGE_MATCHING, e),
+                Err(e) => warn_write(self.obs(), &mut events, STAGE_MATCHING, e),
             }
         }
 
         // ---- clustering (cheap; always re-run) ------------------------------
+        let clustering_span = self.obs().span("pipeline.clustering");
         let (matches, clusters) = self.cluster(collection, scored);
+        clustering_span.finish();
+        self.record_run_counters(&report, &matches, &clusters);
+        run_span.finish();
         Ok(RecoveryOutcome {
             resolution: Resolution {
                 matches,
@@ -355,9 +381,11 @@ impl Pipeline {
         if let BlockingStage::SortedNeighborhood(keys, window) = &self.blocking {
             // Pair-producing method: blocking directly yields the schedule.
             let t0 = Instant::now();
-            let pairs = run_stage(STAGE_BLOCKING, opts, events, || {
+            let blocking_span = self.obs().span("pipeline.blocking");
+            let pairs = run_stage(self.obs(), STAGE_BLOCKING, opts, events, || {
                 MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
             })?;
+            blocking_span.finish();
             report.blocking_time = t0.elapsed();
             report.blocked_comparisons = pairs.len() as u64;
             return Ok(pairs);
@@ -376,7 +404,7 @@ impl Pipeline {
                         blocks = Some(b);
                     }
                     Ok(None) => {}
-                    Err(reason) => reject(events, STAGE_BLOCKING, reason),
+                    Err(reason) => reject(self.obs(), events, STAGE_BLOCKING, reason),
                 }
             }
         }
@@ -384,16 +412,18 @@ impl Pipeline {
             Some(b) => b,
             None => {
                 let t0 = Instant::now();
-                let b = run_stage(STAGE_BLOCKING, opts, events, || {
+                let blocking_span = self.obs().span("pipeline.blocking");
+                let b = run_stage(self.obs(), STAGE_BLOCKING, opts, events, || {
                     self.build_blocks(collection, &self.blocking)
                 })?;
+                blocking_span.finish();
                 report.blocking_time = t0.elapsed();
                 if let Some(s) = store {
                     match s.save_blocked(&b) {
                         Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
                             stage: STAGE_BLOCKING,
                         }),
-                        Err(e) => warn_write(events, STAGE_BLOCKING, e),
+                        Err(e) => warn_write(self.obs(), events, STAGE_BLOCKING, e),
                     }
                 }
                 b
@@ -406,9 +436,19 @@ impl Pipeline {
         match self.meta_blocking {
             Some(mb) => {
                 let t1 = Instant::now();
-                match run_stage(STAGE_META_BLOCKING, opts, events, || {
-                    par_meta_block(collection, &blocks, mb.weighting, mb.pruning, self.parallelism)
-                }) {
+                let mb_span = self.obs().span("pipeline.meta_blocking");
+                let outcome = run_stage(self.obs(), STAGE_META_BLOCKING, opts, events, || {
+                    par_meta_block_obs(
+                        collection,
+                        &blocks,
+                        mb.weighting,
+                        mb.pruning,
+                        self.parallelism,
+                        self.obs(),
+                    )
+                });
+                mb_span.finish();
+                match outcome {
                     Ok(kept) => {
                         report.meta_blocking_time = t1.elapsed();
                         Ok(kept)
@@ -416,14 +456,16 @@ impl Pipeline {
                     Err(err) => {
                         // Degrade, loudly: recall is preserved because the
                         // unpruned blocked comparisons are a superset of
-                        // anything meta-blocking would schedule.
-                        eprintln!(
-                            "warning: {err}; degrading to {} unpruned blocked comparisons",
-                            blocked_pairs.len()
-                        );
-                        events.push(RecoveryEvent::MetaBlockingDegraded {
-                            error: err.message,
+                        // anything meta-blocking would schedule. The warning
+                        // goes through the event sink (stderr by default).
+                        self.obs().emit(Event::Warning {
+                            stage: STAGE_META_BLOCKING.to_string(),
+                            reason: format!(
+                                "{err}; degrading to {} unpruned blocked comparisons",
+                                blocked_pairs.len()
+                            ),
                         });
+                        events.push(RecoveryEvent::MetaBlockingDegraded { error: err.message });
                         Ok(blocked_pairs)
                     }
                 }
@@ -437,6 +479,7 @@ impl Pipeline {
 /// faults are caught; the stage is re-run after a deterministic backoff
 /// until it succeeds or the attempt budget is exhausted.
 fn run_stage<T>(
+    obs: &Obs,
     stage: &'static str,
     opts: &RecoveryOptions,
     events: &mut Vec<RecoveryEvent>,
@@ -457,6 +500,7 @@ fn run_stage<T>(
             Err(payload) => last_error = panic_message(payload.as_ref()),
         }
         if attempt + 1 < max {
+            obs.counter("recovery.stage_retries").incr();
             events.push(RecoveryEvent::StageRetried {
                 stage,
                 failed_attempt: attempt,
@@ -485,13 +529,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn reject(events: &mut Vec<RecoveryEvent>, stage: &'static str, reason: String) {
-    eprintln!("warning: {stage} checkpoint rejected ({reason}); running the stage from scratch");
+fn reject(obs: &Obs, events: &mut Vec<RecoveryEvent>, stage: &'static str, reason: String) {
+    obs.emit(Event::Warning {
+        stage: stage.to_string(),
+        reason: format!("checkpoint rejected ({reason}); running the stage from scratch"),
+    });
     events.push(RecoveryEvent::CheckpointRejected { stage, reason });
 }
 
-fn warn_write(events: &mut Vec<RecoveryEvent>, stage: &'static str, err: std::io::Error) {
-    eprintln!("warning: failed to write {stage} checkpoint ({err}); continuing uncheckpointed");
+fn warn_write(
+    obs: &Obs,
+    events: &mut Vec<RecoveryEvent>,
+    stage: &'static str,
+    err: std::io::Error,
+) {
+    obs.emit(Event::Warning {
+        stage: stage.to_string(),
+        reason: format!("checkpoint write failed ({err}); continuing uncheckpointed"),
+    });
     events.push(RecoveryEvent::CheckpointWriteFailed {
         stage,
         reason: err.to_string(),
@@ -607,10 +662,11 @@ impl CheckpointStore {
         }
         match fields.next().and_then(|f| f.strip_prefix("fingerprint=")) {
             Some(hex) => {
-                let got = u64::from_str_radix(hex, 16).map_err(|_| "bad fingerprint".to_string())?;
+                let got =
+                    u64::from_str_radix(hex, 16).map_err(|_| "bad fingerprint".to_string())?;
                 if got != self.fingerprint {
                     return Err(
-                        "fingerprint mismatch (different collection or configuration)".to_string()
+                        "fingerprint mismatch (different collection or configuration)".to_string(),
                     );
                 }
             }
@@ -787,10 +843,7 @@ mod tests {
     fn tmp_dir(tag: &str) -> PathBuf {
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let n = SEQ.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir().join(format!(
-            "er-recovery-test-{}-{tag}-{n}",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("er-recovery-test-{}-{tag}-{n}", std::process::id()))
     }
 
     #[test]
@@ -852,7 +905,10 @@ mod tests {
             out.resolution.report.scheduled_comparisons,
             out.resolution.report.blocked_comparisons
         );
-        let reference = Pipeline::builder().no_meta_blocking().build().run(&ds.collection);
+        let reference = Pipeline::builder()
+            .no_meta_blocking()
+            .build()
+            .run(&ds.collection);
         assert_eq!(out.resolution.matches, reference.matches);
     }
 
@@ -902,8 +958,16 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, RecoveryEvent::CheckpointRejected { .. }))
             .count();
-        assert_eq!(rejected, 2, "matched + scheduled rejected: {:?}", out.events);
-        assert_eq!(out.resumed_from, Some(STAGE_BLOCKING), "blocked.ckpt still valid");
+        assert_eq!(
+            rejected, 2,
+            "matched + scheduled rejected: {:?}",
+            out.events
+        );
+        assert_eq!(
+            out.resumed_from,
+            Some(STAGE_BLOCKING),
+            "blocked.ckpt still valid"
+        );
         assert_eq!(out.resolution.matches, plain.matches);
         let _ = fs::remove_dir_all(&dir);
     }

@@ -4,6 +4,7 @@ use er_core::collection::EntityCollection;
 use er_core::ground_truth::GroundTruth;
 use er_core::matching::Matcher;
 use er_core::metrics::ProgressiveCurve;
+use er_core::obs::Obs;
 use er_core::pair::Pair;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -64,6 +65,36 @@ where
     M: Matcher,
     I: IntoIterator<Item = Pair>,
 {
+    run_schedule_obs(
+        collection,
+        matcher,
+        schedule,
+        budget,
+        truth,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_schedule`] with observability: records comparisons consumed
+/// (`progressive.comparisons_consumed`), matches emitted
+/// (`progressive.matches_emitted`), the comparison budget as a gauge
+/// (`progressive.budget_comparisons`; 0 for deadline/unlimited budgets) and
+/// the schedule position of every emitted match in the
+/// `progressive.match_position` log2 histogram — the "matches over time"
+/// shape a progressive scheduler is judged by.
+pub fn run_schedule_obs<M, I>(
+    collection: &EntityCollection,
+    matcher: &M,
+    schedule: I,
+    budget: Budget,
+    truth: &GroundTruth,
+    obs: &Obs,
+) -> ProgressiveOutcome
+where
+    M: Matcher,
+    I: IntoIterator<Item = Pair>,
+{
+    let match_position = obs.histogram("progressive.match_position");
     let mut curve = ProgressiveCurve::new(truth.len() as u64);
     let mut seen: BTreeSet<Pair> = BTreeSet::new();
     let mut matches = Vec::new();
@@ -80,8 +111,18 @@ where
         let is_true_match = decision.is_match && truth.contains(pair);
         if decision.is_match {
             matches.push(pair);
+            match_position.record(executed);
         }
         curve.record(is_true_match);
+    }
+    if obs.is_enabled() {
+        obs.counter("progressive.comparisons_consumed")
+            .add(executed);
+        obs.counter("progressive.matches_emitted")
+            .add(matches.len() as u64);
+        if let Budget::Comparisons(b) = budget {
+            obs.gauge("progressive.budget_comparisons").set(b as f64);
+        }
     }
     ProgressiveOutcome {
         curve,

@@ -28,4 +28,4 @@ pub mod psnm;
 pub mod scheduler;
 pub mod stopping;
 
-pub use budget::{run_schedule, Budget, ProgressiveOutcome};
+pub use budget::{run_schedule, run_schedule_obs, Budget, ProgressiveOutcome};

@@ -48,7 +48,14 @@ const LOCKED: &[LockedRow] = &[
     // moderate
     row("moderate", "standard(name)", 280, 0.228, 0.9679, 1.000),
     row("moderate", "token", 555_883, 0.946, 0.0020, 0.806),
-    row("moderate", "sorted-neighborhood", 21_483, 0.519, 0.0287, 0.992),
+    row(
+        "moderate",
+        "sorted-neighborhood",
+        21_483,
+        0.519,
+        0.0287,
+        0.992,
+    ),
     // heavy
     row("heavy", "standard(name)", 108, 0.075, 0.8704, 1.000),
     row("heavy", "token", 246_476, 0.687, 0.0035, 0.918),
@@ -101,7 +108,10 @@ fn e1_excerpt_matches_locked_values() {
                 .find(|r| r.noise == noise_name && r.scheme == scheme_name)
                 .unwrap_or_else(|| panic!("no locked row for {noise_name}/{scheme_name}"));
             let ctx = format!("{noise_name}/{scheme_name}");
-            assert_eq!(q.comparisons, locked.comparisons, "comparisons drifted: {ctx}");
+            assert_eq!(
+                q.comparisons, locked.comparisons,
+                "comparisons drifted: {ctx}"
+            );
             // Tolerances match the rounding the E1 table prints (f3 / f4):
             // any real drift in the underlying computation exceeds them.
             assert!(

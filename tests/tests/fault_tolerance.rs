@@ -344,8 +344,7 @@ fn faults_and_resume_compose_bit_identically() {
     assert_eq!(first.stage_retries(), 2);
     // "Crash" after matching; resume skips straight to clustering — and a
     // would-be fault in an already-checkpointed stage never fires.
-    let resume_plan =
-        FaultPlan::none().inject_all_attempts(STAGE_BLOCKING, 0, 3, FaultKind::Panic);
+    let resume_plan = FaultPlan::none().inject_all_attempts(STAGE_BLOCKING, 0, 3, FaultKind::Panic);
     let resume_opts = RecoveryOptions::retrying(RetryPolicy::attempts(3))
         .with_injector(Arc::new(FaultInjector::new(resume_plan)))
         .checkpoint_dir(&dir)

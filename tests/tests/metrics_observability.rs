@@ -1,0 +1,233 @@
+//! Cross-crate observability tests: metrics determinism across thread
+//! counts and repeated runs, locked histogram bucket boundaries, event-sink
+//! routing, and JSON snapshot round-trips through a real pipeline.
+
+use er_core::collection::EntityCollection;
+use er_core::obs::{CaptureSink, Event, Histogram, MetricsSnapshot, Obs, HISTOGRAM_BUCKETS};
+use er_core::parallel::Parallelism;
+use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+use er_pipeline::{
+    BlockingStage, CleaningStage, ClusteringStage, MatchingStage, Pipeline, RecoveryOptions,
+};
+use std::sync::Arc;
+
+fn dataset() -> DirtyDataset {
+    DirtyDataset::generate(&DirtyConfig::sized(300, NoiseModel::moderate(), 97))
+}
+
+fn instrumented_pipeline(threads: usize) -> Pipeline {
+    Pipeline::builder()
+        .blocking(BlockingStage::Token)
+        .cleaning(CleaningStage::None)
+        .matching(MatchingStage::jaccard(0.4))
+        .clustering(ClusteringStage::ConnectedComponents)
+        .parallelism(Parallelism::threads(threads))
+        .observability(Obs::enabled())
+        .build()
+}
+
+/// Runs the pipeline once on a fresh registry and returns the snapshot.
+fn run_once(collection: &EntityCollection, threads: usize) -> MetricsSnapshot {
+    let pipeline = instrumented_pipeline(threads);
+    pipeline.run(collection);
+    pipeline.metrics()
+}
+
+/// Extracts every JSON object key in document order — determinism over the
+/// key sequence means two snapshots agree on both content and layout.
+fn json_keys(json: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut end = start;
+            while end < bytes.len() && bytes[end] != b'"' {
+                end += if bytes[end] == b'\\' { 2 } else { 1 };
+            }
+            // A string followed by ':' is a key; anything else is a value.
+            let mut j = end + 1;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b':' {
+                keys.push(json[start..end].to_string());
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+#[test]
+fn counters_identical_across_thread_counts_and_reruns() {
+    let ds = dataset();
+    let serial = run_once(&ds.collection, 1);
+    let serial_again = run_once(&ds.collection, 1);
+    let parallel = run_once(&ds.collection, 4);
+
+    // Counter values: exact across reruns and across thread counts (the
+    // workspace determinism contract — parallel kernels are bit-identical).
+    assert_eq!(serial.counters, serial_again.counters);
+    assert_eq!(serial.counters, parallel.counters);
+    assert_eq!(serial.gauges, parallel.gauges);
+    assert!(serial.counter("blocking.blocks_built").unwrap() > 0);
+    assert!(serial.counter("pipeline.matches").is_some());
+
+    // Histogram contents (counts per bucket) are value-deterministic too;
+    // only span durations may differ between runs.
+    assert_eq!(serial.histograms, parallel.histograms);
+
+    // JSON key order: byte-positional key sequence matches exactly.
+    assert_eq!(
+        json_keys(&serial.to_json()),
+        json_keys(&serial_again.to_json())
+    );
+    assert_eq!(json_keys(&serial.to_json()), json_keys(&parallel.to_json()));
+}
+
+#[test]
+fn recovery_run_counters_match_plain_run() {
+    let ds = dataset();
+    let plain = run_once(&ds.collection, 1);
+    let pipeline = instrumented_pipeline(1);
+    pipeline
+        .run_with_recovery(&ds.collection, &RecoveryOptions::default())
+        .unwrap();
+    let recovered = pipeline.metrics();
+    for key in [
+        "blocking.blocks_built",
+        "meta_blocking.comparisons_before",
+        "meta_blocking.comparisons_after",
+        "pipeline.matches",
+        "pipeline.clusters",
+    ] {
+        assert_eq!(plain.counter(key), recovered.counter(key), "{key}");
+    }
+    assert_eq!(recovered.counter("recovery.stage_retries"), Some(0));
+}
+
+/// The log2 bucket boundaries are a wire format: recorded snapshots (and
+/// the docs/observability.md catalog) depend on them, so they are locked
+/// here value by value.
+#[test]
+fn histogram_bucket_boundaries_are_locked() {
+    assert_eq!(HISTOGRAM_BUCKETS, 65);
+    // Index: 0 → bucket 0; otherwise 64 - leading_zeros (bucket i covers
+    // [2^(i-1), 2^i - 1]).
+    let expected_index: [(u64, usize); 12] = [
+        (0, 0),
+        (1, 1),
+        (2, 2),
+        (3, 2),
+        (4, 3),
+        (7, 3),
+        (8, 4),
+        (1023, 10),
+        (1024, 11),
+        (u64::MAX >> 1, 63),
+        ((u64::MAX >> 1) + 1, 64),
+        (u64::MAX, 64),
+    ];
+    for (value, index) in expected_index {
+        assert_eq!(Histogram::bucket_index(value), index, "value {value}");
+    }
+    // Bounds: snapshot of the full table shape plus exact spot values.
+    assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+    assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+    assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+    assert_eq!(Histogram::bucket_bounds(10), (512, 1023));
+    assert_eq!(Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+    for i in 1..HISTOGRAM_BUCKETS {
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        assert!(lo <= hi, "bucket {i}");
+        assert_eq!(Histogram::bucket_index(lo), i, "low edge of bucket {i}");
+        assert_eq!(Histogram::bucket_index(hi), i, "high edge of bucket {i}");
+        if i > 1 {
+            let (_, prev_hi) = Histogram::bucket_bounds(i - 1);
+            assert_eq!(lo, prev_hi + 1, "buckets {i} and {} abut", i - 1);
+        }
+    }
+}
+
+#[test]
+fn capture_sink_collects_degradation_warnings_silently() {
+    // A meta-blocking fault degrades the run; the warning must reach the
+    // installed sink (and the counter) instead of being lost.
+    let ds = dataset();
+    let obs = Obs::enabled();
+    let sink = Arc::new(CaptureSink::default());
+    obs.set_sink(sink.clone());
+    let pipeline = Pipeline::builder()
+        .blocking(BlockingStage::Token)
+        .matching(MatchingStage::jaccard(0.4))
+        .observability(obs)
+        .build();
+    let plan = er_core::fault::FaultPlan::none().inject(
+        er_pipeline::recovery::STAGE_META_BLOCKING,
+        0,
+        0,
+        er_core::fault::FaultKind::Panic,
+    );
+    let opts = RecoveryOptions::retrying(er_core::fault::RetryPolicy::attempts(1))
+        .with_injector(Arc::new(er_core::fault::FaultInjector::new(plan)));
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = pipeline.run_with_recovery(&ds.collection, &opts).unwrap();
+    std::panic::set_hook(prev_hook);
+    assert!(outcome.degraded());
+    let warnings: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::Warning { .. }))
+        .collect();
+    assert!(
+        !warnings.is_empty(),
+        "degradation warning must hit the sink"
+    );
+    let snapshot = pipeline.metrics();
+    assert!(snapshot.counter("events.warning").unwrap() >= 1);
+    // attempts(1) means the single failure is final — no retry happened.
+    assert_eq!(snapshot.counter("recovery.stage_retries"), Some(0));
+}
+
+#[test]
+fn pipeline_snapshot_round_trips_through_json() {
+    let ds = dataset();
+    let pipeline = instrumented_pipeline(2);
+    pipeline.run(&ds.collection);
+    let snapshot = pipeline.metrics();
+    let json = snapshot.to_json();
+    let parsed = MetricsSnapshot::from_json(&json).unwrap();
+    assert_eq!(parsed, snapshot);
+    assert_eq!(parsed.to_json(), json, "re-serialization is byte-equal");
+    // All five Fig. 1 stage spans are present in the parsed copy.
+    for span in [
+        "pipeline.run",
+        "pipeline.blocking",
+        "pipeline.cleaning",
+        "pipeline.meta_blocking",
+        "pipeline.matching",
+        "pipeline.clustering",
+    ] {
+        assert!(parsed.span(span).is_some(), "missing span {span}");
+    }
+}
+
+#[test]
+fn disabled_obs_records_nothing() {
+    let ds = dataset();
+    let pipeline = Pipeline::builder()
+        .blocking(BlockingStage::Token)
+        .matching(MatchingStage::jaccard(0.4))
+        .build();
+    pipeline.run(&ds.collection);
+    let snapshot = pipeline.metrics();
+    assert!(snapshot.counters.is_empty());
+    assert!(snapshot.gauges.is_empty());
+    assert!(snapshot.histograms.is_empty());
+    assert!(snapshot.spans.is_empty());
+}

@@ -61,8 +61,8 @@ fn token_blocking_parallel_equals_serial_across_seeds_and_noise() {
             let ds = dataset(220, noise, seed);
             let serial = TokenBlocking::new().build(&ds.collection);
             for threads in THREAD_COUNTS {
-                let par = TokenBlocking::new()
-                    .par_build(&ds.collection, Parallelism::threads(threads));
+                let par =
+                    TokenBlocking::new().par_build(&ds.collection, Parallelism::threads(threads));
                 assert_eq!(
                     par, serial,
                     "token blocking diverged: noise={noise_name} seed={seed} threads={threads}"
@@ -196,12 +196,14 @@ fn simjoin_parallel_equals_serial_for_every_algorithm_and_threshold() {
                     // Jaccard scores compare bitwise: verification is a pure
                     // per-candidate function, merged in candidate order.
                     assert_eq!(
-                        par.pairs, serial.pairs,
+                        par.pairs,
+                        serial.pairs,
                         "{} t={t} noise={noise_name} threads={threads}",
                         alg.name()
                     );
                     assert_eq!(
-                        par.candidates_verified, serial.candidates_verified,
+                        par.candidates_verified,
+                        serial.candidates_verified,
                         "{} t={t} noise={noise_name} threads={threads}",
                         alg.name()
                     );
@@ -222,7 +224,12 @@ fn matching_parallel_equals_serial() {
     let serial = resolve_candidates(&ds.collection, &matcher, &candidates);
     let serial_scored: Vec<_> = candidates
         .iter()
-        .map(|&p| (p, er_core::matching::compare_pair(&ds.collection, &matcher, p)))
+        .map(|&p| {
+            (
+                p,
+                er_core::matching::compare_pair(&ds.collection, &matcher, p),
+            )
+        })
         .collect();
     for threads in THREAD_COUNTS {
         let par = Parallelism::threads(threads);

@@ -120,10 +120,7 @@ fn parse_class(chars: &[char], mut pos: usize, pattern: &str) -> (Vec<char>, usi
             pos += 1;
         }
     }
-    assert!(
-        pos < chars.len(),
-        "unclosed character class in {pattern:?}"
-    );
+    assert!(pos < chars.len(), "unclosed character class in {pattern:?}");
     assert!(!class.is_empty(), "empty character class in {pattern:?}");
     (class, pos + 1)
 }
@@ -146,21 +143,23 @@ fn parse_quantifier(chars: &[char], pos: usize, pattern: &str) -> (usize, usize,
             let body: String = chars[pos + 1..close].iter().collect();
             let (min, max) = match body.split_once(',') {
                 None => {
-                    let n: usize = body.trim().parse().unwrap_or_else(|_| {
-                        panic!("bad quantifier {{{body}}} in {pattern:?}")
-                    });
+                    let n: usize = body
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
                     (n, n)
                 }
                 Some((lo, hi)) => {
-                    let min: usize = lo.trim().parse().unwrap_or_else(|_| {
-                        panic!("bad quantifier {{{body}}} in {pattern:?}")
-                    });
+                    let min: usize = lo
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
                     let max: usize = if hi.trim().is_empty() {
                         min + 8
                     } else {
-                        hi.trim().parse().unwrap_or_else(|_| {
-                            panic!("bad quantifier {{{body}}} in {pattern:?}")
-                        })
+                        hi.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"))
                     };
                     (min, max)
                 }
@@ -246,7 +245,11 @@ mod tests {
                 distinct.insert(c);
             }
         }
-        assert!(distinct.len() > 20, "only {} distinct chars", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct chars",
+            distinct.len()
+        );
     }
 
     #[test]

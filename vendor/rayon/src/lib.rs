@@ -376,7 +376,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::{join, current_num_threads, ThreadPoolBuilder};
+    use super::{current_num_threads, join, ThreadPoolBuilder};
 
     #[test]
     fn par_map_collect_preserves_order() {
