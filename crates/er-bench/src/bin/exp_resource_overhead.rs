@@ -1,0 +1,4 @@
+//! Runs experiment `e17_resource_overhead` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e17_resource_overhead();
+}

@@ -20,6 +20,9 @@
 //!   [`multiblock`].
 //! * **Block cleaning**: purging of oversized blocks and per-entity block
 //!   filtering (\[20\], \[22\]): [`cleaning`].
+//! * **Memory-governed admission**: charging the token index against a byte
+//!   budget and shedding oversized blocks largest-first on a breach, with
+//!   the recall loss reported instead of aborting: [`governance`].
 //! * **Frequent token-set blocking** (keys on co-occurring token pairs,
 //!   the frequent-itemset view of \[19\]): [`frequent_sets`].
 //! * **Comparison propagation**: redundancy-free iteration over a blocking
@@ -36,6 +39,7 @@ pub mod block;
 pub mod canopy;
 pub mod cleaning;
 pub mod frequent_sets;
+pub mod governance;
 pub mod minhash;
 pub mod multiblock;
 pub mod propagation;

@@ -27,6 +27,7 @@ use er_core::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 use er_core::metrics::{BlockingQuality, MatchQuality};
 use er_core::obs::Obs;
 use er_core::parallel::Parallelism;
+use er_core::resource::ResourceLimits;
 use er_datagen::{
     CleanCleanConfig, CleanCleanDataset, DirtyConfig, DirtyDataset, LodConfig, LodDataset,
     NoiseModel,
@@ -73,6 +74,7 @@ fn print_usage() {
          \x20            [--threads N] [--show-matches N]\n\
          \x20            [--retries N] [--checkpoint-dir DIR] [--resume]\n\
          \x20            [--fail-stage blocking|meta-blocking|matching]\n\
+         \x20            [--memory-budget BYTES] [--stage-timeout SECONDS]\n\
          \x20            [--metrics-out FILE]\n\n\
          NOISE LEVELS: clean, light, moderate (default), heavy\n\
          THREADS: worker threads for the hot kernels; 0 = all cores,\n\
@@ -81,6 +83,11 @@ fn print_usage() {
          \x20        --checkpoint-dir DIR writes per-stage snapshots, --resume\n\
          \x20        restores the deepest valid one; --fail-stage injects one\n\
          \x20        panic into a stage's first attempt to demo recovery.\n\
+         LIMITS:  --memory-budget BYTES (k/m/g suffixes, e.g. 64m) bounds the\n\
+         \x20        blocking index; a breach sheds oversized blocks with the\n\
+         \x20        recall loss reported instead of aborting. --stage-timeout\n\
+         \x20        SECONDS arms a per-stage watchdog; an expired matching\n\
+         \x20        deadline truncates the schedule, loudly.\n\
          METRICS: --metrics-out FILE enables the observability registry and\n\
          \x20        writes the per-stage metrics snapshot as sorted-key JSON\n\
          \x20        (validate it with the er-metrics-check companion binary)."
@@ -120,6 +127,49 @@ fn parse_flags(
         i += 2;
     }
     Ok(out)
+}
+
+/// Parses a byte size: a plain integer, optionally with a `k`/`m`/`g`
+/// (KiB/MiB/GiB) suffix, case-insensitive.
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let lower = v.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let shift = match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            };
+            (d, shift)
+        }
+        None => (lower.as_str(), 0u32),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad byte size {v:?} (expected e.g. 1048576, 64m, 2g)"))?;
+    n.checked_shl(shift)
+        .filter(|b| *b >> shift == n)
+        .ok_or_else(|| format!("byte size {v:?} overflows u64"))
+}
+
+/// Builds the resource limits from the resolve flags.
+fn resource_limits_from(flags: &BTreeMap<String, String>) -> Result<ResourceLimits, String> {
+    let mut limits = ResourceLimits::none();
+    if let Some(v) = flags.get("memory-budget") {
+        limits = limits.with_memory_bytes(parse_bytes(v)?);
+    }
+    if let Some(v) = flags.get("stage-timeout") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| format!("bad --stage-timeout {v:?} (expected seconds)"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!(
+                "--stage-timeout must be a non-negative number, got {v:?}"
+            ));
+        }
+        limits = limits.with_stage_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    Ok(limits)
 }
 
 fn noise_from(name: &str) -> Result<NoiseModel, String> {
@@ -253,6 +303,8 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             "retries",
             "checkpoint-dir",
             "fail-stage",
+            "memory-budget",
+            "stage-timeout",
             "metrics-out",
         ],
         &["resume"],
@@ -265,6 +317,7 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             .unwrap_or(1),
     );
     let opts = recovery_options_from(&flags)?;
+    let limits = resource_limits_from(&flags)?;
     let cpath = flags
         .get("collection")
         .ok_or("--collection FILE is required")?;
@@ -341,7 +394,8 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         .cleaning(CleaningStage::None)
         .matching(MatchingStage::jaccard(threshold))
         .clustering(clustering)
-        .parallelism(par);
+        .parallelism(par)
+        .resource_limits(limits);
     if metrics_out.is_some() {
         builder = builder.observability(Obs::enabled());
     }
@@ -367,6 +421,19 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         "blocking [{blocking}]: {} candidate comparisons",
         report.blocked_comparisons
     );
+    if report.shed_comparisons > 0 {
+        println!(
+            "memory budget: shed {} comparison(s) from oversized blocks (recall loss reported, \
+             run completed)",
+            report.shed_comparisons
+        );
+    }
+    if report.skipped_comparisons > 0 {
+        println!(
+            "stage timeout: matching skipped {} of {} scheduled comparison(s)",
+            report.skipped_comparisons, report.scheduled_comparisons
+        );
+    }
     if meta.is_some() && !outcome.degraded() && outcome.resumed_from != Some(STAGE_MATCHING) {
         println!(
             "meta-blocking [{}/{}]: {} comparisons kept",
@@ -615,6 +682,58 @@ mod tests {
             "meta-blocking",
             "--retries",
             "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes_and_rejects_junk() {
+        assert_eq!(parse_bytes("1048576").unwrap(), 1 << 20);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("64M").unwrap(), 64 << 20);
+        assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("m").is_err());
+        assert!(parse_bytes("-1").is_err());
+        assert!(parse_bytes("1.5m").is_err());
+        assert!(parse_bytes("99999999999999999999g").is_err());
+        assert!(parse_bytes(&format!("{}g", u64::MAX)).is_err(), "overflow");
+    }
+
+    #[test]
+    fn bad_resource_limit_flags_are_proper_errors() {
+        let err =
+            cmd_resolve(&s(&["--collection", "x.txt", "--memory-budget", "lots"])).unwrap_err();
+        assert!(err.contains("byte size"), "{err}");
+        let err = cmd_resolve(&s(&["--collection", "x.txt", "--stage-timeout", "-3"])).unwrap_err();
+        assert!(err.contains("--stage-timeout"), "{err}");
+    }
+
+    #[test]
+    fn resolve_under_a_tiny_memory_budget_completes() {
+        let dir = std::env::temp_dir().join("er_cli_test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("gov").to_string_lossy().to_string();
+        generate(&prefix, "dirty", "150");
+        // A 4 KiB budget forces shedding; the run must still complete with
+        // the recall loss reported rather than abort.
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--truth",
+            &format!("{prefix}.truth.txt"),
+            "--memory-budget",
+            "4k",
+        ]))
+        .unwrap();
+        // Generous limits run like an ungoverned resolve.
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--memory-budget",
+            "1g",
+            "--stage-timeout",
+            "3600",
         ]))
         .unwrap();
     }

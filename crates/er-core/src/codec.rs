@@ -1,0 +1,268 @@
+//! Fingerprinted line-file codec shared by durable artifacts.
+//!
+//! The pipeline's stage checkpoints (PR 2) established a defensive on-disk
+//! format: a magic/version header binding the file to one producer
+//! configuration via a fingerprint, one record per line, an explicit footer
+//! that detects truncation, and atomic temp-file + rename writes so a crash
+//! can never leave a half-written file under the final name. This module
+//! extracts that format so every durable artifact — stage checkpoints,
+//! shuffle spill files — speaks the same dialect and inherits the same
+//! validation ladder.
+//!
+//! Reading is total: every malformed input (missing file aside) yields a
+//! typed `Err(reason)`, never a panic — the property suite fuzzes this
+//! parser with truncated and mutated byte streams.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// The truncation-detecting last line of every file.
+pub const FOOTER: &str = "end";
+
+/// A line-file dialect: magic word, format version, and the producer
+/// fingerprint every file must carry to be accepted.
+#[derive(Clone, Copy, Debug)]
+pub struct LineCodec {
+    /// Magic word opening the header (e.g. `er-checkpoint`).
+    pub magic: &'static str,
+    /// Format version token (e.g. `v1`).
+    pub version: &'static str,
+    /// Producer fingerprint; a file written under a different fingerprint
+    /// (different dataset, configuration, or job) is rejected on read.
+    pub fingerprint: u64,
+}
+
+impl LineCodec {
+    /// A codec for the given dialect and fingerprint.
+    pub fn new(magic: &'static str, version: &'static str, fingerprint: u64) -> LineCodec {
+        LineCodec {
+            magic,
+            version,
+            fingerprint,
+        }
+    }
+
+    fn tmp_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        path.with_file_name(name)
+    }
+
+    /// Writes `lines` to `path` atomically (temp file + rename) under a
+    /// fingerprinted header and the truncation-detecting [`FOOTER`].
+    /// `extra` is appended verbatim to the header line (lead with a space).
+    pub fn write_atomic(
+        &self,
+        path: &Path,
+        stage: &str,
+        extra: &str,
+        lines: impl Iterator<Item = String>,
+    ) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let tmp = Self::tmp_path(path);
+        {
+            let mut w = std::io::BufWriter::new(fs::File::create(&tmp)?);
+            writeln!(
+                w,
+                "{} {} stage={stage} fingerprint={:016x}{extra}",
+                self.magic, self.version, self.fingerprint
+            )?;
+            for line in lines {
+                writeln!(w, "{line}")?;
+            }
+            writeln!(w, "{FOOTER}")?;
+            w.flush()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Reads a file written by [`write_atomic`](LineCodec::write_atomic):
+    /// `Ok(None)` when absent, `Err(reason)` when the magic, version, stage,
+    /// fingerprint or footer is wrong, `Ok(Some((header, body_lines)))`
+    /// otherwise. Never panics on malformed input.
+    pub fn read(&self, path: &Path, stage: &str) -> Result<Option<(String, Vec<String>)>, String> {
+        let file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot open {}: {e}", path.display())),
+        };
+        let mut lines = BufReader::new(file).lines();
+        let header = match lines.next() {
+            Some(Ok(h)) => h,
+            _ => return Err(format!("empty {}", self.magic)),
+        };
+        let mut fields = header.split(' ');
+        if fields.next() != Some(self.magic) || fields.next() != Some(self.version) {
+            return Err("bad magic/version".to_string());
+        }
+        if fields.next() != Some(&format!("stage={stage}")[..]) {
+            return Err("wrong stage".to_string());
+        }
+        match fields.next().and_then(|f| f.strip_prefix("fingerprint=")) {
+            Some(hex) => {
+                let got =
+                    u64::from_str_radix(hex, 16).map_err(|_| "bad fingerprint".to_string())?;
+                if got != self.fingerprint {
+                    return Err(
+                        "fingerprint mismatch (different collection or configuration)".to_string(),
+                    );
+                }
+            }
+            None => return Err("missing fingerprint".to_string()),
+        }
+        let mut body = Vec::new();
+        for line in lines {
+            body.push(line.map_err(|e| format!("read error: {e}"))?);
+        }
+        if body.pop().as_deref() != Some(FOOTER) {
+            return Err(format!("truncated {} (missing footer)", self.magic));
+        }
+        Ok(Some((header, body)))
+    }
+}
+
+/// Extracts a `name=<u64>` field from a header line.
+pub fn header_field(header: &str, name: &str) -> Result<u64, String> {
+    for field in header.split(' ') {
+        if let Some(v) = field.strip_prefix(&format!("{name}=")[..]) {
+            return v.parse().map_err(|e| format!("bad {name} field: {e}"));
+        }
+    }
+    Err(format!("missing {name} field"))
+}
+
+/// Escapes a string for the one-record-per-line format (backslash, tab,
+/// newline, carriage return).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; a dangling or unknown escape is a typed error.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape: \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_file(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "er-codec-test-{}-{tag}-{n}.txt",
+            std::process::id()
+        ))
+    }
+
+    fn codec() -> LineCodec {
+        LineCodec::new("er-test", "v1", 0xdead_beef)
+    }
+
+    #[test]
+    fn round_trips_header_and_body() {
+        let path = tmp_file("roundtrip");
+        let c = codec();
+        c.write_atomic(
+            &path,
+            "shuffle",
+            " part=3",
+            ["a\t1".to_string(), "b\t2".to_string()].into_iter(),
+        )
+        .unwrap();
+        let (header, body) = c.read(&path, "shuffle").unwrap().unwrap();
+        assert_eq!(header_field(&header, "part").unwrap(), 3);
+        assert_eq!(body, vec!["a\t1", "b\t2"]);
+        assert!(
+            !LineCodec::tmp_path(&path).exists(),
+            "tmp file must be renamed away"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn absent_file_reads_as_none() {
+        assert_eq!(codec().read(&tmp_file("absent"), "s").unwrap(), None);
+    }
+
+    #[test]
+    fn validation_ladder_rejects_each_defect() {
+        let path = tmp_file("ladder");
+        let c = codec();
+        c.write_atomic(&path, "shuffle", "", std::iter::once("x".to_string()))
+            .unwrap();
+        let good = fs::read_to_string(&path).unwrap();
+
+        // Truncation: chop the footer.
+        fs::write(&path, &good[..good.len() - FOOTER.len() - 1]).unwrap();
+        assert!(c.read(&path, "shuffle").unwrap_err().contains("truncated"));
+
+        // Wrong stage.
+        fs::write(&path, &good).unwrap();
+        assert!(c.read(&path, "other").unwrap_err().contains("stage"));
+
+        // Wrong fingerprint.
+        let other = LineCodec::new("er-test", "v1", 1);
+        assert!(other
+            .read(&path, "shuffle")
+            .unwrap_err()
+            .contains("fingerprint"));
+
+        // Wrong magic/version.
+        let wrong = LineCodec::new("er-test", "v2", 0xdead_beef);
+        assert!(wrong.read(&path, "shuffle").unwrap_err().contains("magic"));
+
+        // Empty file.
+        fs::write(&path, "").unwrap();
+        assert!(c.read(&path, "shuffle").unwrap_err().contains("empty"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for key in ["plain", "tab\there", "multi\nline", "back\\slash", "", "\r"] {
+            assert_eq!(unescape(&escape(key)).unwrap(), key);
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn header_field_errors_are_typed() {
+        assert!(header_field("h v1 stage=s", "blocked")
+            .unwrap_err()
+            .contains("missing"));
+        assert!(header_field("h blocked=xyz", "blocked")
+            .unwrap_err()
+            .contains("bad"));
+    }
+}

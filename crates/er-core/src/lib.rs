@@ -29,7 +29,13 @@
 //! * **observability** — a zero-dependency, thread-safe metrics registry
 //!   (counters, gauges, log2-bucket histograms), wall-clock spans with parent
 //!   nesting, structured warning events with pluggable sinks, and
-//!   deterministic JSON snapshots ([`obs`]).
+//!   deterministic JSON snapshots ([`obs`]);
+//! * **resource governance** — cloneable atomic memory budgets, per-stage
+//!   wall-clock watchdogs, typed exhaustion errors and the pressure
+//!   (degradation) ladder the execution layers consult under skewed,
+//!   web-scale load ([`resource`]);
+//! * the fingerprinted, truncation-detecting **line-file codec** shared by
+//!   stage checkpoints and shuffle spill files ([`codec`]).
 //!
 //! Downstream crates build the tutorial's pipeline on top of this: blocking
 //! (`er-blocking`), meta-blocking (`er-metablocking`), parallel execution
@@ -40,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod clusters;
+pub mod codec;
 pub mod collection;
 pub mod entity;
 pub mod fault;
@@ -52,6 +59,7 @@ pub mod metrics;
 pub mod obs;
 pub mod pair;
 pub mod parallel;
+pub mod resource;
 pub mod similarity;
 pub mod tokenize;
 
@@ -63,3 +71,4 @@ pub use matching::{CountingMatcher, Matcher};
 pub use obs::{Event, EventSink, MetricsSnapshot, Obs};
 pub use pair::Pair;
 pub use parallel::Parallelism;
+pub use resource::{MemoryBudget, PressureLevel, ResourceError, ResourceLimits, Watchdog};

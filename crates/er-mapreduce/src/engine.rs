@@ -29,11 +29,16 @@
 //! schedules. A task that exhausts its attempts surfaces as [`ExecError`]
 //! instead of panicking.
 
+use crate::spill::{ShuffleBounds, SpillCodec};
+use er_core::codec::{escape, unescape, LineCodec};
 use er_core::fault::ExecPolicy;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
+use std::fs;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -52,6 +57,11 @@ pub struct JobStats {
     pub tasks_speculated: u64,
     /// Faults fired by the policy's injector during this job.
     pub faults_injected: u64,
+    /// Shuffle buffers spilled to disk under a partition byte bound
+    /// (`try_run_spilling` only).
+    pub partitions_spilled: u64,
+    /// Records written to spill segments (`try_run_spilling` only).
+    pub spilled_records: u64,
 }
 
 impl JobStats {
@@ -75,6 +85,10 @@ impl JobStats {
             .add(self.tasks_speculated);
         obs.counter("mapreduce.faults_injected")
             .add(self.faults_injected);
+        obs.counter("mapreduce.partitions_spilled")
+            .add(self.partitions_spilled);
+        obs.counter("mapreduce.spilled_records")
+            .add(self.spilled_records);
         obs.counter("mapreduce.jobs").incr();
     }
 }
@@ -196,24 +210,40 @@ where
         }
     })
     .expect("task executor scope failed");
-    let st = state.lock().expect("executor state poisoned");
+    let mut st = state.lock().expect("executor state poisoned");
+    collect_results(stage, &mut st)
+}
+
+/// Moves the completed results out of the scheduler state in task order.
+///
+/// The scheduler invariant says every slot is filled when no fatal error was
+/// recorded — but an invariant is exactly what a speculation race or future
+/// scheduling bug would break, and a broken invariant must surface as a
+/// typed [`ExecError`], never abort the process.
+fn collect_results<O>(
+    stage: &str,
+    st: &mut ExecState<O>,
+) -> Result<(Vec<O>, TaskCounters), ExecError> {
     if let Some(e) = &st.fatal {
         return Err(e.clone());
     }
     let counters = st.counters;
-    let results = {
-        // Move the slots out in task order; every slot is filled when no
-        // fatal error was recorded.
-        let mut st = st;
-        st.results
-            .iter_mut()
-            .enumerate()
-            .map(|(i, slot)| {
-                slot.take()
-                    .unwrap_or_else(|| panic!("task {i} missing result"))
-            })
-            .collect()
-    };
+    let slots = std::mem::take(&mut st.results);
+    let mut results = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(out) => results.push(out),
+            None => {
+                return Err(ExecError {
+                    stage: stage.to_string(),
+                    task: i,
+                    attempts: st.next_attempt.get(i).copied().unwrap_or(0),
+                    message: "task finished with no recorded result (scheduler invariant broken)"
+                        .to_string(),
+                })
+            }
+        }
+    }
     Ok((results, counters))
 }
 
@@ -706,6 +736,255 @@ where
             tasks_retried: map_counters.retried + reduce_counters.retried,
             tasks_speculated: map_counters.speculated + reduce_counters.speculated,
             faults_injected: policy.faults_injected() - faults_before,
+            ..JobStats::default()
+        };
+        stats.record_obs(&policy.obs);
+        Ok((results, stats))
+    }
+}
+
+/// Magic word of shuffle spill segment files.
+const SPILL_MAGIC: &str = "er-spill";
+/// Format version of shuffle spill segment files.
+const SPILL_VERSION: &str = "v1";
+
+/// Monotonic job counter making spill directories and fingerprints unique
+/// within a process.
+static SPILL_JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Mapper-side shuffle output for one partition under a byte bound: spill
+/// segments in spill order plus the in-memory remainder. Replaying the
+/// segments in order and the remainder last reproduces, per key, the exact
+/// value sequence of the unbounded shuffle — the order bit-identity rests on.
+struct PartitionSpill<K, V> {
+    segments: Vec<PathBuf>,
+    memory: std::collections::HashMap<K, Vec<V>>,
+}
+
+/// Removes the job's spill directory when dropped — on success, error and
+/// panic paths alike, sweeping orphan segments of losing speculative
+/// attempts with it.
+struct SpillDirGuard(PathBuf);
+
+impl Drop for SpillDirGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Flushes a partition buffer to a fingerprinted segment file and leaves the
+/// buffer empty. Keys are written in sorted order (deterministic file bytes);
+/// values keep their emit order, which is the order that matters.
+///
+/// An I/O failure panics *inside the caught task region* of
+/// [`execute_tasks`], so it is retried like any other transient task fault
+/// and, if persistent, surfaces as a typed [`ExecError`] — never an abort.
+fn spill_segment<K: SpillCodec + Ord, V: SpillCodec>(
+    codec: &LineCodec,
+    path: &Path,
+    buffer: &mut std::collections::HashMap<K, Vec<V>>,
+) -> u64 {
+    let mut entries: Vec<(K, Vec<V>)> = std::mem::take(buffer).into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut lines = Vec::new();
+    for (k, vs) in &entries {
+        let key = escape(&k.encode());
+        for v in vs {
+            lines.push(format!("{key}\t{}", escape(&v.encode())));
+        }
+    }
+    let records = lines.len() as u64;
+    codec
+        .write_atomic(
+            path,
+            "shuffle",
+            &format!(" records={records}"),
+            lines.into_iter(),
+        )
+        .unwrap_or_else(|e| panic!("spill write failed: {e}"));
+    records
+}
+
+/// Reads one spill segment back; every malformed input (torn file, foreign
+/// fingerprint, bad record) is a typed error, never a panic.
+fn read_segment<K: SpillCodec, V: SpillCodec>(
+    codec: &LineCodec,
+    path: &Path,
+) -> Result<Vec<(K, V)>, String> {
+    let (_header, body) = codec
+        .read(path, "shuffle")?
+        .ok_or_else(|| format!("spill segment vanished: {}", path.display()))?;
+    let mut out = Vec::with_capacity(body.len());
+    for line in &body {
+        let (k, v) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("bad spill record: {line:?}"))?;
+        out.push((K::decode(&unescape(k)?)?, V::decode(&unescape(v)?)?));
+    }
+    Ok(out)
+}
+
+/// Bounded-shuffle variant. The key and value types additionally implement
+/// [`SpillCodec`] so oversized partition buffers can round-trip through disk.
+impl<I, K, V, R> MapReduce<I, K, V, R>
+where
+    I: Send + Sync,
+    K: Ord + Hash + Clone + Send + Sync + SpillCodec,
+    V: Send + Sync + SpillCodec,
+    R: Send,
+{
+    /// Bounded-shuffle [`try_run`](MapReduce::try_run): every mapper-side
+    /// partition buffer is capped at `bounds.max_partition_bytes`; a buffer
+    /// crossing the bound is spilled to a fingerprinted segment file (the
+    /// checkpoint codec of `er_core::codec`) and the reducers replay the
+    /// segments in spill order, so completed runs are **bit-identical** to
+    /// the unbounded [`try_run`](MapReduce::try_run) at every bound, worker
+    /// count and fault schedule. A torn or unreadable segment surfaces as a
+    /// `"shuffle"`-stage [`ExecError`]. The job-unique spill directory is
+    /// removed when the job ends — successfully or not — which also sweeps
+    /// orphan segments written by losing retry or speculation attempts
+    /// (segment names are attempt-unique, so they can never collide).
+    pub fn try_run_spilling<MF, RF>(
+        &self,
+        inputs: &[I],
+        policy: &ExecPolicy,
+        bounds: &ShuffleBounds,
+        map_fn: MF,
+        reduce_fn: RF,
+    ) -> Result<(Vec<R>, JobStats), ExecError>
+    where
+        MF: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        RF: Fn(&K, &[V]) -> Vec<R> + Sync,
+    {
+        let workers = self.workers;
+        let faults_before = policy.faults_injected();
+        let job = SPILL_JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+        let job_dir = bounds
+            .spill_dir
+            .join(format!("er-shuffle-{}-{job}", std::process::id()));
+        let _sweep = SpillDirGuard(job_dir.clone());
+        let codec = LineCodec::new(
+            SPILL_MAGIC,
+            SPILL_VERSION,
+            ((std::process::id() as u64) << 32) | job,
+        );
+
+        // ---- map phase: identical chunk geometry to `try_run` --------------
+        let chunk = inputs.len().div_ceil(workers).max(1);
+        let chunks: Vec<&[I]> = inputs.chunks(chunk).collect();
+        let map_fn = &map_fn;
+        let seg_seq = AtomicU64::new(0);
+        let seg_seq = &seg_seq;
+        let job_dir = &job_dir;
+        let bound = bounds.max_partition_bytes;
+        // Per mapper: partitions, emitted records, spill events, spilled records.
+        type MapOut<K, V> = (
+            Vec<(Vec<PartitionSpill<K, V>>, u64, u64, u64)>,
+            TaskCounters,
+        );
+        let (mapper_outputs, map_counters): MapOut<K, V> =
+            execute_tasks("map", &chunks, workers, policy, |chunk_inputs: &&[I]| {
+                let mut parts: Vec<PartitionSpill<K, V>> = (0..workers)
+                    .map(|_| PartitionSpill {
+                        segments: Vec::new(),
+                        memory: std::collections::HashMap::new(),
+                    })
+                    .collect();
+                let mut bytes = vec![0u64; workers];
+                let mut emitted = 0u64;
+                let mut spills = 0u64;
+                let mut spilled_records = 0u64;
+                for input in *chunk_inputs {
+                    let mut emit = |k: K, v: V| {
+                        emitted += 1;
+                        let p = partition_of(&k, workers);
+                        bytes[p] = bytes[p]
+                            .saturating_add(k.approx_bytes())
+                            .saturating_add(v.approx_bytes());
+                        parts[p].memory.entry(k).or_default().push(v);
+                        if bytes[p] > bound {
+                            let path = job_dir.join(format!(
+                                "seg-{:08x}.lines",
+                                seg_seq.fetch_add(1, Ordering::Relaxed)
+                            ));
+                            spilled_records += spill_segment(&codec, &path, &mut parts[p].memory);
+                            parts[p].segments.push(path);
+                            spills += 1;
+                            bytes[p] = 0;
+                        }
+                    };
+                    map_fn(input, &mut emit);
+                }
+                (parts, emitted, spills, spilled_records)
+            })?;
+        let map_output_records: u64 = mapper_outputs.iter().map(|(_, e, _, _)| e).sum();
+        let partitions_spilled: u64 = mapper_outputs.iter().map(|(_, _, s, _)| s).sum();
+        let spilled_records: u64 = mapper_outputs.iter().map(|(_, _, _, r)| r).sum();
+
+        // ---- shuffle transpose (task order == the fault-free order) --------
+        let mut partition_inputs: Vec<Vec<PartitionSpill<K, V>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (mapper_parts, _, _, _) in mapper_outputs {
+            for (p, out) in mapper_parts.into_iter().enumerate() {
+                partition_inputs[p].push(out);
+            }
+        }
+
+        // ---- merge: replay segments in spill order, remainder last ---------
+        // Infrastructure, outside the retry machinery, exactly like the
+        // in-memory merge of `try_run`; a torn segment is a typed shuffle
+        // error, not a retryable task failure.
+        let mut merged_partitions: Vec<Vec<(K, Vec<V>)>> = Vec::with_capacity(workers);
+        for (p, mapper_outs) in partition_inputs.into_iter().enumerate() {
+            let mut merged: std::collections::HashMap<K, Vec<V>> = std::collections::HashMap::new();
+            for out in mapper_outs {
+                for seg in &out.segments {
+                    let records: Vec<(K, V)> =
+                        read_segment(&codec, seg).map_err(|message| ExecError {
+                            stage: "shuffle".to_string(),
+                            task: p,
+                            attempts: 1,
+                            message,
+                        })?;
+                    for (k, v) in records {
+                        merged.entry(k).or_default().push(v);
+                    }
+                }
+                for (k, vs) in out.memory {
+                    merged.entry(k).or_default().extend(vs);
+                }
+            }
+            let mut entries: Vec<(K, Vec<V>)> = merged.into_iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            merged_partitions.push(entries);
+        }
+
+        // ---- reduce phase: one task per partition, as in `try_run` ---------
+        let reduce_fn = &reduce_fn;
+        let (reducer_outputs, reduce_counters): (Vec<Vec<Vec<R>>>, TaskCounters) = execute_tasks(
+            "reduce",
+            &merged_partitions,
+            workers,
+            policy,
+            |entries: &Vec<(K, Vec<V>)>| entries.iter().map(|(k, vs)| reduce_fn(k, vs)).collect(),
+        )?;
+        let reduce_groups: u64 = merged_partitions.iter().map(|p| p.len() as u64).sum();
+        let mut keyed: Vec<(K, Vec<R>)> = merged_partitions
+            .into_iter()
+            .zip(reducer_outputs)
+            .flat_map(|(entries, outs)| entries.into_iter().map(|(k, _)| k).zip(outs))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let results: Vec<R> = keyed.into_iter().flat_map(|(_, rs)| rs).collect();
+        let stats = JobStats {
+            map_output_records,
+            combined_records: map_output_records,
+            reduce_groups,
+            tasks_retried: map_counters.retried + reduce_counters.retried,
+            tasks_speculated: map_counters.speculated + reduce_counters.speculated,
+            faults_injected: policy.faults_injected() - faults_before,
+            partitions_spilled,
+            spilled_records,
         };
         stats.record_obs(&policy.obs);
         Ok((results, stats))
@@ -994,6 +1273,7 @@ where
             tasks_retried: map_counters.retried + reduce_counters.retried,
             tasks_speculated: map_counters.speculated + reduce_counters.speculated,
             faults_injected: policy.faults_injected() - faults_before,
+            ..JobStats::default()
         };
         stats.record_obs(&policy.obs);
         Ok((results, stats))
@@ -1319,6 +1599,125 @@ mod tests {
     fn try_run_empty_input() {
         let policy = ExecPolicy::default();
         let (out, stats) = try_word_count(&[], 4, &policy).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats, JobStats::default());
+    }
+
+    #[test]
+    fn missing_result_slot_is_a_typed_error_not_a_panic() {
+        let mut st: ExecState<u32> = ExecState {
+            queue: VecDeque::new(),
+            results: vec![Some(1), None, Some(3)],
+            completed: 2,
+            durations: Vec::new(),
+            running: Vec::new(),
+            live: vec![0; 3],
+            next_attempt: vec![1, 2, 1],
+            speculated: vec![false; 3],
+            counters: TaskCounters::default(),
+            fatal: None,
+        };
+        let err = collect_results("map", &mut st).unwrap_err();
+        assert_eq!(err.stage, "map");
+        assert_eq!(err.task, 1);
+        assert_eq!(err.attempts, 2);
+        assert!(err.to_string().contains("no recorded result"));
+    }
+
+    // ---- bounded shuffle / spilling ----------------------------------------
+
+    fn spill_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("er-spill-test-{}-{tag}", std::process::id()))
+    }
+
+    fn try_word_count_spilling(
+        texts: &[String],
+        workers: usize,
+        policy: &ExecPolicy,
+        bounds: &ShuffleBounds,
+    ) -> Result<(Vec<(String, u64)>, JobStats), ExecError> {
+        let mr: MapReduce<String, String, u64, (String, u64)> = MapReduce::new(workers);
+        mr.try_run_spilling(
+            texts,
+            policy,
+            bounds,
+            |text: &String, emit: &mut dyn FnMut(String, u64)| {
+                for w in text.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            },
+            |k: &String, vs: &[u64]| vec![(k.clone(), vs.iter().sum::<u64>())],
+        )
+    }
+
+    #[test]
+    fn spilling_is_bit_identical_to_the_unbounded_run() {
+        let texts: Vec<String> = (0..60)
+            .map(|i| format!("w{} w{} shared", i % 9, i % 4))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let reference = word_count(refs, 1, false).0;
+        let policy = ExecPolicy::default();
+        for workers in [1, 2, 4] {
+            for bound in [1u64, 256, 1 << 20] {
+                let bounds = ShuffleBounds::new(bound, spill_dir("ident"));
+                let (out, stats) =
+                    try_word_count_spilling(&texts, workers, &policy, &bounds).unwrap();
+                assert_eq!(out, reference, "workers={workers} bound={bound}");
+                if bound == 1 {
+                    assert!(stats.partitions_spilled > 0, "a 1-byte bound must spill");
+                    assert!(stats.spilled_records > 0);
+                } else if bound == 1 << 20 {
+                    assert_eq!(stats.partitions_spilled, 0, "a huge bound must not spill");
+                    assert_eq!(stats.spilled_records, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spill_directory_is_swept_after_the_job() {
+        let dir = spill_dir("cleanup");
+        let texts: Vec<String> = (0..20).map(|i| format!("k{} k{}", i % 5, i % 3)).collect();
+        let bounds = ShuffleBounds::new(1, &dir);
+        let (_, stats) =
+            try_word_count_spilling(&texts, 2, &ExecPolicy::default(), &bounds).unwrap();
+        assert!(stats.partitions_spilled > 0);
+        let leftovers = fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftovers, 0, "job spill subdirectory must be removed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilling_composes_with_seeded_faults() {
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("t{} t{} shared", i % 7, i % 3))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let reference = word_count(refs, 1, false).0;
+        let mut total_faults = 0;
+        for seed in 0..4u64 {
+            let plan = FaultPlan::seeded(er_core::fault::SeededFaults::absorbable(seed));
+            let policy = ExecPolicy {
+                retry: fast_retry(4),
+                injector: Some(Arc::new(FaultInjector::new(plan))),
+                speculation: None,
+                obs: Default::default(),
+            };
+            let bounds = ShuffleBounds::new(1, spill_dir("faults"));
+            let (out, stats) = try_word_count_spilling(&texts, 3, &policy, &bounds).unwrap();
+            assert_eq!(out, reference, "seed={seed}");
+            assert!(stats.partitions_spilled > 0);
+            total_faults += stats.faults_injected;
+        }
+        assert!(total_faults > 0, "the sweep must actually inject faults");
+    }
+
+    #[test]
+    fn spilling_empty_input() {
+        let bounds = ShuffleBounds::new(1, spill_dir("empty"));
+        let (out, stats) =
+            try_word_count_spilling(&[], 4, &ExecPolicy::default(), &bounds).unwrap();
         assert!(out.is_empty());
         assert_eq!(stats, JobStats::default());
     }

@@ -10,6 +10,8 @@
 //! their shape at laptop scale.
 //!
 //! * [`engine`] — the generic engine, deterministic for any worker count.
+//! * [`spill`] — bounded shuffle buffers: codecs and byte bounds for
+//!   spilling oversized partitions to fingerprinted segment files.
 //! * [`blocking`] — Dedoop-style parallel token blocking.
 //! * [`metablocking`] — the three-stage parallel meta-blocking of \[10\]/\[11\].
 //! * [`sorted_neighborhood`] — range-partitioned sorted neighborhood with
@@ -24,5 +26,7 @@ pub mod blocking;
 pub mod engine;
 pub mod metablocking;
 pub mod sorted_neighborhood;
+pub mod spill;
 
 pub use engine::MapReduce;
+pub use spill::{ShuffleBounds, SpillCodec};

@@ -1,0 +1,137 @@
+//! Bounded-shuffle support: spill codecs and shuffle bounds.
+//!
+//! The in-process engine keeps its shuffle — the per-mapper, per-partition
+//! `(key, values)` buffers — entirely in memory, which is exactly the place a
+//! skewed web-scale collection blows up: one hot key (a stop-word token, a
+//! popular value) concentrates a partition's records on a single buffer. The
+//! surveyed systems survive this by *spilling*: when a mapper's output buffer
+//! for a partition exceeds a byte bound, the buffer is flushed to a local
+//! segment file and the buffer restarts empty; reducers later replay the
+//! segments in spill order, so the values each reducer sees per key are the
+//! exact sequence the unbounded run would have produced.
+//!
+//! Segment files reuse the checkpoint codec of `er_core::codec`: a
+//! fingerprinted header, one escaped record per line, and a footer that
+//! detects truncation — so a torn or foreign spill file surfaces as a typed
+//! shuffle error, never as silently wrong results.
+
+use std::path::PathBuf;
+
+/// Encode/decode of one shuffle key or value as a single-line token, plus an
+/// in-memory size estimate for the spill trigger.
+///
+/// The token may contain tabs or newlines; the engine escapes it before
+/// writing (`er_core::codec::escape`), so implementations only define a
+/// plain, lossless round-trip: `decode(encode(x)) == Ok(x)`.
+pub trait SpillCodec: Sized {
+    /// Encodes the value as a token (escaping is the engine's job).
+    fn encode(&self) -> String;
+    /// Decodes a token produced by [`encode`](SpillCodec::encode). Malformed
+    /// input — possible only if a spill file was tampered with — is a typed
+    /// error, never a panic.
+    fn decode(token: &str) -> Result<Self, String>;
+    /// Approximate in-memory footprint in bytes, charged against the
+    /// partition bound on every emit.
+    fn approx_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+    }
+}
+
+impl SpillCodec for String {
+    fn encode(&self) -> String {
+        self.clone()
+    }
+    fn decode(token: &str) -> Result<Self, String> {
+        Ok(token.to_string())
+    }
+    fn approx_bytes(&self) -> u64 {
+        // String header + heap payload.
+        (std::mem::size_of::<String>() + self.len()) as u64
+    }
+}
+
+impl SpillCodec for u64 {
+    fn encode(&self) -> String {
+        self.to_string()
+    }
+    fn decode(token: &str) -> Result<Self, String> {
+        token.parse().map_err(|e| format!("bad u64 token: {e}"))
+    }
+}
+
+impl SpillCodec for u32 {
+    fn encode(&self) -> String {
+        self.to_string()
+    }
+    fn decode(token: &str) -> Result<Self, String> {
+        token.parse().map_err(|e| format!("bad u32 token: {e}"))
+    }
+}
+
+impl SpillCodec for i64 {
+    fn encode(&self) -> String {
+        self.to_string()
+    }
+    fn decode(token: &str) -> Result<Self, String> {
+        token.parse().map_err(|e| format!("bad i64 token: {e}"))
+    }
+}
+
+/// Per-worker shuffle bounds for
+/// [`MapReduce::try_run_spilling`](crate::engine::MapReduce::try_run_spilling).
+#[derive(Clone, Debug)]
+pub struct ShuffleBounds {
+    /// Byte bound per mapper-side partition buffer; a buffer exceeding it is
+    /// spilled to disk and restarted.
+    pub max_partition_bytes: u64,
+    /// Directory receiving the per-job spill subdirectory (removed when the
+    /// job finishes, successfully or not).
+    pub spill_dir: PathBuf,
+}
+
+impl ShuffleBounds {
+    /// Bounds every mapper-side partition buffer at `max_partition_bytes`,
+    /// spilling into a job-unique subdirectory of `spill_dir`.
+    pub fn new(max_partition_bytes: u64, spill_dir: impl Into<PathBuf>) -> ShuffleBounds {
+        ShuffleBounds {
+            max_partition_bytes,
+            spill_dir: spill_dir.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_codecs_round_trip() {
+        for s in ["", "plain", "tab\there", "uni çode"] {
+            assert_eq!(String::decode(&s.to_string().encode()).unwrap(), s);
+        }
+        for n in [0u64, 42, u64::MAX] {
+            assert_eq!(u64::decode(&n.encode()).unwrap(), n);
+        }
+        for n in [0u32, u32::MAX] {
+            assert_eq!(u32::decode(&n.encode()).unwrap(), n);
+        }
+        for n in [i64::MIN, -1, 0, i64::MAX] {
+            assert_eq!(i64::decode(&n.encode()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn malformed_tokens_are_typed_errors() {
+        assert!(u64::decode("not-a-number").is_err());
+        assert!(u32::decode("-1").is_err());
+        assert!(i64::decode("").is_err());
+    }
+
+    #[test]
+    fn string_footprint_scales_with_payload() {
+        let short = "a".to_string();
+        let long = "a".repeat(100);
+        assert!(long.approx_bytes() > short.approx_bytes());
+        assert!(short.approx_bytes() >= std::mem::size_of::<String>() as u64);
+    }
+}

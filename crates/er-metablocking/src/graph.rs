@@ -177,7 +177,7 @@ impl BlockingGraph {
     pub fn to_dot(&self, weighting: crate::weights::WeightingScheme, max_edges: usize) -> String {
         let mut weighted: Vec<(Pair, f64)> = self
             .edges()
-            .map(|(p, _)| (p, weighting.weight(self, p)))
+            .filter_map(|(p, _)| weighting.weight(self, p).map(|w| (p, w)))
             .collect();
         weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
         let truncated = weighted.len() > max_edges;

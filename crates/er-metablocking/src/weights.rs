@@ -12,7 +12,7 @@
 //! * **ARCS** — Aggregate Reciprocal Comparisons: `Σ 1/‖b‖` over shared
 //!   blocks, crediting co-occurrence in small (discriminative) blocks.
 
-use crate::graph::BlockingGraph;
+use crate::graph::{BlockingGraph, EdgeInfo};
 use er_core::pair::Pair;
 use er_core::parallel::{par_map, Parallelism};
 
@@ -52,14 +52,20 @@ impl WeightingScheme {
         }
     }
 
-    /// Weight of one edge of the graph.
-    ///
-    /// # Panics
-    /// Panics if the pair is not an edge of the graph.
-    pub fn weight(self, graph: &BlockingGraph, pair: Pair) -> f64 {
-        let info = graph
+    /// Weight of one edge of the graph, or `None` when `pair` is not an
+    /// edge. Probing a non-co-occurring pair is an ordinary query (the graph
+    /// is sparse by construction), not a programming error — so it yields
+    /// `None`, never a panic.
+    pub fn weight(self, graph: &BlockingGraph, pair: Pair) -> Option<f64> {
+        graph
             .edge(pair)
-            .unwrap_or_else(|| panic!("{pair:?} is not an edge of the blocking graph"));
+            .map(|info| self.weight_of(graph, pair, info))
+    }
+
+    /// Weight of a known edge given its co-occurrence info — the infallible
+    /// hot path behind [`weight`](WeightingScheme::weight) and
+    /// [`par_weigh_all`](WeightingScheme::par_weigh_all).
+    fn weight_of(self, graph: &BlockingGraph, pair: Pair, info: EdgeInfo) -> f64 {
         let (a, b) = pair.ids();
         let common = info.common_blocks as f64;
         match self {
@@ -80,7 +86,7 @@ impl WeightingScheme {
                 }
             }
             WeightingScheme::Ejs => {
-                let js = WeightingScheme::Js.weight(graph, pair);
+                let js = WeightingScheme::Js.weight_of(graph, pair, info);
                 let e = graph.n_edges().max(1) as f64;
                 let da = graph.degree(a).max(1) as f64;
                 let db = graph.degree(b).max(1) as f64;
@@ -101,8 +107,10 @@ impl WeightingScheme {
     ///
     /// [`weigh_all`]: WeightingScheme::weigh_all
     pub fn par_weigh_all(self, graph: &BlockingGraph, par: Parallelism) -> Vec<(Pair, f64)> {
-        let edges: Vec<Pair> = graph.edges().map(|(p, _)| p).collect();
-        par_map(par, &edges, |&p| (p, self.weight(graph, p)))
+        let edges: Vec<(Pair, EdgeInfo)> = graph.edges().collect();
+        par_map(par, &edges, |&(p, info)| {
+            (p, self.weight_of(graph, p, info))
+        })
     }
 }
 
@@ -144,11 +152,11 @@ mod tests {
         let g = graph();
         assert_eq!(
             WeightingScheme::Cbs.weight(&g, Pair::new(id(0), id(1))),
-            3.0
+            Some(3.0)
         );
         assert_eq!(
             WeightingScheme::Cbs.weight(&g, Pair::new(id(0), id(2))),
-            1.0
+            Some(1.0)
         );
     }
 
@@ -156,18 +164,26 @@ mod tests {
     fn js_normalizes_by_union() {
         let g = graph();
         // (0,1): common 3, |B0|=3, |B1|=3 → 3/(3+3-3)=1.
-        assert!((WeightingScheme::Js.weight(&g, Pair::new(id(0), id(1))) - 1.0).abs() < 1e-12);
+        let w01 = WeightingScheme::Js
+            .weight(&g, Pair::new(id(0), id(1)))
+            .unwrap();
+        assert!((w01 - 1.0).abs() < 1e-12);
         // (0,2): common 1, |B0|=3, |B2|=3 (big, d1, d3) → 1/5.
-        assert!(
-            (WeightingScheme::Js.weight(&g, Pair::new(id(0), id(2))) - 1.0 / 5.0).abs() < 1e-12
-        );
+        let w02 = WeightingScheme::Js
+            .weight(&g, Pair::new(id(0), id(2)))
+            .unwrap();
+        assert!((w02 - 1.0 / 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn arcs_favors_small_blocks() {
         let g = graph();
-        let strong = WeightingScheme::Arcs.weight(&g, Pair::new(id(0), id(1)));
-        let weak = WeightingScheme::Arcs.weight(&g, Pair::new(id(2), id(3)));
+        let strong = WeightingScheme::Arcs
+            .weight(&g, Pair::new(id(0), id(1)))
+            .unwrap();
+        let weak = WeightingScheme::Arcs
+            .weight(&g, Pair::new(id(2), id(3)))
+            .unwrap();
         // strong = 1 + 1 + 1/10; weak = 1/10.
         assert!((strong - 2.1).abs() < 1e-12);
         assert!((weak - 0.1).abs() < 1e-12);
@@ -178,11 +194,11 @@ mod tests {
         let g = graph();
         let good = Pair::new(id(0), id(1));
         for scheme in WeightingScheme::ALL {
-            let w_good = scheme.weight(&g, good);
+            let w_good = scheme.weight(&g, good).unwrap();
             for (p, _) in g.edges() {
                 if p != good {
                     assert!(
-                        w_good >= scheme.weight(&g, p),
+                        w_good >= scheme.weight(&g, p).unwrap(),
                         "{} ranked {:?} above the double-co-occurring pair",
                         scheme.name(),
                         p
@@ -209,10 +225,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not an edge")]
-    fn weighting_non_edge_panics() {
+    fn weighting_non_edge_is_none_not_a_panic() {
         let g = graph();
-        // 5 entities: ids 0..5; pair (0, 9) has a node outside any block.
-        let _ = WeightingScheme::Cbs.weight(&g, Pair::new(id(0), id(9)));
+        // 5 entities: ids 0..5; pair (0, 9) has a node outside any block,
+        // and (2, 3) minus a shared block would be an edge — probe both a
+        // wild id and a plausible-but-absent pair under every scheme.
+        for scheme in WeightingScheme::ALL {
+            assert_eq!(scheme.weight(&g, Pair::new(id(0), id(9))), None);
+        }
+        // Sanity: a real edge still weighs in under the Option signature.
+        assert!(WeightingScheme::Ejs
+            .weight(&g, Pair::new(id(0), id(1)))
+            .is_some());
     }
 }

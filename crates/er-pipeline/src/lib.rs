@@ -45,12 +45,18 @@ use er_core::entity::EntityId;
 use er_core::ground_truth::GroundTruth;
 use er_core::matching::{Matcher, TfIdfMatcher, ThresholdMatcher};
 use er_core::metrics::{BlockingQuality, MatchQuality};
-use er_core::obs::{MetricsSnapshot, Obs};
+use er_core::obs::{Event, MetricsSnapshot, Obs};
 use er_core::pair::Pair;
 use er_core::parallel::Parallelism;
+use er_core::resource::{MemoryBudget, ResourceLimits, Watchdog};
 use er_core::similarity::SetMeasure;
 use er_metablocking::{par_meta_block_obs, PruningScheme, WeightingScheme};
 use std::time::{Duration, Instant};
+
+/// Candidates per cooperative deadline check in watchdog-governed matching:
+/// coarse enough to keep the parallel map efficient, fine enough that an
+/// expired deadline stops the stage within one chunk.
+const MATCH_CHUNK: usize = 2048;
 
 /// Blocking-stage selection.
 #[derive(Clone, Debug)]
@@ -148,6 +154,12 @@ pub struct StageReport {
     pub meta_blocking_time: Duration,
     /// Wall-clock of the matching stage.
     pub matching_time: Duration,
+    /// Comparisons carried by blocks shed under memory pressure (0 unless a
+    /// memory budget was breached) — the run's explicit recall-loss account.
+    pub shed_comparisons: u64,
+    /// Scheduled comparisons the matcher skipped because the stage deadline
+    /// expired (0 unless a stage timeout was configured and hit).
+    pub skipped_comparisons: u64,
 }
 
 /// The result of a run: clusters plus accounting.
@@ -180,12 +192,13 @@ pub struct Pipeline {
     clustering: ClusteringStage,
     parallelism: Parallelism,
     obs: Obs,
+    limits: ResourceLimits,
 }
 
 impl Pipeline {
     /// Starts a builder with the Web-of-data defaults: token blocking, auto
     /// purging, ARCS/WNP meta-blocking, Jaccard-0.4 matching, serial
-    /// execution, observability disabled.
+    /// execution, observability disabled, no resource limits.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder {
             blocking: BlockingStage::Token,
@@ -195,6 +208,7 @@ impl Pipeline {
             clustering: ClusteringStage::default(),
             parallelism: Parallelism::serial(),
             obs: Obs::disabled(),
+            limits: ResourceLimits::none(),
         }
     }
 
@@ -210,40 +224,53 @@ impl Pipeline {
         self.obs.snapshot()
     }
 
-    /// Runs the pipeline on a collection.
+    /// Runs the pipeline on a collection. With
+    /// [`PipelineBuilder::resource_limits`] configured, the blocking index is
+    /// charged against the memory budget (shedding oversized blocks on a
+    /// breach) and each stage runs under a fresh wall-clock watchdog — both
+    /// degradations are reported in the [`StageReport`] instead of aborting.
     pub fn run(&self, collection: &EntityCollection) -> Resolution {
         let run_span = self.obs.span("pipeline.run");
         let mut report = StageReport::default();
+        let budget = self.limits.budget();
 
         // ---- blocking (and cleaning) ---------------------------------------
         let t0 = Instant::now();
         let blocking_span = self.obs.span("pipeline.blocking");
+        let blocking_watchdog = self.limits.stage_watchdog();
         let candidates: Vec<Pair> = match &self.blocking {
             BlockingStage::SortedNeighborhood(keys, window) => {
                 let pairs = MultiPassSortedNeighborhood::new(keys.clone(), *window)
                     .candidate_pairs(collection);
                 blocking_span.finish();
+                self.note_overrun("blocking", &blocking_watchdog);
                 pairs
             }
             block_based => {
-                let blocks = self.build_blocks(collection, block_based);
+                let governed = self.build_blocks(collection, block_based, &budget);
                 report.blocking_time = t0.elapsed();
-                let blocked = blocks.distinct_pairs(collection);
+                report.shed_comparisons = governed.shed_comparisons;
+                let blocked = governed.blocks.distinct_pairs(collection);
                 blocking_span.finish();
+                self.note_overrun("blocking", &blocking_watchdog);
                 report.blocked_comparisons = blocked.len() as u64;
                 // ---- meta-blocking ------------------------------------------
+                // Never skipped under pressure: pruning *reduces* downstream
+                // work, so running it is the cheapest path to the deadline.
                 if let Some(mb) = self.meta_blocking {
                     let t1 = Instant::now();
+                    let mb_watchdog = self.limits.stage_watchdog();
                     let mb_span = self.obs.span("pipeline.meta_blocking");
                     let kept = par_meta_block_obs(
                         collection,
-                        &blocks,
+                        &governed.blocks,
                         mb.weighting,
                         mb.pruning,
                         self.parallelism,
                         &self.obs,
                     );
                     mb_span.finish();
+                    self.note_overrun("meta_blocking", &mb_watchdog);
                     report.meta_blocking_time = t1.elapsed();
                     kept
                 } else {
@@ -260,10 +287,13 @@ impl Pipeline {
         // ---- matching -------------------------------------------------------
         let t2 = Instant::now();
         let matching_span = self.obs.span("pipeline.matching");
-        let scored_matches = self.score_candidates(collection, &candidates);
+        let match_watchdog = self.limits.stage_watchdog();
+        let (scored_matches, skipped) =
+            self.score_candidates_governed(collection, &candidates, &match_watchdog);
         matching_span.finish();
         report.matching_time = t2.elapsed();
-        report.matched_comparisons = candidates.len() as u64;
+        report.skipped_comparisons = skipped;
+        report.matched_comparisons = candidates.len() as u64 - skipped;
 
         // ---- clustering -----------------------------------------------------
         let clustering_span = self.obs.span("pipeline.clustering");
@@ -305,40 +335,96 @@ impl Pipeline {
             .add(clusters.len() as u64);
     }
 
-    /// Runs the configured matching stage over the candidates, keeping the
-    /// scores the score-aware clustering stages need. The comparisons run
-    /// under the configured parallelism as an order-preserving map, so the
-    /// match list is identical at every thread count.
-    fn score_candidates(
+    /// Runs the configured matching stage over the candidates under a stage
+    /// watchdog, keeping the scores the score-aware clustering stages need.
+    /// The comparisons run under the configured parallelism as an
+    /// order-preserving map, so the match list is identical at every thread
+    /// count.
+    ///
+    /// Disarmed, this is the exact whole-slice call (bit-identical,
+    /// no chunking overhead). Armed, the candidates run in fixed-size chunks
+    /// with the deadline checked cooperatively between chunks; once it
+    /// expires the remaining comparisons are *skipped* — the count is
+    /// returned, mirrored as `matching.comparisons_skipped` and announced as
+    /// a warning event. The chunked prefix is bit-identical to the
+    /// whole-slice run because the parallel decide is an order-preserving
+    /// pure map.
+    fn score_candidates_governed(
         &self,
         collection: &EntityCollection,
         candidates: &[Pair],
-    ) -> Vec<(Pair, f64)> {
-        fn decide<M: Matcher + Sync>(
-            collection: &EntityCollection,
-            candidates: &[Pair],
-            m: &M,
-            par: Parallelism,
-        ) -> Vec<(Pair, f64)> {
-            er_core::matching::par_decide_candidates(collection, m, candidates, par)
-                .into_iter()
-                .filter_map(|(p, d)| d.is_match.then_some((p, d.score)))
-                .collect()
-        }
+        watchdog: &Watchdog,
+    ) -> (Vec<(Pair, f64)>, u64) {
         match &self.matching {
-            MatchingStage::Threshold(measure, threshold) => decide(
+            MatchingStage::Threshold(measure, threshold) => self.governed_decide(
                 collection,
                 candidates,
                 &ThresholdMatcher::new(*measure, *threshold),
-                self.parallelism,
+                watchdog,
             ),
-            MatchingStage::TfIdf(threshold) => decide(
+            MatchingStage::TfIdf(threshold) => self.governed_decide(
                 collection,
                 candidates,
                 &TfIdfMatcher::from_collection(collection, *threshold),
-                self.parallelism,
+                watchdog,
             ),
         }
+    }
+
+    fn governed_decide<M: Matcher + Sync>(
+        &self,
+        collection: &EntityCollection,
+        candidates: &[Pair],
+        m: &M,
+        watchdog: &Watchdog,
+    ) -> (Vec<(Pair, f64)>, u64) {
+        let decide = |slice: &[Pair]| -> Vec<(Pair, f64)> {
+            er_core::matching::par_decide_candidates(collection, m, slice, self.parallelism)
+                .into_iter()
+                .filter_map(|(p, d)| d.is_match.then_some((p, d.score)))
+                .collect()
+        };
+        if !watchdog.is_armed() {
+            return (decide(candidates), 0);
+        }
+        let mut scored = Vec::new();
+        let mut done = 0usize;
+        for chunk in candidates.chunks(MATCH_CHUNK) {
+            if watchdog.expired() {
+                break;
+            }
+            scored.extend(decide(chunk));
+            done += chunk.len();
+        }
+        let skipped = (candidates.len() - done) as u64;
+        if skipped > 0 {
+            self.obs
+                .counter("matching.comparisons_skipped")
+                .add(skipped);
+            self.obs.emit(Event::Warning {
+                stage: "matching".to_string(),
+                reason: format!(
+                    "stage deadline expired: skipped {skipped} of {} scheduled comparison(s)",
+                    candidates.len()
+                ),
+            });
+        }
+        (scored, skipped)
+    }
+
+    /// Records a stage that finished *after* its deadline. Blocking and
+    /// meta-blocking have no safe early-exit point (a partial index is
+    /// silently wrong, not degraded), so they run to completion and the
+    /// overrun is reported instead: `resource.stage_overruns` plus a warning.
+    fn note_overrun(&self, stage: &str, watchdog: &Watchdog) {
+        if !watchdog.expired() {
+            return;
+        }
+        self.obs.counter("resource.stage_overruns").incr();
+        self.obs.emit(Event::Warning {
+            stage: stage.to_string(),
+            reason: "stage overran its wall-clock deadline (completed late)".to_string(),
+        });
     }
 
     /// Applies the configured clustering stage to scored match pairs,
@@ -404,8 +490,8 @@ impl Pipeline {
                 scheduled_comparisons: candidates.len() as u64,
                 matched_comparisons: candidates.len() as u64,
                 blocking_time,
-                meta_blocking_time: Duration::ZERO,
                 matching_time,
+                ..StageReport::default()
             },
         }
     }
@@ -419,17 +505,18 @@ impl Pipeline {
                 MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
             }
             block_based => {
-                let blocks = self.build_blocks(collection, block_based);
+                let budget = self.limits.budget();
+                let governed = self.build_blocks(collection, block_based, &budget);
                 match self.meta_blocking {
                     Some(mb) => par_meta_block_obs(
                         collection,
-                        &blocks,
+                        &governed.blocks,
                         mb.weighting,
                         mb.pruning,
                         self.parallelism,
                         &self.obs,
                     ),
-                    None => blocks.distinct_pairs(collection),
+                    None => governed.blocks.distinct_pairs(collection),
                 }
             }
         }
@@ -437,12 +524,15 @@ impl Pipeline {
 
     /// Builds and cleans the blocking collection for a block-producing
     /// stage, running the hot blocking kernels under the configured
-    /// parallelism.
-    fn build_blocks(
+    /// parallelism, then charges the cleaned index against the memory budget
+    /// (shedding oversized blocks largest-first on a breach — a disabled
+    /// budget admits everything untouched).
+    pub(crate) fn build_blocks(
         &self,
         collection: &EntityCollection,
         stage: &BlockingStage,
-    ) -> er_blocking::block::BlockCollection {
+        budget: &MemoryBudget,
+    ) -> er_blocking::governance::GovernedBlocks {
         let blocks = match stage {
             BlockingStage::Token => {
                 TokenBlocking::new().par_build_obs(collection, self.parallelism, &self.obs)
@@ -488,7 +578,7 @@ impl Pipeline {
                 .counter("cleaning.blocks_kept")
                 .add(cleaned.len() as u64);
         }
-        cleaned
+        er_blocking::governance::charge_or_shed(cleaned, collection, budget, &self.obs)
     }
 
     /// Runs the pipeline *progressively*: candidates are scheduled by the
@@ -547,6 +637,7 @@ pub struct PipelineBuilder {
     clustering: ClusteringStage,
     parallelism: Parallelism,
     obs: Obs,
+    limits: ResourceLimits,
 }
 
 impl PipelineBuilder {
@@ -603,6 +694,18 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets the run's resource limits: a memory budget charged by the
+    /// blocking index (breaches shed oversized blocks with the recall loss
+    /// reported in [`StageReport::shed_comparisons`]) and a per-stage
+    /// wall-clock deadline (matching truncates cooperatively into
+    /// [`StageReport::skipped_comparisons`]; index-building stages complete
+    /// and report the overrun). The default, [`ResourceLimits::none`], makes
+    /// every governed path a no-op — an ungoverned run is bit-identical.
+    pub fn resource_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// Finalizes the pipeline.
     pub fn build(self) -> Pipeline {
         Pipeline {
@@ -613,6 +716,7 @@ impl PipelineBuilder {
             clustering: self.clustering,
             parallelism: self.parallelism,
             obs: self.obs,
+            limits: self.limits,
         }
     }
 }
@@ -809,6 +913,66 @@ mod tests {
         let res = Pipeline::builder().build().run(&c);
         assert!(res.matches.is_empty());
         assert!(res.clusters.is_empty());
+    }
+
+    #[test]
+    fn generous_resource_limits_are_bit_identical_to_no_limits() {
+        let ds = dataset();
+        let plain = Pipeline::builder().build().run(&ds.collection);
+        let governed = Pipeline::builder()
+            .resource_limits(
+                ResourceLimits::none()
+                    .with_memory_bytes(1 << 30)
+                    .with_stage_timeout(Duration::from_secs(3600)),
+            )
+            .build()
+            .run(&ds.collection);
+        assert_eq!(governed.matches, plain.matches);
+        assert_eq!(governed.clusters, plain.clusters);
+        assert_eq!(
+            governed.report.scheduled_comparisons,
+            plain.report.scheduled_comparisons
+        );
+        assert_eq!(governed.report.shed_comparisons, 0);
+        assert_eq!(governed.report.skipped_comparisons, 0);
+    }
+
+    #[test]
+    fn tiny_memory_budget_sheds_blocks_instead_of_aborting() {
+        let ds = dataset();
+        let plain = Pipeline::builder().build().run(&ds.collection);
+        let governed = Pipeline::builder()
+            .resource_limits(ResourceLimits::none().with_memory_bytes(4096))
+            .build()
+            .run(&ds.collection);
+        assert!(
+            governed.report.shed_comparisons > 0,
+            "a 4 KiB budget must shed: {:?}",
+            governed.report
+        );
+        assert!(governed.report.blocked_comparisons < plain.report.blocked_comparisons);
+        assert!(
+            governed.report.blocked_comparisons > 0,
+            "smallest blocks fit"
+        );
+    }
+
+    #[test]
+    fn zero_stage_deadline_truncates_matching_not_panics() {
+        let ds = dataset();
+        let governed = Pipeline::builder()
+            .resource_limits(ResourceLimits::none().with_stage_timeout(Duration::ZERO))
+            .build()
+            .run(&ds.collection);
+        assert_eq!(
+            governed.report.skipped_comparisons,
+            governed.report.scheduled_comparisons
+        );
+        assert!(governed.report.scheduled_comparisons > 0);
+        assert_eq!(governed.report.matched_comparisons, 0);
+        assert!(governed.matches.is_empty());
+        // Every entity survives as a singleton cluster.
+        assert_eq!(governed.clusters.len(), ds.collection.len());
     }
 
     #[test]

@@ -31,15 +31,15 @@
 use crate::{BlockingStage, Pipeline, Resolution, StageReport};
 use er_blocking::block::{Block, BlockCollection};
 use er_blocking::sorted_neighborhood::MultiPassSortedNeighborhood;
+use er_core::codec::{escape, header_field, unescape, LineCodec};
 use er_core::collection::EntityCollection;
 use er_core::entity::EntityId;
 use er_core::fault::{FaultInjector, RetryPolicy};
 use er_core::obs::{Event, Obs};
 use er_core::pair::Pair;
+use er_core::resource::{MemoryBudget, Watchdog};
 use er_metablocking::par_meta_block_obs;
 use std::fmt;
-use std::fs;
-use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -140,6 +140,28 @@ pub enum RecoveryEvent {
         /// The I/O failure.
         reason: String,
     },
+    /// Blocking breached the memory budget; oversized blocks were shed
+    /// largest-first to fit, and the run continued degraded.
+    BlocksShedUnderPressure {
+        /// Blocks dropped to fit the budget.
+        shed_blocks: u64,
+        /// Comparisons the dropped blocks carried — the explicit recall-loss
+        /// currency.
+        shed_comparisons: u64,
+    },
+    /// The matching stage hit its wall-clock deadline and skipped the tail
+    /// of the schedule.
+    MatchingTruncatedByDeadline {
+        /// Scheduled comparisons never executed.
+        skipped_comparisons: u64,
+    },
+    /// An index-building stage finished *after* its deadline. It has no safe
+    /// early-exit point (a partial index is silently wrong, not degraded),
+    /// so it ran to completion and the overrun is reported instead.
+    StageOverranDeadline {
+        /// Which stage.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -166,6 +188,26 @@ impl fmt::Display for RecoveryEvent {
             }
             RecoveryEvent::CheckpointWriteFailed { stage, reason } => {
                 write!(f, "{stage}: checkpoint write failed ({reason})")
+            }
+            RecoveryEvent::BlocksShedUnderPressure {
+                shed_blocks,
+                shed_comparisons,
+            } => write!(
+                f,
+                "blocking: memory budget breach, shed {shed_blocks} block(s) \
+                 carrying {shed_comparisons} comparison(s)"
+            ),
+            RecoveryEvent::MatchingTruncatedByDeadline {
+                skipped_comparisons,
+            } => write!(
+                f,
+                "matching: stage deadline expired, skipped {skipped_comparisons} comparison(s)"
+            ),
+            RecoveryEvent::StageOverranDeadline { stage } => {
+                write!(
+                    f,
+                    "{stage}: overran its wall-clock deadline (completed late)"
+                )
             }
         }
     }
@@ -211,11 +253,20 @@ pub struct RecoveryOutcome {
 }
 
 impl RecoveryOutcome {
-    /// Whether meta-blocking degraded to unpruned blocks.
+    /// Whether the result is degraded: meta-blocking fell back to unpruned
+    /// blocks, blocking shed blocks under memory pressure, or matching was
+    /// truncated by its deadline. (A late-but-complete stage —
+    /// [`RecoveryEvent::StageOverranDeadline`] — does not degrade the
+    /// result.)
     pub fn degraded(&self) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e, RecoveryEvent::MetaBlockingDegraded { .. }))
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                RecoveryEvent::MetaBlockingDegraded { .. }
+                    | RecoveryEvent::BlocksShedUnderPressure { .. }
+                    | RecoveryEvent::MatchingTruncatedByDeadline { .. }
+            )
+        })
     }
 
     /// Number of stage retries performed.
@@ -244,6 +295,7 @@ impl Pipeline {
         self.obs().counter("recovery.stage_retries");
         let mut events: Vec<RecoveryEvent> = Vec::new();
         let mut report = StageReport::default();
+        let budget = self.limits.budget();
         let store = opts
             .checkpoint_dir
             .as_ref()
@@ -307,17 +359,22 @@ impl Pipeline {
                 let c = self.blocked_candidates(
                     collection,
                     opts,
+                    &budget,
                     &store,
                     &mut events,
                     &mut report,
                     &mut resumed_from,
                 )?;
-                if let Some(s) = &store {
-                    match s.save_scheduled(&c, report.blocked_comparisons) {
-                        Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
-                            stage: STAGE_META_BLOCKING,
-                        }),
-                        Err(e) => warn_write(self.obs(), &mut events, STAGE_META_BLOCKING, e),
+                // A schedule derived from a budget-shed index is a degraded
+                // artifact — don't checkpoint it (see the matched guard).
+                if report.shed_comparisons == 0 {
+                    if let Some(s) = &store {
+                        match s.save_scheduled(&c, report.blocked_comparisons) {
+                            Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
+                                stage: STAGE_META_BLOCKING,
+                            }),
+                            Err(e) => warn_write(self.obs(), &mut events, STAGE_META_BLOCKING, e),
+                        }
                     }
                 }
                 c
@@ -328,22 +385,36 @@ impl Pipeline {
         // ---- matching -------------------------------------------------------
         let t2 = Instant::now();
         let matching_span = self.obs().span("pipeline.matching");
-        let scored = run_stage(self.obs(), STAGE_MATCHING, opts, &mut events, || {
-            self.score_candidates(collection, &candidates)
+        // A fresh watchdog per attempt: a retried stage gets the full stage
+        // deadline again, like an undisturbed run of that attempt.
+        let (scored, skipped) = run_stage(self.obs(), STAGE_MATCHING, opts, &mut events, || {
+            let watchdog = self.limits.stage_watchdog();
+            self.score_candidates_governed(collection, &candidates, &watchdog)
         })?;
         matching_span.finish();
         report.matching_time = t2.elapsed();
-        report.matched_comparisons = candidates.len() as u64;
-        if let Some(s) = &store {
-            match s.save_matched(
-                &scored,
-                report.blocked_comparisons,
-                report.scheduled_comparisons,
-            ) {
-                Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
-                    stage: STAGE_MATCHING,
-                }),
-                Err(e) => warn_write(self.obs(), &mut events, STAGE_MATCHING, e),
+        report.skipped_comparisons = skipped;
+        report.matched_comparisons = candidates.len() as u64 - skipped;
+        if skipped > 0 {
+            events.push(RecoveryEvent::MatchingTruncatedByDeadline {
+                skipped_comparisons: skipped,
+            });
+        }
+        // Never checkpoint a deadline-truncated or shed-derived match set:
+        // checkpoints are reserved for complete stage outputs, so a resume
+        // can't silently replay a degraded result.
+        if skipped == 0 && report.shed_comparisons == 0 {
+            if let Some(s) = &store {
+                match s.save_matched(
+                    &scored,
+                    report.blocked_comparisons,
+                    report.scheduled_comparisons,
+                ) {
+                    Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
+                        stage: STAGE_MATCHING,
+                    }),
+                    Err(e) => warn_write(self.obs(), &mut events, STAGE_MATCHING, e),
+                }
             }
         }
 
@@ -373,6 +444,7 @@ impl Pipeline {
         &self,
         collection: &EntityCollection,
         opts: &RecoveryOptions,
+        budget: &MemoryBudget,
         store: &Option<CheckpointStore>,
         events: &mut Vec<RecoveryEvent>,
         report: &mut StageReport,
@@ -382,10 +454,12 @@ impl Pipeline {
             // Pair-producing method: blocking directly yields the schedule.
             let t0 = Instant::now();
             let blocking_span = self.obs().span("pipeline.blocking");
+            let watchdog = self.limits.stage_watchdog();
             let pairs = run_stage(self.obs(), STAGE_BLOCKING, opts, events, || {
                 MultiPassSortedNeighborhood::new(keys.clone(), *window).candidate_pairs(collection)
             })?;
             blocking_span.finish();
+            self.overrun_event(STAGE_BLOCKING, &watchdog, events);
             report.blocking_time = t0.elapsed();
             report.blocked_comparisons = pairs.len() as u64;
             return Ok(pairs);
@@ -413,20 +487,33 @@ impl Pipeline {
             None => {
                 let t0 = Instant::now();
                 let blocking_span = self.obs().span("pipeline.blocking");
-                let b = run_stage(self.obs(), STAGE_BLOCKING, opts, events, || {
-                    self.build_blocks(collection, &self.blocking)
+                let watchdog = self.limits.stage_watchdog();
+                let governed = run_stage(self.obs(), STAGE_BLOCKING, opts, events, || {
+                    self.build_blocks(collection, &self.blocking, budget)
                 })?;
                 blocking_span.finish();
+                self.overrun_event(STAGE_BLOCKING, &watchdog, events);
                 report.blocking_time = t0.elapsed();
-                if let Some(s) = store {
-                    match s.save_blocked(&b) {
-                        Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
-                            stage: STAGE_BLOCKING,
-                        }),
-                        Err(e) => warn_write(self.obs(), events, STAGE_BLOCKING, e),
+                report.shed_comparisons = governed.shed_comparisons;
+                if governed.degraded() {
+                    events.push(RecoveryEvent::BlocksShedUnderPressure {
+                        shed_blocks: governed.shed_blocks,
+                        shed_comparisons: governed.shed_comparisons,
+                    });
+                }
+                // Only a complete (unshed) index is worth checkpointing: a
+                // resume must never silently replay a degraded artifact.
+                if !governed.degraded() {
+                    if let Some(s) = store {
+                        match s.save_blocked(&governed.blocks) {
+                            Ok(()) => events.push(RecoveryEvent::CheckpointSaved {
+                                stage: STAGE_BLOCKING,
+                            }),
+                            Err(e) => warn_write(self.obs(), events, STAGE_BLOCKING, e),
+                        }
                     }
                 }
-                b
+                governed.blocks
             }
         };
         let blocked_pairs = blocks.distinct_pairs(collection);
@@ -437,6 +524,7 @@ impl Pipeline {
             Some(mb) => {
                 let t1 = Instant::now();
                 let mb_span = self.obs().span("pipeline.meta_blocking");
+                let watchdog = self.limits.stage_watchdog();
                 let outcome = run_stage(self.obs(), STAGE_META_BLOCKING, opts, events, || {
                     par_meta_block_obs(
                         collection,
@@ -448,6 +536,7 @@ impl Pipeline {
                     )
                 });
                 mb_span.finish();
+                self.overrun_event(STAGE_META_BLOCKING, &watchdog, events);
                 match outcome {
                     Ok(kept) => {
                         report.meta_blocking_time = t1.elapsed();
@@ -471,6 +560,21 @@ impl Pipeline {
                 }
             }
             None => Ok(blocked_pairs),
+        }
+    }
+
+    /// Records a stage that finished after its deadline: the obs warning +
+    /// counter plus a [`RecoveryEvent::StageOverranDeadline`]. A disarmed or
+    /// unexpired watchdog is a no-op.
+    fn overrun_event(
+        &self,
+        stage: &'static str,
+        watchdog: &Watchdog,
+        events: &mut Vec<RecoveryEvent>,
+    ) {
+        if watchdog.expired() {
+            self.note_overrun(stage, watchdog);
+            events.push(RecoveryEvent::StageOverranDeadline { stage });
         }
     }
 }
@@ -562,8 +666,11 @@ fn warn_write(
 /// configuration, not the full data — so it catches the common operator
 /// mistakes (different dataset, different flags), not adversarial edits.
 fn fingerprint(pipeline: &Pipeline, collection: &EntityCollection) -> u64 {
+    // `limits` is part of the configuration: a budget-shed blocking index
+    // must never be resumed by a run under different (or no) limits.
     let summary = format!(
-        "n={} mode={:?} blocking={:?} cleaning={:?} meta={:?} matching={:?} clustering={:?}",
+        "n={} mode={:?} blocking={:?} cleaning={:?} meta={:?} matching={:?} clustering={:?} \
+         limits={:?}",
         collection.len(),
         collection.mode(),
         pipeline.blocking,
@@ -571,6 +678,7 @@ fn fingerprint(pipeline: &Pipeline, collection: &EntityCollection) -> u64 {
         pipeline.meta_blocking,
         pipeline.matching,
         pipeline.clustering,
+        pipeline.limits,
     );
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in summary.bytes() {
@@ -582,11 +690,10 @@ fn fingerprint(pipeline: &Pipeline, collection: &EntityCollection) -> u64 {
 
 const CKPT_MAGIC: &str = "er-checkpoint";
 const CKPT_VERSION: &str = "v1";
-const FOOTER: &str = "end";
 
 struct CheckpointStore {
     dir: PathBuf,
-    fingerprint: u64,
+    codec: LineCodec,
 }
 
 /// A loaded `scheduled.ckpt`.
@@ -604,15 +711,18 @@ struct MatchedCkpt {
 
 impl CheckpointStore {
     fn new(dir: PathBuf, fingerprint: u64) -> Self {
-        CheckpointStore { dir, fingerprint }
+        CheckpointStore {
+            dir,
+            codec: LineCodec::new(CKPT_MAGIC, CKPT_VERSION, fingerprint),
+        }
     }
 
     fn path(&self, name: &str) -> PathBuf {
         self.dir.join(name)
     }
 
-    /// Writes `lines` atomically (temp file + rename) under a fingerprinted
-    /// header and an explicit footer that detects truncation.
+    /// Writes `lines` through the shared [`LineCodec`]: atomic temp-file +
+    /// rename under a fingerprinted header and a truncation-detecting footer.
     fn write_file(
         &self,
         name: &str,
@@ -620,66 +730,15 @@ impl CheckpointStore {
         extra: &str,
         lines: impl Iterator<Item = String>,
     ) -> std::io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
-        let tmp = self.path(&format!("{name}.tmp"));
-        {
-            let mut w = std::io::BufWriter::new(fs::File::create(&tmp)?);
-            writeln!(
-                w,
-                "{CKPT_MAGIC} {CKPT_VERSION} stage={stage} fingerprint={:016x}{extra}",
-                self.fingerprint
-            )?;
-            for line in lines {
-                writeln!(w, "{line}")?;
-            }
-            writeln!(w, "{FOOTER}")?;
-            w.flush()?;
-        }
-        fs::rename(&tmp, self.path(name))
+        self.codec
+            .write_atomic(&self.path(name), stage, extra, lines)
     }
 
     /// Reads a checkpoint: `Ok(None)` when absent, `Err(reason)` when the
     /// header, fingerprint or footer is wrong, `Ok(Some(body_lines))`
     /// otherwise.
     fn read_file(&self, name: &str, stage: &str) -> Result<Option<(String, Vec<String>)>, String> {
-        let path = self.path(name);
-        let file = match fs::File::open(&path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("cannot open {}: {e}", path.display())),
-        };
-        let mut lines = BufReader::new(file).lines();
-        let header = match lines.next() {
-            Some(Ok(h)) => h,
-            _ => return Err("empty checkpoint".to_string()),
-        };
-        let mut fields = header.split(' ');
-        if fields.next() != Some(CKPT_MAGIC) || fields.next() != Some(CKPT_VERSION) {
-            return Err("bad magic/version".to_string());
-        }
-        if fields.next() != Some(&format!("stage={stage}")[..]) {
-            return Err("wrong stage".to_string());
-        }
-        match fields.next().and_then(|f| f.strip_prefix("fingerprint=")) {
-            Some(hex) => {
-                let got =
-                    u64::from_str_radix(hex, 16).map_err(|_| "bad fingerprint".to_string())?;
-                if got != self.fingerprint {
-                    return Err(
-                        "fingerprint mismatch (different collection or configuration)".to_string(),
-                    );
-                }
-            }
-            None => return Err("missing fingerprint".to_string()),
-        }
-        let mut body = Vec::new();
-        for line in lines {
-            body.push(line.map_err(|e| format!("read error: {e}"))?);
-        }
-        if body.pop().as_deref() != Some(FOOTER) {
-            return Err("truncated checkpoint (missing footer)".to_string());
-        }
-        Ok(Some((header, body)))
+        self.codec.read(&self.path(name), stage)
     }
 
     fn save_blocked(&self, blocks: &BlockCollection) -> std::io::Result<()> {
@@ -786,54 +845,13 @@ impl CheckpointStore {
     }
 }
 
-fn header_field(header: &str, name: &str) -> Result<u64, String> {
-    for field in header.split(' ') {
-        if let Some(v) = field.strip_prefix(&format!("{name}=")[..]) {
-            return v.parse().map_err(|e| format!("bad {name} field: {e}"));
-        }
-    }
-    Err(format!("missing {name} field"))
-}
-
-/// Escapes a block key for the one-line-per-block format.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-fn unescape(s: &str) -> Result<String, String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('\\') => out.push('\\'),
-            Some('t') => out.push('\t'),
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            other => return Err(format!("bad escape: \\{other:?}")),
-        }
-    }
-    Ok(out)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use er_core::codec::FOOTER;
     use er_core::fault::{FaultKind, FaultPlan};
     use er_datagen::{DirtyConfig, DirtyDataset, NoiseModel};
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn dataset() -> DirtyDataset {
@@ -994,6 +1012,103 @@ mod tests {
             out.events
         );
         assert_eq!(out.resolution.matches, other.run(&ds.collection).matches);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_shedding_is_a_flagged_degradation_not_an_error() {
+        use er_core::resource::ResourceLimits;
+        let ds = dataset();
+        let p = Pipeline::builder()
+            .resource_limits(ResourceLimits::none().with_memory_bytes(4096))
+            .build();
+        let dir = tmp_dir("shed");
+        let opts = RecoveryOptions::default().checkpoint_dir(&dir);
+        let out = p.run_with_recovery(&ds.collection, &opts).unwrap();
+        assert!(out.degraded());
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::BlocksShedUnderPressure { shed_comparisons, .. } if *shed_comparisons > 0
+        )));
+        assert!(out.resolution.report.shed_comparisons > 0);
+        // Degraded artifacts are never checkpointed: a resume must not
+        // silently replay a shed index or the schedule/matches built on it.
+        assert!(!dir.join("blocked.ckpt").exists());
+        assert!(!dir.join("scheduled.ckpt").exists());
+        assert!(!dir.join("matched.ckpt").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_deadline_truncates_matching_with_flagged_events() {
+        use er_core::resource::ResourceLimits;
+        use std::time::Duration;
+        let ds = dataset();
+        let p = Pipeline::builder()
+            .resource_limits(ResourceLimits::none().with_stage_timeout(Duration::ZERO))
+            .build();
+        let out = p
+            .run_with_recovery(&ds.collection, &RecoveryOptions::default())
+            .unwrap();
+        assert!(out.degraded());
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::MatchingTruncatedByDeadline { skipped_comparisons } if *skipped_comparisons > 0
+        )));
+        // The index-building stages completed late rather than partially.
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::StageOverranDeadline { .. })));
+        assert!(out.resolution.matches.is_empty());
+        assert_eq!(out.resolution.report.matched_comparisons, 0);
+    }
+
+    #[test]
+    fn generous_limits_recovery_run_is_undegraded_and_bit_identical() {
+        use er_core::resource::ResourceLimits;
+        use std::time::Duration;
+        let ds = dataset();
+        let plain = Pipeline::builder().build().run(&ds.collection);
+        let p = Pipeline::builder()
+            .resource_limits(
+                ResourceLimits::none()
+                    .with_memory_bytes(1 << 30)
+                    .with_stage_timeout(Duration::from_secs(3600)),
+            )
+            .build();
+        let out = p
+            .run_with_recovery(&ds.collection, &RecoveryOptions::default())
+            .unwrap();
+        assert!(!out.degraded());
+        assert!(out.events.is_empty());
+        assert_eq!(out.resolution.matches, plain.matches);
+        assert_eq!(out.resolution.clusters, plain.clusters);
+    }
+
+    #[test]
+    fn limits_are_part_of_the_checkpoint_fingerprint() {
+        use er_core::resource::ResourceLimits;
+        let ds = dataset();
+        let dir = tmp_dir("limits-fp");
+        let unlimited = Pipeline::builder().build();
+        let opts = RecoveryOptions::default().checkpoint_dir(&dir);
+        unlimited.run_with_recovery(&ds.collection, &opts).unwrap();
+        // A governed pipeline must not accept the ungoverned checkpoints.
+        let governed = Pipeline::builder()
+            .resource_limits(ResourceLimits::none().with_memory_bytes(1 << 30))
+            .build();
+        let out = governed
+            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .unwrap();
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::CheckpointRejected { .. })),
+            "{:?}",
+            out.events
+        );
+        assert_eq!(out.resumed_from, None);
         let _ = fs::remove_dir_all(&dir);
     }
 
