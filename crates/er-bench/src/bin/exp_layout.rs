@@ -1,0 +1,4 @@
+//! Runs experiment `e18_layout` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e18_layout();
+}

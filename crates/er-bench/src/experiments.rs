@@ -1405,6 +1405,224 @@ pub fn e17_resource_overhead() {
     );
 }
 
+/// E18 — compact-layout A/B: the interned/flat fast paths against their
+/// string-keyed / tree-map reference builds.
+///
+/// Three kernels per size, paired back-to-back with alternating order
+/// (E15/E16/E17's estimator: min-of-reps after one warmup rep, ambient load
+/// cancels within a pair), with **identical outputs asserted on every rep**:
+///
+/// * `token-block` — `TokenBlocking::par_build` (interned symbols, flat
+///   posting sort) vs `build_reference` (per-token `String`s, `BTreeMap`);
+/// * `attr-cluster` — same A/B for `AttributeClusteringBlocking`;
+/// * `graph-build` — `BlockingGraph::build` (sort-based aggregation, flat
+///   sorted edge vec) vs `build_reference` (`BTreeMap` accumulation), on the
+///   auto-purged blocks the pipeline would hand meta-blocking.
+///
+/// Sizes are the E7/E13 scalability sweep; `ER_LAYOUT_SMOKE=1` shrinks them
+/// for the CI smoke job. `ER_LAYOUT_OUT=<path>` writes the cells as JSON
+/// (the committed `BENCH_layout.json` snapshot).
+///
+/// Acceptance (documented, asserted only for identity): every cell reports
+/// identical=yes; on a multicore host the graph-build kernel at the largest
+/// size reaches ≥1.3× — single-core CI hosts still assert identity but may
+/// fall short of the ratio, which is why the speedup is recorded, not
+/// asserted.
+pub fn e18_layout() {
+    use er_blocking::governance::block_bytes;
+    use er_core::parallel::Parallelism;
+    use er_metablocking::BlockingGraph as Graph;
+
+    banner(
+        "E18",
+        "compact data layout A/B: interning + sort-based graph aggregation",
+    );
+    let smoke = std::env::var("ER_LAYOUT_SMOKE").is_ok();
+    let sizes: Vec<usize> = if smoke {
+        vec![200, 400]
+    } else {
+        vec![500, 1000, 2000, 4000, 8000]
+    };
+    let reps = if smoke { 3 } else { 7 };
+
+    /// Paired A/B timing: warmup rep, alternating order, min-of-reps;
+    /// equality of the two outputs is checked on every rep.
+    fn measure<T: PartialEq>(
+        reps: usize,
+        mut old_run: impl FnMut() -> T,
+        mut new_run: impl FnMut() -> T,
+    ) -> (f64, f64, bool) {
+        let mut old_s: Vec<f64> = Vec::new();
+        let mut new_s: Vec<f64> = Vec::new();
+        let mut identical = true;
+        for rep in 0..=reps {
+            let (o, n) = if rep % 2 == 0 {
+                let t0 = Instant::now();
+                let a = old_run();
+                let o = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let b = new_run();
+                let n = t0.elapsed().as_secs_f64();
+                identical &= a == b;
+                (o, n)
+            } else {
+                let t0 = Instant::now();
+                let b = new_run();
+                let n = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let a = old_run();
+                let o = t0.elapsed().as_secs_f64();
+                identical &= a == b;
+                (o, n)
+            };
+            if rep > 0 {
+                old_s.push(o);
+                new_s.push(n);
+            }
+        }
+        let best = |mut v: Vec<f64>| -> f64 {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[0]
+        };
+        (best(old_s), best(new_s), identical)
+    }
+
+    struct Cell {
+        entities: usize,
+        kernel: &'static str,
+        old_ms: f64,
+        new_ms: f64,
+        identical: bool,
+        /// `block_bytes` of the built index for the blocking kernels; the
+        /// sort-buffer bytes (`edge_sort_bytes`) for the graph kernel.
+        bytes: u64,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+
+    let table = Table::new(&[
+        ("entities", 9),
+        ("kernel", 13),
+        ("old-ms", 10),
+        ("new-ms", 10),
+        ("speedup", 8),
+        ("identical", 9),
+        ("bytes", 12),
+    ]);
+    let serial = Parallelism::serial();
+    for &entities in &sizes {
+        let mut cfg = dirty_preset(entities);
+        cfg.profile.common_vocab = (entities / 5).max(100);
+        let ds = DirtyDataset::generate(&cfg);
+        let c = &ds.collection;
+
+        let tb = TokenBlocking::new();
+        let (o, n, ident) = measure(
+            reps,
+            || tb.build_reference(c, serial),
+            || tb.par_build(c, serial),
+        );
+        assert!(ident, "E18: token-blocking layouts diverged at {entities}");
+        let blocks = tb.build(c);
+        cells.push(Cell {
+            entities,
+            kernel: "token-block",
+            old_ms: o * 1e3,
+            new_ms: n * 1e3,
+            identical: ident,
+            bytes: blocks.blocks().iter().map(block_bytes).sum(),
+        });
+
+        let acb = AttributeClusteringBlocking::new();
+        let (o, n, ident) = measure(
+            reps,
+            || acb.build_reference(c, serial),
+            || acb.par_build(c, serial),
+        );
+        assert!(
+            ident,
+            "E18: attribute-clustering layouts diverged at {entities}"
+        );
+        let acb_blocks = acb.build(c);
+        cells.push(Cell {
+            entities,
+            kernel: "attr-cluster",
+            old_ms: o * 1e3,
+            new_ms: n * 1e3,
+            identical: ident,
+            bytes: acb_blocks.blocks().iter().map(block_bytes).sum(),
+        });
+
+        // Graph build runs on the purged blocks the pipeline would hand it.
+        let purged = cleaning::auto_purge(&blocks, c);
+        let (o, n, ident) = measure(
+            reps,
+            || Graph::build_reference(c, &purged),
+            || Graph::build(c, &purged),
+        );
+        assert!(ident, "E18: blocking-graph layouts diverged at {entities}");
+        cells.push(Cell {
+            entities,
+            kernel: "graph-build",
+            old_ms: o * 1e3,
+            new_ms: n * 1e3,
+            identical: ident,
+            bytes: Graph::build(c, &purged).edge_sort_bytes(),
+        });
+    }
+    for cell in &cells {
+        table.row(&[
+            cell.entities.to_string(),
+            cell.kernel.to_string(),
+            format!("{:.3}", cell.old_ms),
+            format!("{:.3}", cell.new_ms),
+            format!("{:.2}x", cell.old_ms / cell.new_ms),
+            if cell.identical { "yes" } else { "NO" }.to_string(),
+            cell.bytes.to_string(),
+        ]);
+    }
+    let largest = sizes[sizes.len() - 1];
+    let graph_speedup = cells
+        .iter()
+        .find(|c| c.entities == largest && c.kernel == "graph-build")
+        .map(|c| c.old_ms / c.new_ms)
+        .unwrap_or(0.0);
+    println!(
+        "graph-build speedup at {largest}: {graph_speedup:.2}x \
+         (acceptance: >= 1.30x on a multicore host; identity asserted everywhere)"
+    );
+    println!(
+        "shape: every cell must report identical=yes (hard-asserted); the compact\n\
+         paths should win on every kernel, growing with size as allocation and\n\
+         pointer-chasing costs compound on the string/tree reference layouts."
+    );
+
+    if let Ok(path) = std::env::var("ER_LAYOUT_OUT") {
+        let mut json = String::from("{\n  \"experiment\": \"E18\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str(&format!(
+            "  \"graph_build_speedup_at_largest\": {graph_speedup:.3},\n"
+        ));
+        json.push_str("  \"cells\": [\n");
+        for (i, cell) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"entities\": {}, \"kernel\": \"{}\", \"old_ms\": {:.3}, \
+                 \"new_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \"bytes\": {}}}{}\n",
+                cell.entities,
+                cell.kernel,
+                cell.old_ms,
+                cell.new_ms,
+                cell.old_ms / cell.new_ms,
+                cell.identical,
+                cell.bytes,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("E18: cannot write {path}: {e}"));
+        println!("layout snapshot written to {path}");
+    }
+}
+
 /// Runs the full suite in order.
 pub fn run_all() {
     e1_blocking_quality();
@@ -1424,4 +1642,5 @@ pub fn run_all() {
     e15_fault_overhead();
     e16_obs_overhead();
     e17_resource_overhead();
+    e18_layout();
 }

@@ -12,12 +12,19 @@
 //! best-match links. Attributes with no similar partner fall into a single
 //! *glue* cluster, preserving token blocking's recall for them.
 
-use crate::block::{blocks_from_keys, BlockCollection};
+use crate::block::{blocks_from_grouped_keys, blocks_from_keys, BlockCollection};
 use er_core::collection::EntityCollection;
-use er_core::parallel::{par_map, Parallelism};
+use er_core::entity::EntityId;
+use er_core::intern::{Interner, Symbol};
+use er_core::parallel::{par_map, par_map_chunks, Parallelism};
 use er_core::similarity::SetMeasure;
 use er_core::tokenize::Tokenizer;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Fixed chunk size of the compact build's interning pass — same rationale
+/// as the token-blocking constant: chunk boundaries must not depend on the
+/// thread count so the left-to-right interner merge is deterministic.
+const INTERN_CHUNK_ENTITIES: usize = 64;
 
 /// Attribute-clustering blocking.
 #[derive(Clone, Debug)]
@@ -144,7 +151,87 @@ impl AttributeClusteringBlocking {
         self.build_impl(collection, par)
     }
 
+    /// Compact build: `(cluster, token)` keys are carried as
+    /// `(usize, Symbol)` pairs — no per-key `format!` until one string per
+    /// *distinct* key is rendered at grouping time. Chunked interning +
+    /// left-to-right absorb as in token blocking; final block order is by
+    /// rendered string, so `"c10:x"` still sorts before `"c2:x"` exactly as
+    /// the `BTreeMap<String, _>` reference orders them.
     fn build_impl(&self, collection: &EntityCollection, par: Parallelism) -> BlockCollection {
+        let clusters = self.attribute_clusters_impl(collection, par);
+        let entities: Vec<_> = collection.iter().collect();
+        let (interner, entries) = if par.is_serial() {
+            // Serial fast path: one global interner, no per-chunk absorb
+            // (same argument as token blocking — symbol numbering never
+            // reaches the output).
+            let mut interner = Interner::new();
+            let mut scratch = String::new();
+            let mut buf: Vec<Symbol> = Vec::new();
+            let mut keys: Vec<(usize, Symbol)> = Vec::new();
+            let mut entries: Vec<((usize, Symbol), EntityId)> = Vec::new();
+            for e in &entities {
+                keys.clear();
+                for (a, v) in e.attributes() {
+                    let cid = clusters.get(a).copied().unwrap_or(0);
+                    buf.clear();
+                    self.tokenizer
+                        .symbols_into(v, &mut interner, &mut scratch, &mut buf);
+                    keys.extend(buf.iter().map(|&s| (cid, s)));
+                }
+                // Per-entity key *set*, as the reference BTreeSet provides.
+                keys.sort_unstable();
+                keys.dedup();
+                entries.extend(keys.iter().map(|&k| (k, e.id())));
+            }
+            (interner, entries)
+        } else {
+            let chunks = par_map_chunks(par, &entities, INTERN_CHUNK_ENTITIES, |chunk| {
+                let mut local = Interner::new();
+                let mut scratch = String::new();
+                let mut buf: Vec<Symbol> = Vec::new();
+                let mut entries: Vec<((usize, Symbol), EntityId)> = Vec::new();
+                for e in chunk {
+                    let mut keys: Vec<(usize, Symbol)> = Vec::new();
+                    for (a, v) in e.attributes() {
+                        let cid = clusters.get(a).copied().unwrap_or(0);
+                        buf.clear();
+                        self.tokenizer
+                            .symbols_into(v, &mut local, &mut scratch, &mut buf);
+                        keys.extend(buf.iter().map(|&s| (cid, s)));
+                    }
+                    keys.sort_unstable();
+                    keys.dedup();
+                    entries.extend(keys.into_iter().map(|k| (k, e.id())));
+                }
+                (local, entries)
+            });
+            let mut interner = Interner::new();
+            let mut entries = Vec::with_capacity(chunks.iter().map(|(_, e)| e.len()).sum());
+            for (local, local_entries) in chunks {
+                let remap = interner.absorb(local);
+                entries.extend(
+                    local_entries
+                        .into_iter()
+                        .map(|((cid, s), e)| ((cid, remap[s.index()]), e)),
+                );
+            }
+            (interner, entries)
+        };
+        blocks_from_grouped_keys(entries, |&(cid, s)| {
+            format!("c{cid}:{}", interner.resolve(s))
+        })
+    }
+
+    /// The pre-compact, string-keyed build (per-entity
+    /// `BTreeSet<(usize, String)>`, `format!` per posting, `BTreeMap`
+    /// grouping). Kept as the **A/B reference** for the layout experiment
+    /// (E18) and equivalence tests; bit-identical to
+    /// [`par_build`](AttributeClusteringBlocking::par_build).
+    pub fn build_reference(
+        &self,
+        collection: &EntityCollection,
+        par: Parallelism,
+    ) -> BlockCollection {
         let clusters = self.attribute_clusters_impl(collection, par);
         let entities: Vec<_> = collection.iter().collect();
         let keys = par_map(par, &entities, |e| {
@@ -282,5 +369,19 @@ mod tests {
         let acb = AttributeClusteringBlocking::new();
         assert!(acb.attribute_clusters(&c).is_empty());
         assert!(acb.build(&c).is_empty());
+    }
+
+    #[test]
+    fn compact_build_matches_reference_at_all_thread_counts() {
+        let c = heterogeneous();
+        let acb = AttributeClusteringBlocking::new();
+        let reference = acb.build_reference(&c, Parallelism::serial());
+        for n in [1, 2, 4] {
+            assert_eq!(
+                acb.par_build(&c, Parallelism::threads(n)),
+                reference,
+                "thread count {n}"
+            );
+        }
     }
 }

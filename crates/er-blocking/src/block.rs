@@ -9,6 +9,7 @@
 
 use er_core::collection::{EntityCollection, ResolutionMode};
 use er_core::entity::EntityId;
+use er_core::intern::{Interner, Symbol};
 use er_core::pair::Pair;
 use std::collections::BTreeSet;
 
@@ -28,6 +29,14 @@ impl Block {
             key: key.into(),
             entities,
         }
+    }
+
+    /// Creates a block from members already sorted and deduplicated — the
+    /// compact grouping path produces them that way, so re-sorting would be
+    /// pure overhead. Debug-asserted, not re-checked in release.
+    pub(crate) fn from_sorted(key: String, entities: Vec<EntityId>) -> Self {
+        debug_assert!(entities.windows(2).all(|w| w[0] < w[1]));
+        Block { key, entities }
     }
 
     /// The blocking key.
@@ -113,6 +122,13 @@ impl BlockCollection {
     /// The blocks.
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
+    }
+
+    /// Consumes the collection, yielding its blocks — lets governance and
+    /// other filters rebuild a collection from kept blocks without cloning
+    /// every member vector.
+    pub fn into_blocks(self) -> Vec<Block> {
+        self.blocks
     }
 
     /// Number of blocks.
@@ -245,6 +261,58 @@ where
     index.into_iter().map(|(k, v)| Block::new(k, v)).collect()
 }
 
+/// Compact-layout counterpart of [`blocks_from_keys`]: groups flat
+/// `(key, entity)` postings by **sort + run-length grouping** instead of a
+/// string-keyed tree map. `K` is any cheap ordered key (a [`Symbol`], a
+/// `(cluster, Symbol)` pair, …); `key_to_string` renders it to the owned
+/// block key — called once per *distinct* key, not per posting.
+///
+/// Output is identical to `blocks_from_keys` fed the rendered keys, provided
+/// `key_to_string` is injective over the distinct keys present:
+/// * members: sort by `(K, EntityId)` + dedup ⇔ the per-key push + sort +
+///   dedup of [`Block::new`];
+/// * block order: distinct keys are ordered by their *rendered string*,
+///   reproducing the `BTreeMap<String, _>` lexicographic iteration order
+///   (symbol ids are first-encounter order and never leak into output).
+pub fn blocks_from_grouped_keys<K>(
+    mut entries: Vec<(K, EntityId)>,
+    key_to_string: impl Fn(&K) -> String,
+) -> BlockCollection
+where
+    K: Ord + Copy,
+{
+    entries.sort_unstable();
+    entries.dedup();
+    // Run-length group: each distinct key owns a contiguous range of entries.
+    let mut groups: Vec<(String, std::ops::Range<usize>)> = Vec::new();
+    let mut start = 0;
+    for i in 1..=entries.len() {
+        if i == entries.len() || entries[i].0 != entries[start].0 {
+            groups.push((key_to_string(&entries[start].0), start..i));
+            start = i;
+        }
+    }
+    groups.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    BlockCollection::new(
+        groups
+            .into_iter()
+            .map(|(key, range)| {
+                let members = entries[range].iter().map(|&(_, e)| e).collect();
+                Block::from_sorted(key, members)
+            })
+            .collect(),
+    )
+}
+
+/// [`blocks_from_grouped_keys`] specialized to interned token keys — the
+/// token-blocking fast path.
+pub fn blocks_from_symbols(
+    interner: &Interner,
+    entries: Vec<(Symbol, EntityId)>,
+) -> BlockCollection {
+    blocks_from_grouped_keys(entries, |&s| interner.resolve(s).to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +430,78 @@ mod tests {
         ]);
         assert_eq!(bc.len(), 1, "singleton block b dropped");
         assert_eq!(bc.by_key("a").unwrap().entities(), &[id(0), id(1)]);
+    }
+
+    #[test]
+    fn grouped_keys_match_string_keys() {
+        // Same postings through both skeletons; symbols interned in an order
+        // deliberately different from lexicographic.
+        let mut interner = Interner::new();
+        let zeta = interner.intern("zeta");
+        let alpha = interner.intern("alpha");
+        let mid = interner.intern("mid");
+        let entries = vec![
+            (zeta, id(1)),
+            (alpha, id(2)),
+            (zeta, id(0)),
+            (mid, id(3)),
+            (alpha, id(0)),
+            (zeta, id(1)), // duplicate posting collapses
+            (mid, id(1)),
+        ];
+        let compact = blocks_from_symbols(&interner, entries.clone());
+        let reference = blocks_from_keys(
+            entries
+                .into_iter()
+                .map(|(s, e)| (interner.resolve(s).to_string(), e)),
+        );
+        assert_eq!(compact, reference);
+        let keys: Vec<&str> = compact.blocks().iter().map(|b| b.key()).collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"], "lexicographic order");
+    }
+
+    #[test]
+    fn grouped_keys_order_by_rendered_string_not_key() {
+        // (cluster, symbol) keys render as "c{cid}:{token}"; "c10:a" sorts
+        // *before* "c2:a" as a string even though 10 > 2 numerically — the
+        // compact path must reproduce the string order.
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let entries: Vec<((usize, Symbol), EntityId)> = vec![
+            ((2, a), id(0)),
+            ((2, a), id(1)),
+            ((10, a), id(2)),
+            ((10, a), id(3)),
+        ];
+        let compact = blocks_from_grouped_keys(entries, |&(cid, s)| {
+            format!("c{cid}:{}", interner.resolve(s))
+        });
+        let keys: Vec<&str> = compact.blocks().iter().map(|b| b.key()).collect();
+        assert_eq!(keys, vec!["c10:a", "c2:a"]);
+    }
+
+    #[test]
+    fn grouped_keys_drop_singletons_and_empty_input() {
+        let mut interner = Interner::new();
+        let solo = interner.intern("solo");
+        let pairk = interner.intern("pair");
+        let bc = blocks_from_symbols(
+            &interner,
+            vec![(solo, id(0)), (pairk, id(1)), (pairk, id(2))],
+        );
+        assert_eq!(bc.len(), 1);
+        assert_eq!(bc.by_key("pair").unwrap().entities(), &[id(1), id(2)]);
+        assert!(blocks_from_symbols(&interner, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn into_blocks_round_trips() {
+        let bc = BlockCollection::new(vec![
+            Block::new("x", vec![id(0), id(1)]),
+            Block::new("y", vec![id(1), id(2)]),
+        ]);
+        let blocks = bc.clone().into_blocks();
+        assert_eq!(BlockCollection::new(blocks), bc);
     }
 
     #[test]

@@ -72,24 +72,29 @@ impl FrequentSetBlocking {
             }
         }
         // Pass 2: pair supports over frequent tokens only (Apriori pruning:
-        // a pair can only be frequent if both members are).
-        let mut pair_support: HashMap<(String, String), usize> = HashMap::new();
+        // a pair can only be frequent if both members are). Counted on
+        // borrowed keys — the quadratic co-occurrence loop allocates nothing;
+        // only the (few) pairs that survive the support threshold are cloned
+        // into the owned result.
+        let mut pair_support: HashMap<(&str, &str), usize> = HashMap::new();
         for ts in &token_sets {
-            let frequent: Vec<&String> = ts
+            let frequent: Vec<&str> = ts
                 .iter()
-                .filter(|t| support[t.as_str()] >= self.min_support)
+                .map(String::as_str)
+                .filter(|t| support[t] >= self.min_support)
                 .take(self.max_tokens_per_description)
                 .collect();
             for i in 0..frequent.len() {
                 for j in (i + 1)..frequent.len() {
-                    *pair_support
-                        .entry((frequent[i].clone(), frequent[j].clone()))
-                        .or_insert(0) += 1;
+                    *pair_support.entry((frequent[i], frequent[j])).or_insert(0) += 1;
                 }
             }
         }
-        pair_support.retain(|_, s| *s >= self.min_support);
         pair_support
+            .into_iter()
+            .filter(|(_, s)| *s >= self.min_support)
+            .map(|((a, b), s)| ((a.to_string(), b.to_string()), s))
+            .collect()
     }
 
     /// Builds the blocking collection: one block per frequent token pair.

@@ -113,11 +113,11 @@ pub fn charge_or_shed(
         }
     }
     let kept: Vec<Block> = blocks
-        .blocks()
-        .iter()
+        .into_blocks()
+        .into_iter()
         .enumerate()
         .filter(|(i, _)| !dropped[*i])
-        .map(|(_, b)| b.clone())
+        .map(|(_, b)| b)
         .collect();
     obs.counter("blocking.blocks_shed").add(shed_blocks);
     obs.counter("blocking.comparisons_shed")

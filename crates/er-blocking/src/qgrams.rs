@@ -22,11 +22,15 @@ pub enum KeySource {
 }
 
 impl KeySource {
-    /// Extracts the key text (possibly empty) from an entity.
-    pub fn text(&self, e: &Entity) -> String {
+    /// Extracts the key text (possibly empty) from an entity. Borrows when
+    /// the source is a single attribute (no copy); only the concatenated
+    /// all-values form is owned.
+    pub fn text<'e>(&self, e: &'e Entity) -> std::borrow::Cow<'e, str> {
         match self {
-            KeySource::AllValues => e.flattened_value(),
-            KeySource::Attribute(a) => e.value_of(a).unwrap_or_default().to_string(),
+            KeySource::AllValues => std::borrow::Cow::Owned(e.flattened_value()),
+            KeySource::Attribute(a) => {
+                std::borrow::Cow::Borrowed(e.value_of(a).unwrap_or_default())
+            }
         }
     }
 }

@@ -7,11 +7,18 @@
 //! superfluous comparisons — which block cleaning and meta-blocking then
 //! remove.
 
-use crate::block::{blocks_from_keys, BlockCollection};
+use crate::block::{blocks_from_keys, blocks_from_symbols, BlockCollection};
 use er_core::collection::EntityCollection;
+use er_core::intern::{Interner, Symbol};
 use er_core::obs::Obs;
-use er_core::parallel::{par_map, Parallelism};
+use er_core::parallel::{par_map, par_map_chunks, Parallelism};
 use er_core::tokenize::Tokenizer;
+
+/// Entities interned per chunk on the compact build path. Fixed (never a
+/// function of the thread count) so the chunk boundaries — and with them the
+/// per-chunk interners absorbed left-to-right — are identical at every
+/// parallelism level.
+const INTERN_CHUNK_ENTITIES: usize = 64;
 
 /// Token blocking over all attribute values.
 #[derive(Clone, Debug, Default)]
@@ -62,11 +69,95 @@ impl TokenBlocking {
         self.build_impl(collection, par, obs)
     }
 
+    /// Compact build: entities are tokenized straight into interned
+    /// [`Symbol`]s (one shared normalization buffer per chunk, no per-token
+    /// `String`), postings accumulate as flat `(Symbol, EntityId)` vectors,
+    /// and grouping is a sort + run-length pass instead of a string-keyed
+    /// tree map.
+    ///
+    /// Bit-identity with [`build_reference`](TokenBlocking::build_reference)
+    /// at every thread count: chunk boundaries are fixed
+    /// ([`INTERN_CHUNK_ENTITIES`]), per-chunk interners are absorbed
+    /// left-to-right into one id space, and `blocks_from_symbols` orders
+    /// blocks by *resolved string* — so symbol numbering never reaches the
+    /// output.
     fn build_impl(
         &self,
         collection: &EntityCollection,
         par: Parallelism,
         obs: &Obs,
+    ) -> BlockCollection {
+        let entities: Vec<_> = collection.iter().collect();
+        let (interner, entries) = if par.is_serial() {
+            // Serial fast path: one global interner, no per-chunk absorb.
+            // Identical output to the chunked path because block order is a
+            // function of resolved strings only, never of symbol numbering.
+            let mut interner = Interner::new();
+            let mut scratch = String::new();
+            let mut buf: Vec<Symbol> = Vec::new();
+            let mut entries: Vec<(Symbol, er_core::entity::EntityId)> = Vec::new();
+            for e in &entities {
+                buf.clear();
+                for (_, v) in e.attributes() {
+                    self.tokenizer
+                        .symbols_into(v, &mut interner, &mut scratch, &mut buf);
+                }
+                // Per-entity token *set*, as in the reference path.
+                buf.sort_unstable();
+                buf.dedup();
+                entries.extend(buf.iter().map(|&s| (s, e.id())));
+            }
+            (interner, entries)
+        } else {
+            let chunks = par_map_chunks(par, &entities, INTERN_CHUNK_ENTITIES, |chunk| {
+                let mut local = Interner::new();
+                let mut scratch = String::new();
+                let mut buf: Vec<Symbol> = Vec::new();
+                let mut entries: Vec<(Symbol, er_core::entity::EntityId)> = Vec::new();
+                for e in chunk {
+                    buf.clear();
+                    for (_, v) in e.attributes() {
+                        self.tokenizer
+                            .symbols_into(v, &mut local, &mut scratch, &mut buf);
+                    }
+                    buf.sort_unstable();
+                    buf.dedup();
+                    entries.extend(buf.iter().map(|&s| (s, e.id())));
+                }
+                (local, entries)
+            });
+            let mut interner = Interner::new();
+            let mut entries = Vec::with_capacity(chunks.iter().map(|(_, e)| e.len()).sum());
+            for (local, local_entries) in chunks {
+                let remap = interner.absorb(local);
+                entries.extend(
+                    local_entries
+                        .into_iter()
+                        .map(|(s, e)| (remap[s.index()], e)),
+                );
+            }
+            (interner, entries)
+        };
+        if obs.is_enabled() {
+            obs.counter("blocking.tokens_indexed")
+                .add(entries.len() as u64);
+            obs.counter("blocking.interner_symbols")
+                .add(interner.len() as u64);
+        }
+        let blocks = blocks_from_symbols(&interner, entries);
+        blocks.record_obs(obs);
+        blocks
+    }
+
+    /// The pre-compact, string-keyed build: per-entity `BTreeSet<String>`
+    /// token sets fed to the `BTreeMap`-backed [`blocks_from_keys`]. Kept as
+    /// the **A/B reference** for the layout experiment (E18) and the
+    /// layout-equivalence property tests; output is bit-identical to
+    /// [`par_build`](TokenBlocking::par_build).
+    pub fn build_reference(
+        &self,
+        collection: &EntityCollection,
+        par: Parallelism,
     ) -> BlockCollection {
         let entities: Vec<_> = collection.iter().collect();
         let keys = par_map(par, &entities, |e| {
@@ -75,13 +166,7 @@ impl TokenBlocking {
                 .map(|t| (t, e.id()))
                 .collect::<Vec<_>>()
         });
-        if obs.is_enabled() {
-            let indexed: usize = keys.iter().map(Vec::len).sum();
-            obs.counter("blocking.tokens_indexed").add(indexed as u64);
-        }
-        let blocks = blocks_from_keys(keys.into_iter().flatten());
-        blocks.record_obs(obs);
-        blocks
+        blocks_from_keys(keys.into_iter().flatten())
     }
 }
 
@@ -163,5 +248,19 @@ mod tests {
     fn empty_collection_gives_empty_blocking() {
         let c = EntityCollection::new(ResolutionMode::Dirty);
         assert!(TokenBlocking::new().build(&c).is_empty());
+    }
+
+    #[test]
+    fn compact_build_matches_reference_at_all_thread_counts() {
+        let c = collection();
+        let tb = TokenBlocking::new();
+        let reference = tb.build_reference(&c, Parallelism::serial());
+        for n in [1, 2, 4] {
+            assert_eq!(
+                tb.par_build(&c, Parallelism::threads(n)),
+                reference,
+                "thread count {n}"
+            );
+        }
     }
 }

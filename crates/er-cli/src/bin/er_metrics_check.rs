@@ -10,6 +10,10 @@
 //!
 //! - blocking did real work: `blocking.blocks_built` > 0 and the
 //!   `blocking.block_size` histogram is non-empty;
+//! - the compact layouts were exercised: `blocking.interner_symbols` > 0
+//!   (token blocking interned a vocabulary) and
+//!   `metablocking.edge_sort_bytes` > 0 (the graph was built via the flat
+//!   sort-aggregated path — see `docs/data_layout.md`);
 //! - meta-blocking is consistent: `meta_blocking.comparisons_after` ≤
 //!   `meta_blocking.comparisons_before`, the pruned/before/after ledger adds
 //!   up, and the `meta_blocking.pruning_ratio` gauge is strictly positive;
@@ -116,6 +120,22 @@ fn check(snapshot: &MetricsSnapshot, expect_fault_free: bool) -> Vec<String> {
         Some(_) => {}
     }
 
+    // The compact data layouts ran: a non-trivial collection interns at
+    // least one token symbol, and the flat graph build reports the bytes it
+    // moved through its sort buffers (see docs/data_layout.md).
+    match snapshot.counter("blocking.interner_symbols") {
+        None => fail("blocking.interner_symbols counter is missing".to_string()),
+        Some(0) => fail("blocking.interner_symbols is 0 — no vocabulary interned".to_string()),
+        Some(_) => {}
+    }
+    match snapshot.counter("metablocking.edge_sort_bytes") {
+        None => fail("metablocking.edge_sort_bytes counter is missing".to_string()),
+        Some(0) => {
+            fail("metablocking.edge_sort_bytes is 0 — flat graph build did not run".to_string())
+        }
+        Some(_) => {}
+    }
+
     // Meta-blocking prunes (never grows) the comparison set, and its
     // before/after/pruned ledger is internally consistent.
     let before = snapshot.counter("meta_blocking.comparisons_before");
@@ -189,6 +209,9 @@ mod tests {
     fn healthy() -> MetricsSnapshot {
         let mut s = MetricsSnapshot::default();
         s.counters.insert("blocking.blocks_built".into(), 10);
+        s.counters.insert("blocking.interner_symbols".into(), 25);
+        s.counters
+            .insert("metablocking.edge_sort_bytes".into(), 4096);
         s.counters
             .insert("meta_blocking.comparisons_before".into(), 100);
         s.counters
@@ -283,6 +306,22 @@ mod tests {
         let failures = check(&s, true);
         assert!(
             failures.iter().any(|f| f.contains("stage_retries")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn missing_or_zero_layout_counters_are_caught() {
+        let mut s = healthy();
+        s.counters.remove("blocking.interner_symbols");
+        s.counters.insert("metablocking.edge_sort_bytes".into(), 0);
+        let failures = check(&s, false);
+        assert!(
+            failures.iter().any(|f| f.contains("interner_symbols")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("edge_sort_bytes")),
             "{failures:?}"
         );
     }

@@ -792,7 +792,7 @@ mod tests {
         ]);
         cmd_resolve(&base).unwrap();
         assert!(std::path::Path::new(&ckpt).join("matched.ckpt").exists());
-        let mut resumed = base.clone();
+        let mut resumed = base;
         resumed.push("--resume".to_string());
         cmd_resolve(&resumed).unwrap();
         let _ = std::fs::remove_dir_all(dir.join("ckpts"));

@@ -9,6 +9,9 @@
 //!   of data — bags of attribute–value pairs with no global schema
 //!   ([`entity`], [`collection`]);
 //! * **tokenization and normalization** of attribute values ([`tokenize`]);
+//! * **string interning** — dense `Symbol(u32)` ids over token vocabularies,
+//!   the substrate of the compact-layout fast paths in blocking and
+//!   meta-blocking ([`intern`]);
 //! * a library of **similarity functions** over strings and token sets
 //!   ([`similarity`]);
 //! * **matching** abstractions — threshold matchers, rule matchers and a
@@ -51,6 +54,7 @@ pub mod collection;
 pub mod entity;
 pub mod fault;
 pub mod ground_truth;
+pub mod intern;
 pub mod io;
 pub mod match_clustering;
 pub mod matching;
@@ -67,6 +71,7 @@ pub use collection::{EntityCollection, ResolutionMode};
 pub use entity::{Entity, EntityId, KbId};
 pub use fault::{ExecPolicy, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use ground_truth::GroundTruth;
+pub use intern::{Interner, Symbol};
 pub use matching::{CountingMatcher, Matcher};
 pub use obs::{Event, EventSink, MetricsSnapshot, Obs};
 pub use pair::Pair;

@@ -7,6 +7,14 @@
 //! Centralizing normalization here guarantees all of them see the same view
 //! of the data.
 
+use crate::intern::{Interner, Symbol};
+
+/// The default stopword table: articles/prepositions that would create
+/// enormous, useless blocks. Kept **sorted** so membership checks are a
+/// binary search (a unit test guards the ordering).
+pub static DEFAULT_STOPWORDS: &[&str] =
+    &["a", "an", "and", "at", "in", "of", "on", "or", "the", "to"];
+
 /// Lower-cases a string and replaces every non-alphanumeric character with a
 /// space, collapsing runs of whitespace.
 ///
@@ -15,6 +23,15 @@
 /// ```
 pub fn normalize(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    normalize_into(s, &mut out);
+    out
+}
+
+/// [`normalize`] into a caller-supplied buffer (cleared first) — the
+/// allocation-free variant the interned tokenization path reuses across
+/// values.
+pub fn normalize_into(s: &str, out: &mut String) {
+    out.clear();
     let mut last_space = true;
     for c in s.chars() {
         if c.is_alphanumeric() {
@@ -30,7 +47,24 @@ pub fn normalize(s: &str) -> String {
     if out.ends_with(' ') {
         out.pop();
     }
-    out
+}
+
+/// Stopword table: either the static sorted default (shared, zero-alloc,
+/// binary-searched) or a caller-supplied owned list (sorted at construction
+/// so lookup is a binary search either way).
+#[derive(Clone, Debug)]
+enum Stopwords {
+    Static(&'static [&'static str]),
+    Owned(Vec<String>),
+}
+
+impl Stopwords {
+    fn contains(&self, t: &str) -> bool {
+        match self {
+            Stopwords::Static(words) => words.binary_search(&t).is_ok(),
+            Stopwords::Owned(words) => words.binary_search_by(|w| w.as_str().cmp(t)).is_ok(),
+        }
+    }
 }
 
 /// Configurable word tokenizer with optional stopword removal and minimum
@@ -38,20 +72,17 @@ pub fn normalize(s: &str) -> String {
 #[derive(Clone, Debug)]
 pub struct Tokenizer {
     min_len: usize,
-    stopwords: Vec<String>,
+    stopwords: Stopwords,
 }
 
 impl Default for Tokenizer {
-    /// The default used throughout the workspace: tokens of length ≥ 1 and a
-    /// small English stopword list (articles/prepositions that would create
-    /// enormous, useless blocks).
+    /// The default used throughout the workspace: tokens of length ≥ 1 and
+    /// the shared [`DEFAULT_STOPWORDS`] table — no per-construction
+    /// allocation.
     fn default() -> Self {
         Tokenizer {
             min_len: 1,
-            stopwords: ["the", "a", "an", "of", "and", "or", "in", "on", "at", "to"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            stopwords: Stopwords::Static(DEFAULT_STOPWORDS),
         }
     }
 }
@@ -61,7 +92,7 @@ impl Tokenizer {
     pub fn raw() -> Self {
         Tokenizer {
             min_len: 1,
-            stopwords: Vec::new(),
+            stopwords: Stopwords::Owned(Vec::new()),
         }
     }
 
@@ -71,14 +102,23 @@ impl Tokenizer {
         self
     }
 
-    /// Replaces the stopword list.
+    /// Replaces the stopword list. The list is sorted internally (membership
+    /// is order-insensitive) so lookups stay binary searches.
     pub fn with_stopwords<I, S>(mut self, words: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.stopwords = words.into_iter().map(Into::into).collect();
+        let mut list: Vec<String> = words.into_iter().map(Into::into).collect();
+        list.sort_unstable();
+        list.dedup();
+        self.stopwords = Stopwords::Owned(list);
         self
+    }
+
+    /// Whether `token` passes the length and stopword filters.
+    fn keeps(&self, token: &str) -> bool {
+        token.chars().count() >= self.min_len && !self.stopwords.contains(token)
     }
 
     /// Tokenizes a raw value: normalize, split on whitespace, drop stopwords
@@ -87,10 +127,32 @@ impl Tokenizer {
     pub fn tokens(&self, value: &str) -> Vec<String> {
         normalize(value)
             .split_whitespace()
-            .filter(|t| t.chars().count() >= self.min_len)
-            .filter(|t| !self.stopwords.iter().any(|s| s == t))
+            .filter(|t| self.keeps(t))
             .map(|t| t.to_string())
             .collect()
+    }
+
+    /// [`tokens`](Tokenizer::tokens) as interned symbols, appended to `out`
+    /// — the compact-layout fast path. `scratch` is the reusable
+    /// normalization buffer; neither tokens nor the normalized value are
+    /// allocated per call (only first-sight strings enter the interner).
+    ///
+    /// Kept tokens and their order match `tokens()` exactly; `out` is *not*
+    /// cleared, so per-entity token sets can append across attributes before
+    /// sorting/deduping once.
+    pub fn symbols_into(
+        &self,
+        value: &str,
+        interner: &mut Interner,
+        scratch: &mut String,
+        out: &mut Vec<Symbol>,
+    ) {
+        normalize_into(value, scratch);
+        for t in scratch.split_whitespace() {
+            if self.keeps(t) {
+                out.push(interner.intern(t));
+            }
+        }
     }
 }
 
@@ -138,6 +200,52 @@ pub fn suffixes(s: &str, min_len: usize) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_stopwords_are_sorted() {
+        // Binary-search precondition for Stopwords::Static.
+        assert!(
+            DEFAULT_STOPWORDS.windows(2).all(|w| w[0] < w[1]),
+            "DEFAULT_STOPWORDS must be strictly sorted"
+        );
+    }
+
+    #[test]
+    fn symbols_into_matches_tokens() {
+        let t = Tokenizer::default().with_min_len(2);
+        let mut interner = Interner::new();
+        let mut scratch = String::new();
+        let mut out = Vec::new();
+        for value in ["The University of Crete", "ho ho ho", "", "a to of"] {
+            out.clear();
+            t.symbols_into(value, &mut interner, &mut scratch, &mut out);
+            let resolved: Vec<&str> = out.iter().map(|&s| interner.resolve(s)).collect();
+            assert_eq!(resolved, t.tokens(value), "value {value:?}");
+        }
+    }
+
+    #[test]
+    fn symbols_into_appends_across_values() {
+        let t = Tokenizer::raw();
+        let mut interner = Interner::new();
+        let mut scratch = String::new();
+        let mut out = Vec::new();
+        t.symbols_into("alpha beta", &mut interner, &mut scratch, &mut out);
+        t.symbols_into("beta gamma", &mut interner, &mut scratch, &mut out);
+        let resolved: Vec<&str> = out.iter().map(|&s| interner.resolve(s)).collect();
+        assert_eq!(resolved, vec!["alpha", "beta", "beta", "gamma"]);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn custom_stopwords_binary_search_after_sort() {
+        // Deliberately unsorted input: with_stopwords must sort internally.
+        let t = Tokenizer::raw().with_stopwords(["zebra", "apple", "mango"]);
+        assert_eq!(
+            t.tokens("apple pie zebra mango juice"),
+            vec!["pie", "juice"]
+        );
+    }
 
     #[test]
     fn normalize_strips_punctuation_and_case() {

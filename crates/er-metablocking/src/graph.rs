@@ -1,4 +1,12 @@
 //! The blocking graph.
+//!
+//! Stored compactly: edges live in one flat `Vec<(Pair, EdgeInfo)>` sorted by
+//! pair, built by **sort-based aggregation** (per-chunk contribution vectors,
+//! stable sort, run merge) instead of `BTreeMap` accumulation — see
+//! `docs/data_layout.md` for the layout and the bit-identity argument. The
+//! pre-compact tree-map builder survives as
+//! [`BlockingGraph::build_reference`] for the layout A/B experiment (E18) and
+//! the equivalence tests.
 
 use er_blocking::block::{Block, BlockCollection};
 use er_core::collection::EntityCollection;
@@ -19,9 +27,11 @@ pub struct EdgeInfo {
 /// The blocking graph of a blocking collection: one node per description,
 /// one undirected edge per co-occurring admissible pair, plus the node-level
 /// statistics the weighting schemes need.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct BlockingGraph {
-    edges: BTreeMap<Pair, EdgeInfo>,
+    /// All edges, sorted by pair — lookups are a binary search, iteration is
+    /// a cache-friendly linear scan.
+    edges: Vec<(Pair, EdgeInfo)>,
     /// Blocks containing each entity.
     entity_block_counts: Vec<u32>,
     /// Distinct neighbors of each entity (node degree).
@@ -30,6 +40,27 @@ pub struct BlockingGraph {
     /// Total entity–block assignments (`BC`), used by cardinality pruning.
     total_assignments: u64,
     n_entities: usize,
+    /// Bytes that flowed through the sort-based aggregation buffers (raw
+    /// contributions + concatenated partials) — a build-path statistic, not
+    /// part of the graph's value (excluded from `PartialEq`; 0 on the
+    /// reference builder).
+    edge_sort_bytes: u64,
+}
+
+/// Equality is over the graph's *value* — edges, node statistics, totals —
+/// not over build-path diagnostics like
+/// [`edge_sort_bytes`](BlockingGraph::edge_sort_bytes), so the compact and
+/// reference builders compare equal when (and only when) their outputs are
+/// bit-identical.
+impl PartialEq for BlockingGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.edges == other.edges
+            && self.entity_block_counts == other.entity_block_counts
+            && self.degrees == other.degrees
+            && self.total_blocks == other.total_blocks
+            && self.total_assignments == other.total_assignments
+            && self.n_entities == other.n_entities
+    }
 }
 
 /// Blocks per accumulation chunk for [`BlockingGraph::build`].
@@ -40,10 +71,35 @@ pub struct BlockingGraph {
 /// serial and parallel builds are bit-identical by construction.
 const GRAPH_CHUNK_BLOCKS: usize = 32;
 
-/// Per-chunk partial aggregation of the block scan.
-struct ChunkAccum {
-    edges: BTreeMap<Pair, EdgeInfo>,
-    block_counts: BTreeMap<usize, u32>,
+/// Per-chunk partial aggregation of the block scan: edge partials sorted by
+/// pair, block counts sorted by entity index — both produced by sort +
+/// run-length merge over flat contribution vectors.
+struct ChunkPartial {
+    edges: Vec<(Pair, EdgeInfo)>,
+    block_counts: Vec<(u32, u32)>,
+    /// Raw contribution entries emitted before run-merging (for the
+    /// `edge_sort_bytes` statistic).
+    raw_entries: u64,
+}
+
+/// Merges runs of equal pairs in a pair-sorted contribution vector,
+/// accumulating **in place, left to right**. With a *stable* sort in front,
+/// entries of an equal pair keep their emission order, so the accumulation
+/// performs the exact `f64` addition sequence the `BTreeMap` reference path
+/// performs (`or_default()` seeds 0.0, and `0.0 + x == x` bitwise for the
+/// strictly positive ARCS contributions).
+fn merge_runs(sorted: Vec<(Pair, EdgeInfo)>) -> Vec<(Pair, EdgeInfo)> {
+    let mut out: Vec<(Pair, EdgeInfo)> = Vec::new();
+    for (p, info) in sorted {
+        match out.last_mut() {
+            Some((last, acc)) if *last == p => {
+                acc.common_blocks += info.common_blocks;
+                acc.arcs += info.arcs;
+            }
+            _ => out.push((p, info)),
+        }
+    }
+    out
 }
 
 impl BlockingGraph {
@@ -66,6 +122,13 @@ impl BlockingGraph {
         Self::build_impl(collection, blocks, par)
     }
 
+    /// Sort-based aggregation. Each chunk emits one flat `(Pair, EdgeInfo)`
+    /// contribution per block-pair occurrence, stable-sorts it by pair and
+    /// merges runs into a sorted partial; the partials are then concatenated
+    /// **in chunk order** and merged the same way. The two-level grouping —
+    /// within-chunk sums first, then partial sums in chunk order — performs
+    /// the exact `f64` addition sequence of the reference `BTreeMap` fold,
+    /// so serial, parallel and reference builds are all bit-identical.
     fn build_impl(
         collection: &EntityCollection,
         blocks: &BlockCollection,
@@ -77,45 +140,62 @@ impl BlockingGraph {
             blocks.blocks(),
             GRAPH_CHUNK_BLOCKS,
             |chunk: &[Block]| {
-                let mut acc = ChunkAccum {
-                    edges: BTreeMap::new(),
-                    block_counts: BTreeMap::new(),
-                };
+                let mut contribs: Vec<(Pair, EdgeInfo)> = Vec::new();
+                let mut counted: Vec<u32> = Vec::new();
                 for b in chunk {
                     let card = b.comparisons(collection);
-                    for &e in b.entities() {
-                        *acc.block_counts.entry(e.index()).or_insert(0) += 1;
-                    }
+                    counted.extend(b.entities().iter().map(|e| e.index() as u32));
                     if card == 0 {
                         continue;
                     }
                     let w = 1.0 / card as f64;
-                    for p in b.pairs(collection) {
-                        let info = acc.edges.entry(p).or_default();
-                        info.common_blocks += 1;
-                        info.arcs += w;
+                    contribs.extend(b.pairs(collection).map(|p| {
+                        (
+                            p,
+                            EdgeInfo {
+                                common_blocks: 1,
+                                arcs: w,
+                            },
+                        )
+                    }));
+                }
+                let raw_entries = contribs.len() as u64;
+                // Stable: equal pairs keep block order within the chunk.
+                contribs.sort_by_key(|&(p, _)| p);
+                let mut block_counts: Vec<(u32, u32)> = Vec::new();
+                counted.sort_unstable();
+                for idx in counted {
+                    match block_counts.last_mut() {
+                        Some((last, c)) if *last == idx => *c += 1,
+                        _ => block_counts.push((idx, 1)),
                     }
                 }
-                acc
+                ChunkPartial {
+                    edges: merge_runs(contribs),
+                    block_counts,
+                    raw_entries,
+                }
             },
         );
-        // Merge partials left-to-right (chunk order): each edge's ARCS
-        // contributions are added in the same grouping regardless of how
-        // many threads produced the partials.
-        let mut edges: BTreeMap<Pair, EdgeInfo> = BTreeMap::new();
+        // Concatenate partials in chunk order; a stable sort then keeps each
+        // pair's partial sums in chunk order, and the run merge adds them
+        // left-to-right — the same grouping as the reference fold.
+        let raw_entries: u64 = partials.iter().map(|c| c.raw_entries).sum();
+        let mut flat: Vec<(Pair, EdgeInfo)> =
+            Vec::with_capacity(partials.iter().map(|c| c.edges.len()).sum());
         let mut entity_block_counts = vec![0u32; n];
-        for acc in partials {
-            for (p, part) in acc.edges {
-                let info = edges.entry(p).or_default();
-                info.common_blocks += part.common_blocks;
-                info.arcs += part.arcs;
-            }
-            for (idx, count) in acc.block_counts {
-                entity_block_counts[idx] += count;
+        for partial in partials {
+            flat.extend(partial.edges);
+            for (idx, count) in partial.block_counts {
+                entity_block_counts[idx as usize] += count;
             }
         }
+        let entry = std::mem::size_of::<(Pair, EdgeInfo)>() as u64;
+        let edge_sort_bytes = (raw_entries + flat.len() as u64) * entry;
+        flat.sort_by_key(|&(p, _)| p);
+        let edges = merge_runs(flat);
         let mut degrees = vec![0u32; n];
-        for p in edges.keys() {
+        for &(p, _) in &edges {
             degrees[p.first().index()] += 1;
             degrees[p.second().index()] += 1;
         }
@@ -126,6 +206,79 @@ impl BlockingGraph {
             total_blocks: blocks.len() as u64,
             total_assignments: blocks.assignments(),
             n_entities: n,
+            edge_sort_bytes,
+        }
+    }
+
+    /// The pre-compact builder: per-chunk `BTreeMap` accumulation merged
+    /// left-to-right into a global `BTreeMap`, exactly as shipped before the
+    /// flat layout. Kept as the **A/B reference** for the layout experiment
+    /// (E18) and the equivalence tests; bit-identical to
+    /// [`par_build`](BlockingGraph::par_build) at every thread count.
+    pub fn build_reference(collection: &EntityCollection, blocks: &BlockCollection) -> Self {
+        Self::par_build_reference(collection, blocks, Parallelism::serial())
+    }
+
+    /// Parallel [`build_reference`](BlockingGraph::build_reference).
+    pub fn par_build_reference(
+        collection: &EntityCollection,
+        blocks: &BlockCollection,
+        par: Parallelism,
+    ) -> Self {
+        let n = collection.len();
+        let partials = par_map_chunks(
+            par,
+            blocks.blocks(),
+            GRAPH_CHUNK_BLOCKS,
+            |chunk: &[Block]| {
+                let mut edges: BTreeMap<Pair, EdgeInfo> = BTreeMap::new();
+                let mut block_counts: BTreeMap<usize, u32> = BTreeMap::new();
+                for b in chunk {
+                    let card = b.comparisons(collection);
+                    for &e in b.entities() {
+                        *block_counts.entry(e.index()).or_insert(0) += 1;
+                    }
+                    if card == 0 {
+                        continue;
+                    }
+                    let w = 1.0 / card as f64;
+                    for p in b.pairs(collection) {
+                        let info = edges.entry(p).or_default();
+                        info.common_blocks += 1;
+                        info.arcs += w;
+                    }
+                }
+                (edges, block_counts)
+            },
+        );
+        // Merge partials left-to-right (chunk order): each edge's ARCS
+        // contributions are added in the same grouping regardless of how
+        // many threads produced the partials.
+        let mut edges: BTreeMap<Pair, EdgeInfo> = BTreeMap::new();
+        let mut entity_block_counts = vec![0u32; n];
+        for (chunk_edges, chunk_counts) in partials {
+            for (p, part) in chunk_edges {
+                let info = edges.entry(p).or_default();
+                info.common_blocks += part.common_blocks;
+                info.arcs += part.arcs;
+            }
+            for (idx, count) in chunk_counts {
+                entity_block_counts[idx] += count;
+            }
+        }
+        let mut degrees = vec![0u32; n];
+        for p in edges.keys() {
+            degrees[p.first().index()] += 1;
+            degrees[p.second().index()] += 1;
+        }
+        BlockingGraph {
+            edges: edges.into_iter().collect(),
+            entity_block_counts,
+            degrees,
+            total_blocks: blocks.len() as u64,
+            total_assignments: blocks.assignments(),
+            n_entities: n,
+            edge_sort_bytes: 0,
         }
     }
 
@@ -139,14 +292,28 @@ impl BlockingGraph {
         self.edges.len()
     }
 
-    /// Iterator over edges with their co-occurrence info.
+    /// Iterator over edges with their co-occurrence info, in pair order.
     pub fn edges(&self) -> impl Iterator<Item = (Pair, EdgeInfo)> + '_ {
-        self.edges.iter().map(|(p, i)| (*p, *i))
+        self.edges.iter().copied()
     }
 
-    /// Co-occurrence info of one edge, if present.
+    /// Co-occurrence info of one edge, if present — a binary search over the
+    /// pair-sorted edge vector.
     pub fn edge(&self, pair: Pair) -> Option<EdgeInfo> {
-        self.edges.get(&pair).copied()
+        self.edges
+            .binary_search_by_key(&pair, |&(p, _)| p)
+            .ok()
+            .map(|i| self.edges[i].1)
+    }
+
+    /// Bytes that flowed through the sort-based edge-aggregation buffers
+    /// during the build (0 for [`build_reference`]-built graphs) — the
+    /// `metablocking.edge_sort_bytes` observability statistic and a memory
+    /// column of the layout experiment.
+    ///
+    /// [`build_reference`]: BlockingGraph::build_reference
+    pub fn edge_sort_bytes(&self) -> u64 {
+        self.edge_sort_bytes
     }
 
     /// Number of blocks containing `entity`.
@@ -296,5 +463,63 @@ mod tests {
         let g = BlockingGraph::build(&c, &BlockCollection::default());
         assert_eq!(g.n_edges(), 0);
         assert_eq!(g.n_entities(), 0);
+    }
+
+    /// A collection + blocking large enough to span many chunks, with skew.
+    fn chunk_spanning() -> (EntityCollection, BlockCollection) {
+        let mut c = EntityCollection::new(ResolutionMode::Dirty);
+        for _ in 0..60 {
+            c.push(KbId(0), vec![]);
+        }
+        let mut blocks = Vec::new();
+        for b in 0..150u32 {
+            // Overlapping, varying-cardinality blocks: entity e joins block b
+            // when they agree modulo a small prime — pairs recur across many
+            // blocks, exercising the multi-chunk ARCS accumulation.
+            let members: Vec<EntityId> = (0..60u32)
+                .filter(|e| (e + b) % (2 + b % 5) == 0)
+                .map(id)
+                .collect();
+            blocks.push(Block::new(format!("k{b}"), members));
+        }
+        (c, BlockCollection::new(blocks))
+    }
+
+    #[test]
+    fn compact_build_matches_reference_bitwise_at_all_thread_counts() {
+        let (c, blocks) = chunk_spanning();
+        let reference = BlockingGraph::build_reference(&c, &blocks);
+        assert!(reference.n_edges() > 100, "needs a non-trivial graph");
+        for n in [1, 2, 4] {
+            let compact = BlockingGraph::par_build(&c, &blocks, Parallelism::threads(n));
+            assert_eq!(compact, reference, "thread count {n}");
+            // PartialEq covers f64 ==, but make the bitwise claim explicit.
+            for ((p1, i1), (p2, i2)) in compact.edges().zip(reference.edges()) {
+                assert_eq!(p1, p2);
+                assert_eq!(i1.arcs.to_bits(), i2.arcs.to_bits(), "ARCS bits at {p1:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_sort_bytes_is_a_build_statistic_not_graph_value() {
+        let (c, blocks) = chunk_spanning();
+        let compact = BlockingGraph::build(&c, &blocks);
+        let reference = BlockingGraph::build_reference(&c, &blocks);
+        assert!(compact.edge_sort_bytes() > 0);
+        assert_eq!(reference.edge_sort_bytes(), 0);
+        assert_eq!(compact, reference, "stat must not affect equality");
+    }
+
+    #[test]
+    fn edge_lookup_binary_search_agrees_with_iteration() {
+        let (c, blocks) = chunk_spanning();
+        let g = BlockingGraph::build(&c, &blocks);
+        for (p, info) in g.edges() {
+            assert_eq!(g.edge(p), Some(info));
+        }
+        assert_eq!(g.edge(Pair::new(id(0), id(59))).is_some(), {
+            g.edges().any(|(p, _)| p == Pair::new(id(0), id(59)))
+        });
     }
 }

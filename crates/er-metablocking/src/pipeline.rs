@@ -44,8 +44,10 @@ pub fn par_meta_block(
 /// graph edges (`meta_blocking.edges_weighted`), comparisons before and
 /// after pruning (`meta_blocking.comparisons_{before,after}` — before is the
 /// edge count, i.e. the distinct candidate pairs entering the graph), the
-/// comparisons discarded (`meta_blocking.comparisons_pruned`) and the
-/// pruning ratio gauge (`meta_blocking.pruning_ratio` = pruned / before).
+/// comparisons discarded (`meta_blocking.comparisons_pruned`), the
+/// pruning ratio gauge (`meta_blocking.pruning_ratio` = pruned / before),
+/// and the bytes moved through the sort-based edge aggregation
+/// (`metablocking.edge_sort_bytes` — the compact-layout build statistic).
 pub fn par_meta_block_obs(
     collection: &EntityCollection,
     blocks: &BlockCollection,
@@ -64,6 +66,8 @@ pub fn par_meta_block_obs(
         obs.counter("meta_blocking.comparisons_after").add(after);
         obs.counter("meta_blocking.comparisons_pruned")
             .add(before.saturating_sub(after));
+        obs.counter("metablocking.edge_sort_bytes")
+            .add(graph.edge_sort_bytes());
         let ratio = if before == 0 {
             0.0
         } else {

@@ -942,7 +942,7 @@ mod tests {
         // All three stage checkpoints exist now; a resumed run restores the
         // deepest (matched) and skips everything.
         let resumed = p
-            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .run_with_recovery(&ds.collection, &opts.resume(true))
             .unwrap();
         assert_eq!(resumed.resumed_from, Some(STAGE_MATCHING));
         assert_eq!(resumed.resolution.matches, plain.matches);
@@ -969,7 +969,7 @@ mod tests {
         fs::write(&matched, &contents[..contents.len() - FOOTER.len() - 1]).unwrap();
         fs::write(dir.join("scheduled.ckpt"), "garbage\n").unwrap();
         let out = p
-            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .run_with_recovery(&ds.collection, &opts.resume(true))
             .unwrap();
         let rejected = out
             .events
@@ -1002,7 +1002,7 @@ mod tests {
             .matching(crate::MatchingStage::jaccard(0.7))
             .build();
         let out = other
-            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .run_with_recovery(&ds.collection, &opts.resume(true))
             .unwrap();
         assert!(
             out.events
@@ -1099,7 +1099,7 @@ mod tests {
             .resource_limits(ResourceLimits::none().with_memory_bytes(1 << 30))
             .build();
         let out = governed
-            .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+            .run_with_recovery(&ds.collection, &opts.resume(true))
             .unwrap();
         assert!(
             out.events

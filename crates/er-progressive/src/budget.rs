@@ -230,7 +230,7 @@ mod tests {
         assert_eq!(a, b);
         let c2 = random_schedule(&pairs, 43);
         assert_ne!(a, c2, "different seed, different order");
-        let mut sorted = a.clone();
+        let mut sorted = a;
         sorted.sort();
         assert_eq!(sorted, pairs, "same multiset of pairs");
     }

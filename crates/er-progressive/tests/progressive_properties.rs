@@ -81,7 +81,7 @@ fn ordered_blocks_hint_is_complete_and_front_loaded() {
     let out = run_schedule(
         &ds.collection,
         &oracle,
-        schedule.clone(),
+        schedule,
         Budget::Unlimited,
         &ds.truth,
     );

@@ -187,7 +187,7 @@ fn progressive_on_metablocked_candidates() {
     let full = run_schedule(
         &ds.collection,
         &oracle,
-        candidates.clone(),
+        candidates,
         Budget::Unlimited,
         &ds.truth,
     );
@@ -349,7 +349,7 @@ fn stopping_rule_on_pipeline_candidates() {
     let full = run_schedule(
         &ds.collection,
         &oracle,
-        candidates.clone(),
+        candidates,
         Budget::Unlimited,
         &ds.truth,
     );

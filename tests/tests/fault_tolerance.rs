@@ -310,7 +310,7 @@ fn fully_corrupted_checkpoints_fall_back_to_a_clean_run() {
         std::fs::write(dir.join(f), "not a checkpoint\n").unwrap();
     }
     let out = p
-        .run_with_recovery(&ds.collection, &opts.clone().resume(true))
+        .run_with_recovery(&ds.collection, &opts.resume(true))
         .unwrap();
     assert_eq!(out.resumed_from, None, "nothing valid to resume from");
     let rejects = out
