@@ -1,0 +1,4 @@
+//! Runs experiment `e19_streaming` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e19_streaming();
+}

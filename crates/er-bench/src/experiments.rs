@@ -1623,6 +1623,304 @@ pub fn e18_layout() {
     }
 }
 
+/// E19 — streaming ingest: incremental index/graph maintenance against
+/// per-batch full rebuilds, plus the hardened-ingest overhead.
+///
+/// Three kernels per size, E18's paired estimator (warmup rep, alternating
+/// order, min-of-reps, identity asserted on every rep):
+///
+/// * `block-maintain` — arrivals in batches of 64; A rebuilds
+///   `TokenBlocking::build` from scratch after every batch, B maintains an
+///   `IncrementalTokenIndex` (`insert_batch` + periodic compaction) and
+///   snapshots once at the end. Final block collections must be
+///   bit-identical.
+/// * `graph-maintain` — same arrival schedule; A rebuilds
+///   `BlockingGraph::build` after every batch, B patches an
+///   `IncrementalGraph` with each batch's `IndexDelta` and runs one
+///   checkpoint `refresh` at the end. Final graphs must be bit-identical
+///   (the refresh restores the chunked fold's `f64` addition order).
+/// * `ingest-validate` — A pushes decoded attributes straight into an
+///   `EntityCollection`; B routes every record through the hardened path
+///   (`RawRecord` → bounded `ArrivalQueue` → `IngestValidator::admit` →
+///   collection). The speedup column is < 1 here by design: it *is* the
+///   admission-control overhead, and the acceptance criterion is that it
+///   stays a small constant factor, not that it wins.
+///
+/// `ER_STREAMING_SMOKE=1` shrinks sizes/reps for CI;
+/// `ER_STREAMING_OUT=<path>` writes the cells as JSON (the committed
+/// `BENCH_streaming.json` snapshot).
+///
+/// Acceptance (documented, asserted only for identity): every maintenance
+/// cell reports identical=yes; incremental maintenance should win at every
+/// size, growing with stream length as rebuild cost compounds per batch.
+pub fn e19_streaming() {
+    use er_blocking::incremental::IncrementalTokenIndex;
+    use er_core::collection::ResolutionMode;
+    use er_core::entity::KbId;
+    use er_core::ingest::{ArrivalQueue, IngestConfig, IngestValidator, RawRecord};
+    use er_core::parallel::Parallelism;
+    use er_core::resource::MemoryBudget;
+    use er_metablocking::incremental::IncrementalGraph;
+    use er_metablocking::BlockingGraph as Graph;
+
+    banner(
+        "E19",
+        "streaming ingest: incremental maintenance vs per-batch rebuild",
+    );
+    let smoke = std::env::var("ER_STREAMING_SMOKE").is_ok();
+    let sizes: Vec<usize> = if smoke {
+        vec![200, 400]
+    } else {
+        vec![500, 1000, 2000, 4000]
+    };
+    let reps = if smoke { 2 } else { 5 };
+    const BATCH: usize = 64;
+
+    fn measure<T: PartialEq>(
+        reps: usize,
+        mut old_run: impl FnMut() -> T,
+        mut new_run: impl FnMut() -> T,
+    ) -> (f64, f64, bool) {
+        let mut old_s: Vec<f64> = Vec::new();
+        let mut new_s: Vec<f64> = Vec::new();
+        let mut identical = true;
+        for rep in 0..=reps {
+            let (o, n) = if rep % 2 == 0 {
+                let t0 = Instant::now();
+                let a = old_run();
+                let o = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let b = new_run();
+                let n = t0.elapsed().as_secs_f64();
+                identical &= a == b;
+                (o, n)
+            } else {
+                let t0 = Instant::now();
+                let b = new_run();
+                let n = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let a = old_run();
+                let o = t0.elapsed().as_secs_f64();
+                identical &= a == b;
+                (o, n)
+            };
+            if rep > 0 {
+                old_s.push(o);
+                new_s.push(n);
+            }
+        }
+        let best = |mut v: Vec<f64>| -> f64 {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[0]
+        };
+        (best(old_s), best(new_s), identical)
+    }
+
+    struct Cell {
+        entities: usize,
+        kernel: &'static str,
+        rebuild_ms: f64,
+        streaming_ms: f64,
+        identical: bool,
+        /// Index posting bytes for `block-maintain`, graph sort-buffer bytes
+        /// for `graph-maintain`, queue high watermark for `ingest-validate`.
+        bytes: u64,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+
+    let table = Table::new(&[
+        ("entities", 9),
+        ("kernel", 15),
+        ("rebuild-ms", 11),
+        ("stream-ms", 10),
+        ("speedup", 8),
+        ("identical", 9),
+        ("bytes", 12),
+    ]);
+    let serial = Parallelism::serial();
+    for &entities in &sizes {
+        let ds = DirtyDataset::generate(&dirty_preset(entities));
+        let arrivals: Vec<_> = ds.collection.iter().collect();
+        let tb = TokenBlocking::new();
+
+        // Both maintenance kernels replay the same growing-collection
+        // schedule; the push cost is identical on both sides and negligible
+        // next to the blocking/graph work being compared.
+        let (o, n, ident) = measure(
+            reps,
+            || {
+                let mut c = EntityCollection::new(ResolutionMode::Dirty);
+                let mut blocks = None;
+                for batch in arrivals.chunks(BATCH) {
+                    for e in batch {
+                        c.push(KbId(0), e.attributes().to_vec());
+                    }
+                    blocks = Some(tb.build(&c));
+                }
+                blocks.expect("non-empty stream")
+            },
+            || {
+                let mut c = EntityCollection::new(ResolutionMode::Dirty);
+                let mut index = IncrementalTokenIndex::new();
+                for batch in arrivals.chunks(BATCH) {
+                    for e in batch {
+                        c.push(KbId(0), e.attributes().to_vec());
+                    }
+                    index.insert_batch(batch.iter().copied());
+                }
+                index.snapshot_blocks()
+            },
+        );
+        assert!(ident, "E19: block maintenance diverged at {entities}");
+        let mut index = IncrementalTokenIndex::new();
+        index.insert_batch(arrivals.iter().copied());
+        cells.push(Cell {
+            entities,
+            kernel: "block-maintain",
+            rebuild_ms: o * 1e3,
+            streaming_ms: n * 1e3,
+            identical: ident,
+            bytes: index.posting_bytes(),
+        });
+
+        let (o, n, ident) = measure(
+            reps,
+            || {
+                let mut c = EntityCollection::new(ResolutionMode::Dirty);
+                let mut graph = None;
+                for batch in arrivals.chunks(BATCH) {
+                    for e in batch {
+                        c.push(KbId(0), e.attributes().to_vec());
+                    }
+                    graph = Some(Graph::build(&c, &tb.build(&c)));
+                }
+                graph.expect("non-empty stream")
+            },
+            || {
+                let mut c = EntityCollection::new(ResolutionMode::Dirty);
+                let mut index = IncrementalTokenIndex::new();
+                let mut graph = IncrementalGraph::new();
+                for batch in arrivals.chunks(BATCH) {
+                    for e in batch {
+                        c.push(KbId(0), e.attributes().to_vec());
+                    }
+                    let delta = index.insert_batch(batch.iter().copied());
+                    graph.apply_delta(&index, &delta, &c);
+                }
+                graph.refresh(&c, &index.snapshot_blocks(), serial);
+                graph.graph().clone()
+            },
+        );
+        assert!(ident, "E19: graph maintenance diverged at {entities}");
+        let graph_bytes = Graph::build(&ds.collection, &tb.build(&ds.collection)).edge_sort_bytes();
+        cells.push(Cell {
+            entities,
+            kernel: "graph-maintain",
+            rebuild_ms: o * 1e3,
+            streaming_ms: n * 1e3,
+            identical: ident,
+            bytes: graph_bytes,
+        });
+
+        let probe_queue = ArrivalQueue::new(MemoryBudget::bytes(1 << 20));
+        let mut watermark = 0;
+        let (o, n, ident) = measure(
+            reps,
+            || {
+                let mut c = EntityCollection::new(ResolutionMode::Dirty);
+                for e in &arrivals {
+                    c.push(KbId(0), e.attributes().to_vec());
+                }
+                c.len() as u64
+            },
+            || {
+                let queue = ArrivalQueue::new(MemoryBudget::bytes(1 << 20));
+                let mut validator = IngestValidator::new(IngestConfig::default());
+                let mut c = EntityCollection::new(ResolutionMode::Dirty);
+                for (i, e) in arrivals.iter().enumerate() {
+                    let attrs: Vec<(String, String)> = e.attributes().to_vec();
+                    queue
+                        .push(RawRecord::new(format!("r{i}"), attrs))
+                        .expect("queue open, records small");
+                    let record = queue.try_pop().expect("just pushed");
+                    let accepted = validator.admit(record).expect("well-formed");
+                    let mut b = er_core::entity::EntityBuilder::new().uri(accepted.id);
+                    for (k, v) in accepted.attributes {
+                        b = b.attr(k, v);
+                    }
+                    c.push_entity(accepted.kb, b);
+                }
+                watermark = watermark.max(queue.high_watermark());
+                c.len() as u64
+            },
+        );
+        assert!(ident, "E19: ingest paths admitted different counts");
+        cells.push(Cell {
+            entities,
+            kernel: "ingest-validate",
+            rebuild_ms: o * 1e3,
+            streaming_ms: n * 1e3,
+            identical: ident,
+            bytes: watermark,
+        });
+        let _ = probe_queue;
+    }
+    for cell in &cells {
+        table.row(&[
+            cell.entities.to_string(),
+            cell.kernel.to_string(),
+            format!("{:.3}", cell.rebuild_ms),
+            format!("{:.3}", cell.streaming_ms),
+            format!("{:.2}x", cell.rebuild_ms / cell.streaming_ms),
+            if cell.identical { "yes" } else { "NO" }.to_string(),
+            cell.bytes.to_string(),
+        ]);
+    }
+    let largest = sizes[sizes.len() - 1];
+    let graph_speedup = cells
+        .iter()
+        .find(|c| c.entities == largest && c.kernel == "graph-maintain")
+        .map(|c| c.rebuild_ms / c.streaming_ms)
+        .unwrap_or(0.0);
+    println!(
+        "graph-maintain speedup at {largest}: {graph_speedup:.2}x \
+         (incremental deltas + one checkpoint refresh vs a rebuild per batch)"
+    );
+    println!(
+        "shape: both maintenance kernels must report identical=yes (hard-asserted)\n\
+         and should win by a growing margin as the stream lengthens; the\n\
+         ingest-validate row is an overhead row — its 'speedup' is the cost of\n\
+         admission control and stays a small constant factor."
+    );
+
+    if let Ok(path) = std::env::var("ER_STREAMING_OUT") {
+        let mut json = String::from("{\n  \"experiment\": \"E19\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str(&format!("  \"batch_size\": {BATCH},\n"));
+        json.push_str(&format!(
+            "  \"graph_maintain_speedup_at_largest\": {graph_speedup:.3},\n"
+        ));
+        json.push_str("  \"cells\": [\n");
+        for (i, cell) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"entities\": {}, \"kernel\": \"{}\", \"rebuild_ms\": {:.3}, \
+                 \"streaming_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \"bytes\": {}}}{}\n",
+                cell.entities,
+                cell.kernel,
+                cell.rebuild_ms,
+                cell.streaming_ms,
+                cell.rebuild_ms / cell.streaming_ms,
+                cell.identical,
+                cell.bytes,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("E19: cannot write {path}: {e}"));
+        println!("streaming snapshot written to {path}");
+    }
+}
+
 /// Runs the full suite in order.
 pub fn run_all() {
     e1_blocking_quality();
@@ -1643,4 +1941,5 @@ pub fn run_all() {
     e16_obs_overhead();
     e17_resource_overhead();
     e18_layout();
+    e19_streaming();
 }

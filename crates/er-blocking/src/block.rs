@@ -283,6 +283,21 @@ where
 {
     entries.sort_unstable();
     entries.dedup();
+    blocks_from_sorted_grouped_keys(entries, key_to_string)
+}
+
+/// [`blocks_from_grouped_keys`] for entries that are **already sorted and
+/// deduplicated** — the incremental index maintains its posting vectors as
+/// sorted runs, so re-sorting on every snapshot would be pure overhead.
+/// Debug-asserted, not re-checked in release.
+pub fn blocks_from_sorted_grouped_keys<K>(
+    entries: Vec<(K, EntityId)>,
+    key_to_string: impl Fn(&K) -> String,
+) -> BlockCollection
+where
+    K: Ord + Copy,
+{
+    debug_assert!(entries.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
     // Run-length group: each distinct key owns a contiguous range of entries.
     let mut groups: Vec<(String, std::ops::Range<usize>)> = Vec::new();
     let mut start = 0;
@@ -311,6 +326,15 @@ pub fn blocks_from_symbols(
     entries: Vec<(Symbol, EntityId)>,
 ) -> BlockCollection {
     blocks_from_grouped_keys(entries, |&s| interner.resolve(s).to_string())
+}
+
+/// [`blocks_from_symbols`] for already-sorted, deduplicated postings — the
+/// incremental token index's snapshot path.
+pub fn blocks_from_sorted_symbols(
+    interner: &Interner,
+    entries: Vec<(Symbol, EntityId)>,
+) -> BlockCollection {
+    blocks_from_sorted_grouped_keys(entries, |&s| interner.resolve(s).to_string())
 }
 
 #[cfg(test)]

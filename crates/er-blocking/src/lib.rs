@@ -27,6 +27,10 @@
 //!   the frequent-itemset view of \[19\]): [`frequent_sets`].
 //! * **Comparison propagation**: redundancy-free iteration over a blocking
 //!   collection without materializing the pair set: [`propagation`].
+//! * **Incremental index maintenance**: the token-blocking posting vectors
+//!   maintained under streaming entity arrivals (sorted-run insertion +
+//!   periodic compaction), bit-identical to a full rebuild at every
+//!   snapshot: [`incremental`].
 //!
 //! All methods produce a [`block::BlockCollection`] (or directly a candidate
 //! pair list) whose quality is measured with `er_core::metrics`.
@@ -40,6 +44,7 @@ pub mod canopy;
 pub mod cleaning;
 pub mod frequent_sets;
 pub mod governance;
+pub mod incremental;
 pub mod minhash;
 pub mod multiblock;
 pub mod propagation;
@@ -51,4 +56,5 @@ pub mod suffix;
 pub mod token;
 
 pub use block::{Block, BlockCollection};
+pub use incremental::{IncrementalTokenIndex, IndexDelta};
 pub use token::TokenBlocking;

@@ -1,7 +1,7 @@
 //! `er-metrics-check` — CI gate over an `er resolve --metrics-out` snapshot.
 //!
 //! ```text
-//! er-metrics-check metrics.json [--expect-fault-free]
+//! er-metrics-check metrics.json [--expect-fault-free] [--require-ingest]
 //! ```
 //!
 //! Parses the sorted-key JSON written by the CLI back into an
@@ -19,7 +19,13 @@
 //!   up, and the `meta_blocking.pruning_ratio` gauge is strictly positive;
 //! - every Fig. 1 stage span is present under the `pipeline.run` parent:
 //!   blocking, cleaning, meta-blocking, matching, clustering;
-//! - with `--expect-fault-free`: `recovery.stage_retries` exists and is 0.
+//! - with `--expect-fault-free`: `recovery.stage_retries` exists and is 0;
+//! - with `--require-ingest` (a run that used the streaming ingest path,
+//!   `--ingest-queue-bytes` / `--quarantine-out`): `ingest.records_seen` > 0
+//!   and the ledger identity `seen == accepted + quarantined` holds (a
+//!   counter absent from the snapshot was never incremented and reads as 0),
+//!   and the `ingest.queue_bytes` gauge exists and reads 0 — the arrival
+//!   queue was fully drained and released its whole byte budget.
 //!
 //! Every violated invariant is reported (not just the first); any violation
 //! exits nonzero so the CI job fails loudly.
@@ -48,13 +54,17 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: er-metrics-check SNAPSHOT.json [--expect-fault-free] [--require-ingest]";
     let mut path = None;
     let mut expect_fault_free = false;
+    let mut require_ingest = false;
     for a in args {
         match a.as_str() {
             "--expect-fault-free" => expect_fault_free = true,
+            "--require-ingest" => require_ingest = true,
             "--help" | "-h" => {
-                println!("usage: er-metrics-check SNAPSHOT.json [--expect-fault-free]");
+                println!("{USAGE}");
                 return Ok(());
             }
             other if other.starts_with("--") => {
@@ -67,11 +77,11 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    let path = path.ok_or("usage: er-metrics-check SNAPSHOT.json [--expect-fault-free]")?;
+    let path = path.ok_or(USAGE)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let snapshot = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
 
-    let failures = check(&snapshot, expect_fault_free);
+    let failures = check(&snapshot, expect_fault_free, require_ingest);
     if failures.is_empty() {
         println!(
             "ok: {} counters, {} gauges, {} histograms, {} spans — all invariants hold",
@@ -104,7 +114,7 @@ fn descends_from_run(snapshot: &MetricsSnapshot, name: &str) -> bool {
 }
 
 /// Runs every invariant, returning a message per violation.
-fn check(snapshot: &MetricsSnapshot, expect_fault_free: bool) -> Vec<String> {
+fn check(snapshot: &MetricsSnapshot, expect_fault_free: bool, require_ingest: bool) -> Vec<String> {
     let mut failures = Vec::new();
     let mut fail = |msg: String| failures.push(msg);
 
@@ -197,6 +207,35 @@ fn check(snapshot: &MetricsSnapshot, expect_fault_free: bool) -> Vec<String> {
             )),
         }
     }
+
+    // A run through the streaming ingest path must leave a consistent
+    // ledger behind. Counters register on first increment, so an absent
+    // accepted/quarantined counter legitimately reads as 0 — but a missing
+    // records_seen means ingest never ran at all.
+    if require_ingest {
+        let seen = snapshot.counter("ingest.records_seen");
+        let accepted = snapshot.counter("ingest.records_accepted").unwrap_or(0);
+        let quarantined = snapshot.counter("ingest.records_quarantined").unwrap_or(0);
+        match seen {
+            None => fail("ingest.records_seen counter is missing — ingest never ran".to_string()),
+            Some(0) => fail("ingest.records_seen is 0 — ingest saw no records".to_string()),
+            Some(s) => {
+                if s != accepted + quarantined {
+                    fail(format!(
+                        "ingest ledger mismatch: seen ({s}) != accepted ({accepted}) + \
+                         quarantined ({quarantined})"
+                    ));
+                }
+            }
+        }
+        match snapshot.gauge("ingest.queue_bytes") {
+            None => fail("ingest.queue_bytes gauge is missing — no arrival queue ran".to_string()),
+            Some(b) if b != 0.0 => fail(format!(
+                "ingest.queue_bytes is {b} — the arrival queue was not drained"
+            )),
+            Some(_) => {}
+        }
+    }
     failures
 }
 
@@ -251,12 +290,12 @@ mod tests {
 
     #[test]
     fn healthy_snapshot_passes() {
-        assert!(check(&healthy(), true).is_empty());
+        assert!(check(&healthy(), true, false).is_empty());
     }
 
     #[test]
     fn empty_snapshot_reports_every_missing_piece() {
-        let failures = check(&MetricsSnapshot::default(), true);
+        let failures = check(&MetricsSnapshot::default(), true, false);
         assert!(failures.len() >= 8, "{failures:?}");
     }
 
@@ -265,7 +304,7 @@ mod tests {
         let mut s = healthy();
         s.counters
             .insert("meta_blocking.comparisons_after".into(), 1000);
-        let failures = check(&s, false);
+        let failures = check(&s, false, false);
         assert!(
             failures.iter().any(|f| f.contains("exceeds")),
             "{failures:?}"
@@ -280,7 +319,7 @@ mod tests {
             .insert("meta_blocking.comparisons_after".into(), 100);
         s.counters
             .insert("meta_blocking.comparisons_pruned".into(), 0);
-        let failures = check(&s, false);
+        let failures = check(&s, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pruning_ratio")),
             "{failures:?}"
@@ -291,7 +330,7 @@ mod tests {
     fn missing_stage_span_is_caught() {
         let mut s = healthy();
         s.spans.remove("pipeline.cleaning");
-        let failures = check(&s, false);
+        let failures = check(&s, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pipeline.cleaning")),
             "{failures:?}"
@@ -302,8 +341,8 @@ mod tests {
     fn retries_only_checked_when_fault_free_expected() {
         let mut s = healthy();
         s.counters.insert("recovery.stage_retries".into(), 2);
-        assert!(check(&s, false).is_empty());
-        let failures = check(&s, true);
+        assert!(check(&s, false, false).is_empty());
+        let failures = check(&s, true, false);
         assert!(
             failures.iter().any(|f| f.contains("stage_retries")),
             "{failures:?}"
@@ -315,7 +354,7 @@ mod tests {
         let mut s = healthy();
         s.counters.remove("blocking.interner_symbols");
         s.counters.insert("metablocking.edge_sort_bytes".into(), 0);
-        let failures = check(&s, false);
+        let failures = check(&s, false, false);
         assert!(
             failures.iter().any(|f| f.contains("interner_symbols")),
             "{failures:?}"
@@ -330,7 +369,7 @@ mod tests {
     fn misparented_span_is_caught() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.matching").unwrap().parent = None;
-        let failures = check(&s, false);
+        let failures = check(&s, false, false);
         assert!(
             failures.iter().any(|f| f.contains("not nested")),
             "{failures:?}"
@@ -341,6 +380,67 @@ mod tests {
     fn transitive_nesting_is_accepted() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.cleaning").unwrap().parent = Some("pipeline.blocking".into());
-        assert!(check(&s, true).is_empty());
+        assert!(check(&s, true, false).is_empty());
+    }
+
+    /// `healthy()` plus the counters a streaming-ingest run records.
+    fn healthy_with_ingest() -> MetricsSnapshot {
+        let mut s = healthy();
+        s.counters.insert("ingest.records_seen".into(), 150);
+        s.counters.insert("ingest.records_accepted".into(), 140);
+        s.counters.insert("ingest.records_quarantined".into(), 10);
+        s.gauges.insert("ingest.queue_bytes".into(), 0.0);
+        s
+    }
+
+    #[test]
+    fn ingest_only_checked_when_required() {
+        // Without the flag, a snapshot with no ingest metrics passes; with
+        // it, every missing piece is called out.
+        assert!(check(&healthy(), true, false).is_empty());
+        let failures = check(&healthy(), true, true);
+        assert!(
+            failures.iter().any(|f| f.contains("ingest.records_seen")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("ingest.queue_bytes")),
+            "{failures:?}"
+        );
+        assert!(check(&healthy_with_ingest(), true, true).is_empty());
+    }
+
+    #[test]
+    fn ingest_ledger_mismatch_is_caught() {
+        let mut s = healthy_with_ingest();
+        s.counters.insert("ingest.records_accepted".into(), 139);
+        let failures = check(&s, false, true);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("ingest ledger mismatch")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn absent_quarantine_counter_reads_as_zero() {
+        // A clean run never increments the quarantine counter, so it is
+        // absent from the snapshot — the ledger must still balance.
+        let mut s = healthy_with_ingest();
+        s.counters.remove("ingest.records_quarantined");
+        s.counters.insert("ingest.records_accepted".into(), 150);
+        assert!(check(&s, true, true).is_empty());
+    }
+
+    #[test]
+    fn undrained_queue_is_caught() {
+        let mut s = healthy_with_ingest();
+        s.gauges.insert("ingest.queue_bytes".into(), 512.0);
+        let failures = check(&s, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("not drained")),
+            "{failures:?}"
+        );
     }
 }

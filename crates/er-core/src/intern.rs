@@ -119,6 +119,12 @@ impl Interner {
         Symbol(id)
     }
 
+    /// The symbol of an already-interned string, without interning it —
+    /// lookups against a shared index must not mint new ids.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).map(|&id| Symbol(id))
+    }
+
     /// The text of a symbol produced by this interner.
     ///
     /// # Panics

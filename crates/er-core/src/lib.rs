@@ -26,6 +26,10 @@
 //!   blocking / meta-blocking / progressive ER literature: pair completeness
 //!   (PC), pairs quality (PQ), reduction ratio (RR) and progressive recall
 //!   curves ([`ground_truth`], [`metrics`]);
+//! * **streaming ingest** — bounded arrival queues whose buffered bytes are
+//!   charged against a memory budget (typed back-pressure instead of
+//!   unbounded buffering) and a malformed-record quarantine with typed
+//!   rejection reasons ([`ingest`]);
 //! * **fault-tolerance primitives** — deterministic fault injection, retry
 //!   policies with deterministic backoff jitter, and speculation rules used
 //!   by the execution layers ([`fault`]);
@@ -54,6 +58,7 @@ pub mod collection;
 pub mod entity;
 pub mod fault;
 pub mod ground_truth;
+pub mod ingest;
 pub mod intern;
 pub mod io;
 pub mod match_clustering;
@@ -71,6 +76,10 @@ pub use collection::{EntityCollection, ResolutionMode};
 pub use entity::{Entity, EntityId, KbId};
 pub use fault::{ExecPolicy, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use ground_truth::GroundTruth;
+pub use ingest::{
+    ArrivalQueue, IngestConfig, IngestError, IngestValidator, QuarantineReason, QuarantineReport,
+    RawRecord,
+};
 pub use intern::{Interner, Symbol};
 pub use matching::{CountingMatcher, Matcher};
 pub use obs::{Event, EventSink, MetricsSnapshot, Obs};

@@ -1,0 +1,305 @@
+//! Malformed-record corpus generator for streaming-ingest tests.
+//!
+//! Real web streams deliver records that are truncated, oversized,
+//! undecodable, or carry missing/colliding identifiers. This generator takes
+//! a clean [`EvolvingStream`] arrival order and *deliberately corrupts* a
+//! seeded fraction of the records, remembering exactly which corruption was
+//! applied to each one. Tests can then assert that
+//! `er_core::ingest::IngestValidator` quarantines every corrupted record
+//! with the matching typed reason — and nothing else — and that the
+//! accepted-only output is bit-identical to a run over the clean subset
+//! ([`CorruptStream::accepted_collection`]).
+
+use crate::evolving::{EvolvingConfig, EvolvingStream};
+use er_core::collection::{EntityCollection, ResolutionMode};
+use er_core::entity::{EntityBuilder, KbId};
+use er_core::ingest::{RawRecord, RECORD_OVERHEAD_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The corruption applied to a record. Each kind produces exactly one defect,
+/// chosen so the validator's first-failing check reports the matching
+/// [`code`](CorruptionKind::code).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Identifier removed → quarantined as `missing-id`.
+    DropId,
+    /// Identifier replaced with that of the most recent clean record →
+    /// `duplicate-id`. Falls back to [`DropId`](CorruptionKind::DropId) when
+    /// no clean record has arrived yet, so the expected reason stays exact.
+    DuplicateId,
+    /// Producer-side truncation flag set → `truncated`.
+    Truncate,
+    /// Payload padded past the per-record byte limit → `oversized`.
+    Oversize,
+    /// First attribute value replaced with invalid UTF-8 → `non-utf8`.
+    NonUtf8,
+    /// All attributes dropped → `empty-attributes`.
+    EmptyAttributes,
+}
+
+impl CorruptionKind {
+    const ALL: [CorruptionKind; 6] = [
+        CorruptionKind::DropId,
+        CorruptionKind::DuplicateId,
+        CorruptionKind::Truncate,
+        CorruptionKind::Oversize,
+        CorruptionKind::NonUtf8,
+        CorruptionKind::EmptyAttributes,
+    ];
+
+    /// The [`QuarantineReason::code`](er_core::ingest::QuarantineReason::code)
+    /// the validator must report for a record corrupted this way.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CorruptionKind::DropId => "missing-id",
+            CorruptionKind::DuplicateId => "duplicate-id",
+            CorruptionKind::Truncate => "truncated",
+            CorruptionKind::Oversize => "oversized",
+            CorruptionKind::NonUtf8 => "non-utf8",
+            CorruptionKind::EmptyAttributes => "empty-attributes",
+        }
+    }
+}
+
+/// Configuration of the corrupt stream generator.
+#[derive(Clone, Debug)]
+pub struct CorruptConfig {
+    /// The clean stream the corpus is derived from.
+    pub base: EvolvingConfig,
+    /// Probability each record is corrupted (0.0 → clean corpus).
+    pub corruption_rate: f64,
+    /// Per-record byte limit oversized records are padded past. Keep this in
+    /// sync with the `IngestConfig::max_record_bytes` the test uses.
+    pub max_record_bytes: u64,
+    /// Seed for the corruption choices (independent of the base stream).
+    pub seed: u64,
+}
+
+impl Default for CorruptConfig {
+    fn default() -> Self {
+        CorruptConfig {
+            base: EvolvingConfig::default(),
+            corruption_rate: 0.15,
+            max_record_bytes: 4 << 10,
+            seed: 0xC0_88,
+        }
+    }
+}
+
+/// A seeded arrival stream with a known fraction of malformed records.
+#[derive(Clone, Debug)]
+pub struct CorruptStream {
+    /// The arrivals, clean and corrupted interleaved, in stream order.
+    pub records: Vec<RawRecord>,
+    /// Per-record corruption: `None` means the record is clean and must be
+    /// accepted; `Some(kind)` means it must be quarantined as
+    /// [`kind.code()`](CorruptionKind::code).
+    pub kinds: Vec<Option<CorruptionKind>>,
+}
+
+impl CorruptStream {
+    /// Generates the corpus: render the clean [`EvolvingStream`] arrivals as
+    /// [`RawRecord`]s (ids `r0`, `r1`, … in arrival order), then corrupt a
+    /// seeded `corruption_rate` fraction.
+    pub fn generate(config: &CorruptConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.corruption_rate),
+            "corruption_rate must be a probability"
+        );
+        let clean = EvolvingStream::generate(&config.base);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xBAD_F00D);
+        let mut records = Vec::with_capacity(clean.collection.len());
+        let mut kinds = Vec::with_capacity(clean.collection.len());
+        // Id of the most recent *clean* record, for DuplicateId collisions.
+        let mut last_clean_id: Option<String> = None;
+
+        for entity in clean.collection.iter() {
+            let seq = records.len();
+            let id = format!("r{seq}");
+            let attrs: Vec<(String, String)> = entity.attributes().to_vec();
+            let mut record = RawRecord::new(id.clone(), attrs).with_kb(KbId(0));
+
+            let kind = if rng.random_bool(config.corruption_rate) {
+                let mut kind = CorruptionKind::ALL[rng.random_range(0..CorruptionKind::ALL.len())];
+                if kind == CorruptionKind::DuplicateId && last_clean_id.is_none() {
+                    kind = CorruptionKind::DropId;
+                }
+                Some(kind)
+            } else {
+                None
+            };
+
+            match kind {
+                None => last_clean_id = Some(id),
+                Some(CorruptionKind::DropId) => record.id = None,
+                Some(CorruptionKind::DuplicateId) => {
+                    record.id = last_clean_id.clone();
+                }
+                Some(CorruptionKind::Truncate) => record = record.with_truncated(true),
+                Some(CorruptionKind::Oversize) => {
+                    let deficit = config
+                        .max_record_bytes
+                        .saturating_sub(record.bytes())
+                        .saturating_add(1) as usize;
+                    record
+                        .attributes
+                        .push((b"padding".to_vec(), vec![b'x'; deficit]));
+                    debug_assert!(record.bytes() > config.max_record_bytes);
+                }
+                Some(CorruptionKind::NonUtf8) => {
+                    if let Some((_, v)) = record.attributes.first_mut() {
+                        *v = vec![0xFF, 0xFE, 0xFD];
+                    } else {
+                        record.attributes.push((b"k".to_vec(), vec![0xFF, 0xFE]));
+                    }
+                }
+                Some(CorruptionKind::EmptyAttributes) => record.attributes.clear(),
+            }
+
+            records.push(record);
+            kinds.push(kind);
+        }
+        CorruptStream { records, kinds }
+    }
+
+    /// Number of clean (must-accept) records.
+    pub fn clean_count(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_none()).count()
+    }
+
+    /// Number of corrupted (must-quarantine) records.
+    pub fn corrupted_count(&self) -> usize {
+        self.records.len() - self.clean_count()
+    }
+
+    /// The oracle: the collection a clean run over only the accepted records
+    /// produces, built exactly as `StreamingSession::offer` builds it (uri =
+    /// external id, attributes in record order). Streaming-equivalence tests
+    /// compare session output against blocking/graph runs over this.
+    pub fn accepted_collection(&self) -> EntityCollection {
+        let mut collection = EntityCollection::new(ResolutionMode::Dirty);
+        for (record, kind) in self.records.iter().zip(&self.kinds) {
+            if kind.is_some() {
+                continue;
+            }
+            let id = record.id.clone().expect("clean record keeps its id");
+            let mut builder = EntityBuilder::new().uri(id);
+            for (k, v) in &record.attributes {
+                builder = builder.attr(
+                    String::from_utf8(k.clone()).expect("clean record is utf-8"),
+                    String::from_utf8(v.clone()).expect("clean record is utf-8"),
+                );
+            }
+            collection.push_entity(record.kb, builder);
+        }
+        collection
+    }
+}
+
+// Re-assure the docs that the overhead constant participates in the oversize
+// sizing: a record whose payload is exactly at the limit still fits.
+const _: () = assert!(RECORD_OVERHEAD_BYTES > 0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::ingest::{IngestConfig, IngestValidator};
+
+    fn small(rate: f64) -> CorruptConfig {
+        CorruptConfig {
+            base: EvolvingConfig {
+                entities: 80,
+                seed: 7,
+                ..Default::default()
+            },
+            corruption_rate: rate,
+            max_record_bytes: 2 << 10,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = CorruptStream::generate(&small(0.2));
+        let b = CorruptStream::generate(&small(0.2));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.kinds, b.kinds);
+    }
+
+    #[test]
+    fn zero_rate_means_every_record_is_clean() {
+        let s = CorruptStream::generate(&small(0.0));
+        assert_eq!(s.corrupted_count(), 0);
+        assert_eq!(s.clean_count(), s.records.len());
+    }
+
+    #[test]
+    fn corruption_rate_is_roughly_honoured() {
+        let s = CorruptStream::generate(&small(0.3));
+        let rate = s.corrupted_count() as f64 / s.records.len() as f64;
+        assert!((0.15..=0.45).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn validator_agrees_with_the_expected_kinds() {
+        let s = CorruptStream::generate(&small(0.35));
+        assert!(s.corrupted_count() > 0, "corpus must contain corruption");
+        let mut v = IngestValidator::new(IngestConfig {
+            max_record_bytes: small(0.35).max_record_bytes,
+        });
+        let mut quarantined = 0;
+        for (record, kind) in s.records.iter().zip(&s.kinds) {
+            let out = v.admit(record.clone());
+            match kind {
+                None => assert!(out.is_some(), "clean record rejected: {record:?}"),
+                Some(k) => {
+                    assert!(out.is_none(), "corrupt record accepted: {record:?}");
+                    let got = &v.report().records()[quarantined].reason;
+                    assert_eq!(got.code(), k.code(), "wrong reason for {record:?}");
+                    quarantined += 1;
+                }
+            }
+        }
+        assert_eq!(v.report().accepted() as usize, s.clean_count());
+        assert_eq!(v.report().quarantined() as usize, s.corrupted_count());
+    }
+
+    #[test]
+    fn accepted_collection_matches_validator_accepts() {
+        let s = CorruptStream::generate(&small(0.25));
+        let oracle = s.accepted_collection();
+        assert_eq!(oracle.len(), s.clean_count());
+        let mut v = IngestValidator::new(IngestConfig {
+            max_record_bytes: small(0.25).max_record_bytes,
+        });
+        let mut next = 0usize;
+        for record in &s.records {
+            if let Some(a) = v.admit(record.clone()) {
+                let e = oracle.entity(er_core::entity::EntityId(next as u32));
+                assert_eq!(e.uri(), Some(a.id.as_str()));
+                next += 1;
+            }
+        }
+        assert_eq!(next, oracle.len());
+    }
+
+    #[test]
+    fn all_kinds_eventually_appear() {
+        let s = CorruptStream::generate(&CorruptConfig {
+            base: EvolvingConfig {
+                entities: 400,
+                seed: 3,
+                ..Default::default()
+            },
+            corruption_rate: 0.5,
+            ..small(0.5)
+        });
+        for kind in CorruptionKind::ALL {
+            assert!(
+                s.kinds.contains(&Some(kind)),
+                "kind {kind:?} never generated"
+            );
+        }
+    }
+}

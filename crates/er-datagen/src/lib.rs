@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod clean_clean;
+pub mod corrupt;
 pub mod dirty;
 pub mod evolving;
 pub mod lod;
@@ -33,6 +34,7 @@ pub mod words;
 pub mod zipf;
 
 pub use clean_clean::{CleanCleanConfig, CleanCleanDataset};
+pub use corrupt::{CorruptConfig, CorruptStream, CorruptionKind};
 pub use dirty::{DirtyConfig, DirtyDataset};
 pub use evolving::{EvolvingConfig, EvolvingStream};
 pub use lod::{LodConfig, LodDataset};

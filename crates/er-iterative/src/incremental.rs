@@ -19,6 +19,7 @@
 
 use er_core::entity::Entity;
 use er_core::merge::{Profile, ProfileMatcher};
+use er_core::resource::{ResourceError, Watchdog};
 use er_core::tokenize::Tokenizer;
 use std::collections::{BTreeSet, HashMap};
 
@@ -127,7 +128,52 @@ impl<M: ProfileMatcher> IncrementalResolver<M> {
         self.profiles.push(Some(record));
         self.profiles[slot as usize].as_ref().expect("just stored")
     }
+
+    /// [`insert`](IncrementalResolver::insert) under watchdog coverage: the
+    /// stage clock is checked *before* the integration starts, so a stream
+    /// that has exhausted its budget fails with a typed
+    /// [`ResourceError::DeadlineExceeded`] instead of running unbounded.
+    pub fn insert_guarded(
+        &mut self,
+        entity: &Entity,
+        watchdog: &Watchdog,
+    ) -> Result<&Profile, ResourceError> {
+        watchdog.check("iterative.incremental")?;
+        Ok(self.insert(entity))
+    }
+
+    /// Re-resolves a collection prefix from scratch under watchdog coverage
+    /// — the checkpoint path of a streaming session: after an incremental
+    /// stretch, the resolver is rebuilt over all accepted entities so its
+    /// state matches a from-the-start run exactly. The watchdog is consulted
+    /// every [`RE_RESOLVE_CHECK_EVERY`] insertions; on expiry the resolver
+    /// keeps its *previous* state (the rebuild is discarded), so a timeout
+    /// never leaves half-resolved state behind.
+    pub fn re_resolve(
+        &mut self,
+        collection: &er_core::collection::EntityCollection,
+        watchdog: &Watchdog,
+    ) -> Result<IncrementalStats, ResourceError>
+    where
+        M: Clone,
+    {
+        let mut fresh = IncrementalResolver::new(self.matcher.clone());
+        for (i, e) in collection.iter().enumerate() {
+            if i % RE_RESOLVE_CHECK_EVERY == 0 {
+                watchdog.check("iterative.re_resolve")?;
+            }
+            fresh.insert(e);
+        }
+        *self = fresh;
+        Ok(self.stats)
+    }
 }
+
+/// Insertions between watchdog checks during
+/// [`IncrementalResolver::re_resolve`] — frequent enough that a skewed
+/// checkpoint is interrupted promptly, rare enough that the clock read never
+/// shows up in profiles.
+pub const RE_RESOLVE_CHECK_EVERY: usize = 64;
 
 #[cfg(test)]
 mod tests {
@@ -223,6 +269,46 @@ mod tests {
         assert_eq!(r.stats().merges, 0);
         assert_eq!(r.stats().comparisons, 0, "no shared tokens, no comparisons");
         assert_eq!(r.profiles().count(), 3);
+    }
+
+    #[test]
+    fn guarded_insert_respects_the_watchdog() {
+        use er_core::resource::{ResourceError, Watchdog};
+        let c = collection(&["alan turing", "grace hopper"]);
+        let mut r = IncrementalResolver::new(SharedTokenMatcher::new(2));
+        let ok = Watchdog::disarmed();
+        for e in c.iter() {
+            r.insert_guarded(e, &ok).expect("disarmed watchdog passes");
+        }
+        assert_eq!(r.stats().inserted, 2);
+        let expired = Watchdog::timeout(std::time::Duration::ZERO);
+        let err = r.insert_guarded(c.entity(EntityId(0)), &expired);
+        assert!(matches!(err, Err(ResourceError::DeadlineExceeded { .. })));
+        assert_eq!(r.stats().inserted, 2, "timed-out insert left no trace");
+    }
+
+    #[test]
+    fn re_resolve_matches_from_scratch_run_and_respects_watchdog() {
+        use er_core::resource::Watchdog;
+        let values = ["x y", "z w", "x y z w", "p q", "p q r"];
+        let c = collection(&values);
+        // Drift the resolver: insert in a different order than the collection.
+        let mut r = IncrementalResolver::new(SharedTokenMatcher::new(2));
+        for e in c.iter().collect::<Vec<_>>().into_iter().rev() {
+            r.insert(e);
+        }
+        let before = r.clusters();
+        r.re_resolve(&c, &Watchdog::disarmed()).expect("disarmed");
+        assert_eq!(r.clusters(), resolve_all(&values).clusters());
+        assert_eq!(r.stats().inserted, values.len() as u64);
+        // An expired watchdog aborts the rebuild and preserves prior state.
+        let expired = Watchdog::timeout(std::time::Duration::ZERO);
+        let mut drifted = IncrementalResolver::new(SharedTokenMatcher::new(2));
+        for e in c.iter().collect::<Vec<_>>().into_iter().rev() {
+            drifted.insert(e);
+        }
+        assert!(drifted.re_resolve(&c, &expired).is_err());
+        assert_eq!(drifted.clusters(), before, "failed rebuild is discarded");
     }
 
     #[test]

@@ -30,21 +30,22 @@ pub struct EdgeInfo {
 #[derive(Clone, Debug)]
 pub struct BlockingGraph {
     /// All edges, sorted by pair — lookups are a binary search, iteration is
-    /// a cache-friendly linear scan.
-    edges: Vec<(Pair, EdgeInfo)>,
+    /// a cache-friendly linear scan. `pub(crate)` so the incremental
+    /// maintainer ([`crate::incremental`]) can patch the graph in place.
+    pub(crate) edges: Vec<(Pair, EdgeInfo)>,
     /// Blocks containing each entity.
-    entity_block_counts: Vec<u32>,
+    pub(crate) entity_block_counts: Vec<u32>,
     /// Distinct neighbors of each entity (node degree).
-    degrees: Vec<u32>,
-    total_blocks: u64,
+    pub(crate) degrees: Vec<u32>,
+    pub(crate) total_blocks: u64,
     /// Total entity–block assignments (`BC`), used by cardinality pruning.
-    total_assignments: u64,
-    n_entities: usize,
+    pub(crate) total_assignments: u64,
+    pub(crate) n_entities: usize,
     /// Bytes that flowed through the sort-based aggregation buffers (raw
     /// contributions + concatenated partials) — a build-path statistic, not
     /// part of the graph's value (excluded from `PartialEq`; 0 on the
     /// reference builder).
-    edge_sort_bytes: u64,
+    pub(crate) edge_sort_bytes: u64,
 }
 
 /// Equality is over the graph's *value* — edges, node statistics, totals —
@@ -88,7 +89,7 @@ struct ChunkPartial {
 /// performs the exact `f64` addition sequence the `BTreeMap` reference path
 /// performs (`or_default()` seeds 0.0, and `0.0 + x == x` bitwise for the
 /// strictly positive ARCS contributions).
-fn merge_runs(sorted: Vec<(Pair, EdgeInfo)>) -> Vec<(Pair, EdgeInfo)> {
+pub(crate) fn merge_runs(sorted: Vec<(Pair, EdgeInfo)>) -> Vec<(Pair, EdgeInfo)> {
     let mut out: Vec<(Pair, EdgeInfo)> = Vec::new();
     for (p, info) in sorted {
         match out.last_mut() {

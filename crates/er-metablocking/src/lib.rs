@@ -8,6 +8,9 @@
 //! descriptions can be **pruned**.
 //!
 //! * [`graph::BlockingGraph`] — the graph, built in one pass over the blocks.
+//! * [`incremental::IncrementalGraph`] — the graph maintained under
+//!   streaming entity arrivals: integer statistics exact per batch, ARCS
+//!   restored bit-exactly at every checkpoint refresh.
 //! * [`weights::WeightingScheme`] — CBS, ECBS, JS, EJS and ARCS edge weights.
 //! * [`pruning`] — weight-based and cardinality-based, edge-centric and
 //!   node-centric pruning: WEP, CEP, WNP, CNP plus reciprocal variants.
@@ -19,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod incremental;
 pub mod pipeline;
 pub mod pruning;
 pub mod supervised;
 pub mod weights;
 
 pub use graph::BlockingGraph;
+pub use incremental::IncrementalGraph;
 pub use pipeline::{meta_block, par_meta_block, par_meta_block_obs};
 pub use pruning::PruningScheme;
 pub use weights::WeightingScheme;

@@ -30,8 +30,10 @@
 #![warn(missing_docs)]
 
 pub mod recovery;
+pub mod streaming;
 
 pub use recovery::{PipelineError, RecoveryEvent, RecoveryOptions, RecoveryOutcome};
+pub use streaming::{StreamingConfig, StreamingSession};
 
 use er_blocking::attribute_clustering::AttributeClusteringBlocking;
 use er_blocking::cleaning;

@@ -247,6 +247,209 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming ingest chaos: bounded queue × memory budget × hostile corpus
+// ---------------------------------------------------------------------------
+
+/// Arrival-queue budget ladder: unlimited → roomy → barely two records.
+const QUEUE_BUDGETS: [Option<u64>; 3] = [None, Some(16 << 10), Some(640)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The streaming soak property: seeded corrupt corpora × queue budgets ×
+    /// producer counts. The contract:
+    ///
+    /// 1. **Never a panic** — back-pressure is a typed [`IngestError`], a
+    ///    record larger than the whole budget fails fast instead of
+    ///    deadlocking, quarantine is a ledger entry.
+    /// 2. **The queue never buffers past its budget** — `high_watermark()`
+    ///    stays ≤ the limit no matter how producers race.
+    /// 3. **Events ↔ report accounting agrees exactly** — the
+    ///    `ingest.records_*` / `ingest.backpressure_waits` counters, the
+    ///    per-quarantine warning events and the `QuarantineReport` all tell
+    ///    the same story, and every produced record is accounted for as
+    ///    accepted, quarantined, or shed at the queue door.
+    /// 4. **Chaos cannot bend the blocking contract** — whatever subset got
+    ///    through, the incremental snapshot equals a full rebuild of it.
+    #[test]
+    fn streaming_ingest_chaos_never_overruns_and_accounts_exactly(
+        seed in 0u64..=u64::MAX,
+        budget_ix in 0usize..=2,
+        workers_ix in 0usize..=2,
+        rate_pct in 0u64..=50,
+    ) {
+        use er_core::ingest::{IngestConfig, IngestError, RawRecord};
+        use er_datagen::corrupt::{CorruptConfig, CorruptStream};
+        use er_datagen::EvolvingConfig;
+        use er_pipeline::streaming::{StreamingConfig, StreamingSession};
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+        let seed = seed ^ chaos_seed_env().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let workers = chaos_workers_env().unwrap_or([1, 2, 4][workers_ix]);
+        const MAX_RECORD_BYTES: u64 = 2 << 10;
+        let stream = CorruptStream::generate(&CorruptConfig {
+            base: EvolvingConfig {
+                entities: 40,
+                seed: seed % 997,
+                ..Default::default()
+            },
+            corruption_rate: rate_pct as f64 / 100.0,
+            max_record_bytes: MAX_RECORD_BYTES,
+            seed,
+        });
+
+        let mut limits = ResourceLimits::none();
+        if let Some(bytes) = QUEUE_BUDGETS[budget_ix] {
+            limits = limits.with_memory_bytes(bytes);
+        }
+        let obs = Obs::enabled();
+        let sink = Arc::new(er_core::obs::CaptureSink::new());
+        obs.set_sink(sink.clone());
+        let mut session = StreamingSession::with_obs(
+            StreamingConfig {
+                batch_size: 8,
+                ingest: IngestConfig {
+                    max_record_bytes: MAX_RECORD_BYTES,
+                },
+                ..Default::default()
+            },
+            limits,
+            obs.clone(),
+        );
+
+        // Producers race records into the bounded queue; pushes the budget
+        // can never admit (record > whole budget) are shed at the door.
+        let shed = Arc::new(AtomicU64::new(0));
+        let live = Arc::new(AtomicUsize::new(workers));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = session.queue();
+                let shed = shed.clone();
+                let live = live.clone();
+                let records: Vec<RawRecord> = stream
+                    .records
+                    .iter()
+                    .skip(w)
+                    .step_by(workers)
+                    .cloned()
+                    .collect();
+                std::thread::spawn(move || {
+                    for r in records {
+                        match queue.push(r) {
+                            Ok(()) => {}
+                            Err(IngestError::Backpressure { .. }) => {
+                                shed.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(IngestError::Closed) => unreachable!("queue never closed here"),
+                        }
+                    }
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+
+        let queue = session.queue();
+        let mut taken = 0usize;
+        loop {
+            taken += session.drain().expect("generous stage limits");
+            if live.load(Ordering::SeqCst) == 0 && queue.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for h in handles {
+            h.join().expect("producer panicked");
+        }
+        taken += session.drain().expect("generous stage limits");
+        session.flush().expect("generous stage limits");
+
+        // (2) The budget bound held at every instant.
+        if let Some(limit) = QUEUE_BUDGETS[budget_ix] {
+            prop_assert!(
+                queue.high_watermark() <= limit,
+                "watermark {} exceeded budget {limit}",
+                queue.high_watermark()
+            );
+        }
+        prop_assert_eq!(queue.buffered_bytes(), 0, "fully drained");
+
+        // (3) Every record is accounted for exactly once, and the counters,
+        // events and report agree.
+        let report = session.quarantine_report().clone();
+        let shed = shed.load(Ordering::SeqCst);
+        prop_assert_eq!(taken as u64 + shed, stream.records.len() as u64);
+        prop_assert_eq!(report.seen(), taken as u64);
+        let snap = obs.snapshot();
+        prop_assert_eq!(
+            snap.counter("ingest.records_quarantined").unwrap_or(0),
+            report.quarantined()
+        );
+        prop_assert_eq!(
+            snap.counter("ingest.records_accepted").unwrap_or(0),
+            report.accepted()
+        );
+        prop_assert_eq!(snap.counter("ingest.records_seen").unwrap_or(0), report.seen());
+        prop_assert_eq!(
+            snap.counter("ingest.backpressure_waits").unwrap_or(0),
+            queue.backpressure_waits()
+        );
+        let warnings = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, er_core::obs::Event::Warning { stage, .. } if stage == "ingest"))
+            .count() as u64;
+        prop_assert_eq!(warnings, report.quarantined(), "one warning per quarantine");
+        // Only records bigger than the whole budget are ever shed.
+        if shed > 0 {
+            let limit = QUEUE_BUDGETS[budget_ix].expect("unlimited budgets never shed");
+            let oversized = stream.records.iter().filter(|r| r.bytes() > limit).count() as u64;
+            prop_assert!(shed <= oversized, "shed {shed} > over-budget records {oversized}");
+        }
+
+        // (4) Bit-identity is chaos-proof: whatever subset was admitted, the
+        // incremental index equals a full rebuild of it.
+        prop_assert_eq!(session.collection().len() as u64, report.accepted());
+        prop_assert_eq!(
+            session.blocks(),
+            er_blocking::TokenBlocking::new().build(session.collection())
+        );
+    }
+}
+
+/// An already-expired stage deadline surfaces as a typed
+/// [`er_core::resource::ResourceError`] from the streaming flush — state
+/// stays consistent, nothing panics.
+#[test]
+fn streaming_flush_under_expired_deadline_is_a_typed_error() {
+    use er_core::ingest::RawRecord;
+    use er_pipeline::streaming::{StreamingConfig, StreamingSession};
+
+    let mut session = StreamingSession::new(
+        StreamingConfig {
+            batch_size: 1024,
+            ..Default::default()
+        },
+        ResourceLimits::none().with_stage_timeout(Duration::ZERO),
+    );
+    session
+        .offer(RawRecord::new(
+            "a",
+            vec![("n".into(), "alpha beta gamma".into())],
+        ))
+        .expect("staging alone does not hit the watchdog");
+    let err = session.flush().expect_err("expired deadline must surface");
+    assert!(
+        matches!(
+            err,
+            er_core::resource::ResourceError::DeadlineExceeded { .. }
+        ),
+        "unexpected error: {err:?}"
+    );
+    // The ingest side is untouched by the failed flush.
+    assert_eq!(session.quarantine_report().accepted(), 1);
+}
+
+// ---------------------------------------------------------------------------
 // Parser robustness: hostile byte streams are typed errors, never panics
 // ---------------------------------------------------------------------------
 

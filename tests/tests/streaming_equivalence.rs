@@ -1,0 +1,336 @@
+//! Streaming equivalence suite — the lock on the incremental-maintenance
+//! contract (`docs/streaming_ingest.md`):
+//!
+//! 1. **Blocks**: a [`StreamingSession`]'s incremental block index is
+//!    bit-identical to a full `TokenBlocking` rebuild of the accepted
+//!    collection — at every tested arrival order × batch size × seed ×
+//!    thread count, and at every intermediate batch boundary.
+//! 2. **Graph**: after a checkpoint, the incrementally maintained blocking
+//!    graph equals `BlockingGraph::par_build` bit-for-bit, including the
+//!    `f64` ARCS weights compared via `to_bits()`; between checkpoints the
+//!    integer statistics (edges, co-occurrence counts, degrees, block
+//!    counts, totals) are exact.
+//! 3. **Quarantine is invisible downstream**: interleaving malformed records
+//!    (from `er_datagen::corrupt`) changes nothing about the accepted-only
+//!    output — collection, blocks and graph are bit-identical to a run that
+//!    never saw the rejects.
+
+use er_blocking::TokenBlocking;
+use er_core::collection::EntityCollection;
+use er_core::entity::EntityId;
+use er_core::ingest::{IngestConfig, RawRecord};
+use er_core::parallel::Parallelism;
+use er_core::resource::ResourceLimits;
+use er_datagen::corrupt::{CorruptConfig, CorruptStream};
+use er_datagen::evolving::EvolvingConfig;
+use er_metablocking::BlockingGraph;
+use er_pipeline::streaming::{StreamingConfig, StreamingSession};
+
+const BATCH_SIZES: [usize; 3] = [1, 7, 64];
+const MAX_RECORD_BYTES: u64 = 2 << 10;
+
+/// CI pin: `ER_STREAMING_SEED=n` narrows the matrix to one stream seed (the
+/// workflow fans the full {3, 11} set across jobs instead of one long run).
+fn seeds() -> Vec<u64> {
+    match std::env::var("ER_STREAMING_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(s) => vec![s],
+        None => vec![3, 11],
+    }
+}
+
+/// CI pin: `ER_STREAMING_WORKERS=n` narrows the thread axis the same way.
+fn threads() -> Vec<usize> {
+    match std::env::var("ER_STREAMING_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(t) => vec![t],
+        None => vec![1, 4],
+    }
+}
+
+fn corpus(seed: u64, corruption_rate: f64) -> CorruptStream {
+    CorruptStream::generate(&CorruptConfig {
+        base: EvolvingConfig {
+            entities: 60,
+            seed,
+            ..Default::default()
+        },
+        corruption_rate,
+        max_record_bytes: MAX_RECORD_BYTES,
+        seed: seed ^ 0x5EED,
+    })
+}
+
+fn session(batch_size: usize, threads: usize) -> StreamingSession {
+    StreamingSession::new(
+        StreamingConfig {
+            batch_size,
+            refresh_every: 3,
+            ingest: IngestConfig {
+                max_record_bytes: MAX_RECORD_BYTES,
+            },
+            parallelism: Parallelism::threads(threads),
+            ..Default::default()
+        },
+        ResourceLimits::none(),
+    )
+}
+
+/// Deterministic Fisher–Yates over a seeded xorshift — arrival-order
+/// permutations without pulling a test-only RNG dependency.
+fn shuffle(records: &mut [RawRecord], seed: u64) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for i in (1..records.len()).rev() {
+        records.swap(i, (next() as usize) % (i + 1));
+    }
+}
+
+/// Bit-level graph equality: every edge's pair, co-occurrence count and the
+/// raw bits of its ARCS weight, plus the integer aggregates.
+fn assert_graph_bits(got: &BlockingGraph, want: &BlockingGraph, ctx: &str) {
+    assert_eq!(got.n_entities(), want.n_entities(), "{ctx}: n_entities");
+    assert_eq!(got.n_edges(), want.n_edges(), "{ctx}: edge count");
+    for ((gp, ge), (wp, we)) in got.edges().zip(want.edges()) {
+        assert_eq!(gp, wp, "{ctx}: edge order");
+        assert_eq!(
+            ge.common_blocks, we.common_blocks,
+            "{ctx}: counts at {gp:?}"
+        );
+        assert_eq!(
+            ge.arcs.to_bits(),
+            we.arcs.to_bits(),
+            "{ctx}: ARCS bits at {gp:?} ({} vs {})",
+            ge.arcs,
+            we.arcs
+        );
+    }
+    assert_eq!(got.total_blocks(), want.total_blocks(), "{ctx}: blocks");
+    assert_eq!(
+        got.total_assignments(),
+        want.total_assignments(),
+        "{ctx}: assignments"
+    );
+    for i in 0..got.n_entities() {
+        let e = EntityId(i as u32);
+        assert_eq!(got.degree(e), want.degree(e), "{ctx}: degree of {e:?}");
+        assert_eq!(
+            got.block_count(e),
+            want.block_count(e),
+            "{ctx}: block count of {e:?}"
+        );
+    }
+}
+
+fn assert_collections_equal(got: &EntityCollection, want: &EntityCollection, ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: collection size");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!(g.id(), w.id(), "{ctx}: id order");
+        assert_eq!(g.uri(), w.uri(), "{ctx}: uri of {:?}", g.id());
+        assert_eq!(g.kb(), w.kb(), "{ctx}: kb of {:?}", g.id());
+        assert_eq!(
+            g.attributes(),
+            w.attributes(),
+            "{ctx}: attrs of {:?}",
+            g.id()
+        );
+    }
+}
+
+/// The headline matrix: arrival orders × batch sizes × seeds × threads, on a
+/// clean stream. After the final checkpoint the session's blocks equal a
+/// full `TokenBlocking` rebuild (bit-identical `assert_eq`) and its graph
+/// equals `par_build` at the same thread count down to the ARCS bits.
+#[test]
+fn incremental_equals_full_rebuild_across_the_matrix() {
+    for &seed in &seeds() {
+        let stream = corpus(seed, 0.0);
+        for order in 0..3u64 {
+            let mut records = stream.records.clone();
+            if order > 0 {
+                shuffle(&mut records, seed.wrapping_mul(0x9e37_79b9) + order);
+            }
+            for &batch_size in &BATCH_SIZES {
+                for &threads in &threads() {
+                    let ctx =
+                        format!("seed {seed} order {order} batch {batch_size} threads {threads}");
+                    let mut s = session(batch_size, threads);
+                    for r in &records {
+                        s.offer(r.clone()).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                    }
+                    s.checkpoint().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                    assert_eq!(s.collection().len(), records.len(), "{ctx}: all accepted");
+
+                    let full = TokenBlocking::new().build(s.collection());
+                    assert_eq!(s.blocks(), full, "{ctx}: blocks diverged");
+                    let oracle = BlockingGraph::par_build(
+                        s.collection(),
+                        &full,
+                        Parallelism::threads(threads),
+                    );
+                    assert_graph_bits(s.graph().graph(), &oracle, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Block bit-identity holds at *every batch boundary*, not just at the end:
+/// flushing after each chunk, the incremental snapshot always equals a full
+/// rebuild of the entities seen so far, and the graph's integer statistics
+/// are exact between checkpoints.
+#[test]
+fn mid_stream_snapshots_are_exact() {
+    for &seed in &seeds() {
+        let stream = corpus(seed, 0.0);
+        let mut s = session(usize::MAX, 1); // manual flushes only
+        for (i, chunk) in stream.records.chunks(7).enumerate() {
+            for r in chunk {
+                s.offer(r.clone()).unwrap();
+            }
+            s.flush().unwrap();
+            let ctx = format!("seed {seed} after chunk {i}");
+            let full = TokenBlocking::new().build(s.collection());
+            assert_eq!(s.blocks(), full, "{ctx}: prefix blocks diverged");
+
+            let oracle = BlockingGraph::build(s.collection(), &full);
+            let got = s.graph().graph();
+            assert_eq!(got.n_edges(), oracle.n_edges(), "{ctx}: edge count");
+            assert_eq!(got.total_blocks(), oracle.total_blocks(), "{ctx}");
+            assert_eq!(got.total_assignments(), oracle.total_assignments(), "{ctx}");
+            for ((gp, ge), (wp, we)) in got.edges().zip(oracle.edges()) {
+                assert_eq!(gp, wp, "{ctx}: edge order");
+                assert_eq!(ge.common_blocks, we.common_blocks, "{ctx}: {gp:?}");
+                assert!(
+                    (ge.arcs - we.arcs).abs() <= 1e-9 * we.arcs.abs().max(1.0),
+                    "{ctx}: ARCS drifted at {gp:?}: {} vs {}",
+                    ge.arcs,
+                    we.arcs
+                );
+            }
+        }
+    }
+}
+
+/// Quarantined records never perturb the accepted-entity output: a session
+/// fed the corrupt stream produces exactly the accepted-only oracle —
+/// collection, blocks and checkpointed graph all bit-identical — and the
+/// ledger agrees with the generator's per-record corruption bookkeeping.
+#[test]
+fn interleaved_quarantine_does_not_perturb_accepted_output() {
+    for &seed in &seeds() {
+        let stream = corpus(seed, 0.3);
+        assert!(
+            stream.corrupted_count() > 0,
+            "corpus must corrupt something"
+        );
+        let oracle_collection = stream.accepted_collection();
+        for &batch_size in &BATCH_SIZES {
+            for &threads in &threads() {
+                let ctx = format!("seed {seed} batch {batch_size} threads {threads}");
+                let mut s = session(batch_size, threads);
+                for r in &stream.records {
+                    s.offer(r.clone()).unwrap();
+                }
+                s.checkpoint().unwrap();
+
+                assert_collections_equal(s.collection(), &oracle_collection, &ctx);
+                let full = TokenBlocking::new().build(&oracle_collection);
+                assert_eq!(s.blocks(), full, "{ctx}: blocks saw the rejects?");
+                let oracle_graph = BlockingGraph::par_build(
+                    &oracle_collection,
+                    &full,
+                    Parallelism::threads(threads),
+                );
+                assert_graph_bits(s.graph().graph(), &oracle_graph, &ctx);
+
+                let report = s.quarantine_report();
+                assert_eq!(
+                    report.quarantined() as usize,
+                    stream.corrupted_count(),
+                    "{ctx}: ledger count"
+                );
+                assert_eq!(
+                    report.accepted() as usize,
+                    stream.clean_count(),
+                    "{ctx}: accepted count"
+                );
+                let by_code = report.counts_by_code();
+                for kind in [
+                    er_datagen::CorruptionKind::DropId,
+                    er_datagen::CorruptionKind::DuplicateId,
+                    er_datagen::CorruptionKind::Truncate,
+                    er_datagen::CorruptionKind::Oversize,
+                    er_datagen::CorruptionKind::NonUtf8,
+                    er_datagen::CorruptionKind::EmptyAttributes,
+                ] {
+                    let expected = stream.kinds.iter().filter(|k| **k == Some(kind)).count() as u64;
+                    assert_eq!(
+                        by_code.get(kind.code()).copied().unwrap_or(0),
+                        expected,
+                        "{ctx}: reason histogram for {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The queue path (producer thread → bounded queue → drain) yields the same
+/// output as the synchronous offer path, record for record.
+#[test]
+fn queue_and_direct_paths_agree() {
+    for &seed in &seeds() {
+        let stream = corpus(seed, 0.2);
+        let direct = {
+            let mut s = session(16, 1);
+            for r in &stream.records {
+                s.offer(r.clone()).unwrap();
+            }
+            s.checkpoint().unwrap();
+            s
+        };
+
+        let mut s = session(16, 1);
+        let queue = s.queue();
+        let records = stream.records.clone();
+        let producer = std::thread::spawn(move || {
+            for r in records {
+                queue.push(r).expect("queue open");
+            }
+        });
+        let queue = s.queue();
+        let mut taken = 0;
+        while taken < stream.records.len() {
+            match queue.try_pop() {
+                Some(r) => {
+                    s.offer(r).unwrap();
+                    taken += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        s.checkpoint().unwrap();
+
+        let ctx = format!("seed {seed} queue path");
+        assert_collections_equal(s.collection(), direct.collection(), &ctx);
+        assert_eq!(s.blocks(), direct.blocks(), "{ctx}: blocks");
+        assert_graph_bits(s.graph().graph(), direct.graph().graph(), &ctx);
+        assert_eq!(s.clusters(), direct.clusters(), "{ctx}: clusters");
+        assert_eq!(
+            s.quarantine_report().counts_by_code(),
+            direct.quarantine_report().counts_by_code(),
+            "{ctx}: ledgers"
+        );
+    }
+}
