@@ -1,0 +1,4 @@
+//! Runs experiment `e20_scenario_matrix` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e20_scenario_matrix();
+}

@@ -1921,6 +1921,90 @@ pub fn e19_streaming() {
     }
 }
 
+/// E20 — the scenario matrix: the blocking zoo × weighting schemes over the
+/// committed real-world benchmark fixtures (census/restaurant/cora-style
+/// delimited tables, LOD-style N-Triples, and the synthetic baseline), with
+/// per-cell PC/PQ/RR quality locks and bit-deterministic scorecards across
+/// thread counts. `ER_SCENARIO_OUT=<path>` writes the scorecard JSON;
+/// `ER_PRINT_SCENARIOS=1` prints a paste-ready re-lock table.
+pub fn e20_scenario_matrix() {
+    use crate::scenarios::{self, Scenario};
+    use er_core::obs::Obs;
+
+    banner(
+        "E20",
+        "scenario matrix: benchmark families x blocking zoo, quality-locked",
+    );
+    let all: Vec<&Scenario> = scenarios::REGISTRY.iter().collect();
+    let obs = Obs::enabled();
+    let results = scenarios::run_matrix(&all, 1, &obs);
+    let scorecard = scenarios::scorecard_json(&results);
+    let parallel = scenarios::scorecard_json(&scenarios::run_matrix(&all, 4, &Obs::disabled()));
+    let identical = scorecard == parallel;
+    assert!(
+        identical,
+        "E20: scorecards diverged between 1 and 4 threads"
+    );
+
+    let table = Table::new(&[
+        ("scenario", 15),
+        ("blocking", 11),
+        ("weighting", 9),
+        ("cmp", 7),
+        ("pc", 6),
+        ("pq", 7),
+        ("rr", 6),
+        ("f1", 6),
+        ("lock", 6),
+    ]);
+    for c in &results {
+        table.row(&[
+            c.scenario.to_string(),
+            c.blocking.to_string(),
+            c.weighting.to_string(),
+            c.comparisons.to_string(),
+            f3(c.pc),
+            f4(c.pq),
+            f3(c.rr),
+            f3(c.f1),
+            match (&c.breach, c.locked) {
+                (Some(_), _) => "BREACH".to_string(),
+                (None, true) => "ok".to_string(),
+                (None, false) => "-".to_string(),
+            },
+        ]);
+    }
+    let breaches = results.iter().filter(|c| c.breach.is_some()).count();
+    let locked = results.iter().filter(|c| c.locked).count();
+    for c in results.iter().filter(|c| c.breach.is_some()) {
+        println!(
+            "BREACH {}/{}/{}: {}",
+            c.scenario,
+            c.blocking,
+            c.weighting,
+            c.breach.as_deref().unwrap_or("")
+        );
+    }
+    println!(
+        "cells: {} run, {locked} locked, {breaches} breached; \
+         scorecards bit-identical across threads 1 and 4: {identical}",
+        results.len()
+    );
+    println!(
+        "shape: every cell must hold its locked PC/PQ/RR envelope; the\n\
+         rankings differ per family (the matrix exists to catch a change that\n\
+         helps synthetics but hurts a real-world family)."
+    );
+    scenarios::maybe_print_relock(&results);
+
+    if let Ok(path) = std::env::var("ER_SCENARIO_OUT") {
+        std::fs::write(&path, &scorecard)
+            .unwrap_or_else(|e| panic!("E20: cannot write {path}: {e}"));
+        println!("scenario scorecard written to {path}");
+    }
+    assert_eq!(breaches, 0, "E20: {breaches} cell(s) breached their lock");
+}
+
 /// Runs the full suite in order.
 pub fn run_all() {
     e1_blocking_quality();
@@ -1942,4 +2026,5 @@ pub fn run_all() {
     e17_resource_overhead();
     e18_layout();
     e19_streaming();
+    e20_scenario_matrix();
 }

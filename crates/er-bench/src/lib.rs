@@ -111,3 +111,4 @@ mod tests {
 }
 
 pub mod experiments;
+pub mod scenarios;

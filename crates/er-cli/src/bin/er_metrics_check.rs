@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! er-metrics-check metrics.json [--expect-fault-free] [--require-ingest]
+//!                               [--require-scenarios]
 //! ```
 //!
 //! Parses the sorted-key JSON written by the CLI back into an
@@ -25,7 +26,11 @@
 //!   and the ledger identity `seen == accepted + quarantined` holds (a
 //!   counter absent from the snapshot was never incremented and reads as 0),
 //!   and the `ingest.queue_bytes` gauge exists and reads 0 — the arrival
-//!   queue was fully drained and released its whole byte budget.
+//!   queue was fully drained and released its whole byte budget;
+//! - with `--require-scenarios` (a snapshot from `er scenario run
+//!   --metrics-out`): `scenario.cells_run` > 0 — the benchmark matrix
+//!   actually executed — and `scenario.cells_failed` is 0 (the counter is
+//!   pre-registered by the runner, so an absent counter also reads as 0).
 //!
 //! Every violated invariant is reported (not just the first); any violation
 //! exits nonzero so the CI job fails loudly.
@@ -54,15 +59,17 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    const USAGE: &str =
-        "usage: er-metrics-check SNAPSHOT.json [--expect-fault-free] [--require-ingest]";
+    const USAGE: &str = "usage: er-metrics-check SNAPSHOT.json [--expect-fault-free] \
+                         [--require-ingest] [--require-scenarios]";
     let mut path = None;
     let mut expect_fault_free = false;
     let mut require_ingest = false;
+    let mut require_scenarios = false;
     for a in args {
         match a.as_str() {
             "--expect-fault-free" => expect_fault_free = true,
             "--require-ingest" => require_ingest = true,
+            "--require-scenarios" => require_scenarios = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -81,7 +88,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let snapshot = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
 
-    let failures = check(&snapshot, expect_fault_free, require_ingest);
+    let failures = check(
+        &snapshot,
+        expect_fault_free,
+        require_ingest,
+        require_scenarios,
+    );
     if failures.is_empty() {
         println!(
             "ok: {} counters, {} gauges, {} histograms, {} spans — all invariants hold",
@@ -114,7 +126,12 @@ fn descends_from_run(snapshot: &MetricsSnapshot, name: &str) -> bool {
 }
 
 /// Runs every invariant, returning a message per violation.
-fn check(snapshot: &MetricsSnapshot, expect_fault_free: bool, require_ingest: bool) -> Vec<String> {
+fn check(
+    snapshot: &MetricsSnapshot,
+    expect_fault_free: bool,
+    require_ingest: bool,
+    require_scenarios: bool,
+) -> Vec<String> {
     let mut failures = Vec::new();
     let mut fail = |msg: String| failures.push(msg);
 
@@ -236,6 +253,28 @@ fn check(snapshot: &MetricsSnapshot, expect_fault_free: bool, require_ingest: bo
             Some(_) => {}
         }
     }
+
+    // A snapshot from `er scenario run` must show the matrix actually
+    // executed and every locked cell stayed inside its envelope. The runner
+    // pre-registers `scenario.cells_failed` at 0, so an absent counter reads
+    // as the (healthy) zero while a missing cells_run means nothing ran.
+    if require_scenarios {
+        match snapshot.counter("scenario.cells_run") {
+            None => {
+                fail("scenario.cells_run counter is missing — no scenario cells ran".to_string())
+            }
+            Some(0) => {
+                fail("scenario.cells_run is 0 — the scenario matrix ran no cells".to_string())
+            }
+            Some(_) => {}
+        }
+        match snapshot.counter("scenario.cells_failed").unwrap_or(0) {
+            0 => {}
+            n => fail(format!(
+                "scenario.cells_failed is {n} — locked quality envelope(s) breached"
+            )),
+        }
+    }
     failures
 }
 
@@ -290,12 +329,12 @@ mod tests {
 
     #[test]
     fn healthy_snapshot_passes() {
-        assert!(check(&healthy(), true, false).is_empty());
+        assert!(check(&healthy(), true, false, false).is_empty());
     }
 
     #[test]
     fn empty_snapshot_reports_every_missing_piece() {
-        let failures = check(&MetricsSnapshot::default(), true, false);
+        let failures = check(&MetricsSnapshot::default(), true, false, false);
         assert!(failures.len() >= 8, "{failures:?}");
     }
 
@@ -304,7 +343,7 @@ mod tests {
         let mut s = healthy();
         s.counters
             .insert("meta_blocking.comparisons_after".into(), 1000);
-        let failures = check(&s, false, false);
+        let failures = check(&s, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("exceeds")),
             "{failures:?}"
@@ -319,7 +358,7 @@ mod tests {
             .insert("meta_blocking.comparisons_after".into(), 100);
         s.counters
             .insert("meta_blocking.comparisons_pruned".into(), 0);
-        let failures = check(&s, false, false);
+        let failures = check(&s, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pruning_ratio")),
             "{failures:?}"
@@ -330,7 +369,7 @@ mod tests {
     fn missing_stage_span_is_caught() {
         let mut s = healthy();
         s.spans.remove("pipeline.cleaning");
-        let failures = check(&s, false, false);
+        let failures = check(&s, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pipeline.cleaning")),
             "{failures:?}"
@@ -341,8 +380,8 @@ mod tests {
     fn retries_only_checked_when_fault_free_expected() {
         let mut s = healthy();
         s.counters.insert("recovery.stage_retries".into(), 2);
-        assert!(check(&s, false, false).is_empty());
-        let failures = check(&s, true, false);
+        assert!(check(&s, false, false, false).is_empty());
+        let failures = check(&s, true, false, false);
         assert!(
             failures.iter().any(|f| f.contains("stage_retries")),
             "{failures:?}"
@@ -354,7 +393,7 @@ mod tests {
         let mut s = healthy();
         s.counters.remove("blocking.interner_symbols");
         s.counters.insert("metablocking.edge_sort_bytes".into(), 0);
-        let failures = check(&s, false, false);
+        let failures = check(&s, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("interner_symbols")),
             "{failures:?}"
@@ -369,7 +408,7 @@ mod tests {
     fn misparented_span_is_caught() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.matching").unwrap().parent = None;
-        let failures = check(&s, false, false);
+        let failures = check(&s, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("not nested")),
             "{failures:?}"
@@ -380,7 +419,7 @@ mod tests {
     fn transitive_nesting_is_accepted() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.cleaning").unwrap().parent = Some("pipeline.blocking".into());
-        assert!(check(&s, true, false).is_empty());
+        assert!(check(&s, true, false, false).is_empty());
     }
 
     /// `healthy()` plus the counters a streaming-ingest run records.
@@ -397,8 +436,8 @@ mod tests {
     fn ingest_only_checked_when_required() {
         // Without the flag, a snapshot with no ingest metrics passes; with
         // it, every missing piece is called out.
-        assert!(check(&healthy(), true, false).is_empty());
-        let failures = check(&healthy(), true, true);
+        assert!(check(&healthy(), true, false, false).is_empty());
+        let failures = check(&healthy(), true, true, false);
         assert!(
             failures.iter().any(|f| f.contains("ingest.records_seen")),
             "{failures:?}"
@@ -407,14 +446,14 @@ mod tests {
             failures.iter().any(|f| f.contains("ingest.queue_bytes")),
             "{failures:?}"
         );
-        assert!(check(&healthy_with_ingest(), true, true).is_empty());
+        assert!(check(&healthy_with_ingest(), true, true, false).is_empty());
     }
 
     #[test]
     fn ingest_ledger_mismatch_is_caught() {
         let mut s = healthy_with_ingest();
         s.counters.insert("ingest.records_accepted".into(), 139);
-        let failures = check(&s, false, true);
+        let failures = check(&s, false, true, false);
         assert!(
             failures
                 .iter()
@@ -430,16 +469,55 @@ mod tests {
         let mut s = healthy_with_ingest();
         s.counters.remove("ingest.records_quarantined");
         s.counters.insert("ingest.records_accepted".into(), 150);
-        assert!(check(&s, true, true).is_empty());
+        assert!(check(&s, true, true, false).is_empty());
     }
 
     #[test]
     fn undrained_queue_is_caught() {
         let mut s = healthy_with_ingest();
         s.gauges.insert("ingest.queue_bytes".into(), 512.0);
-        let failures = check(&s, false, true);
+        let failures = check(&s, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("not drained")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn scenarios_only_checked_when_required() {
+        // Without the flag a snapshot with no scenario counters passes; with
+        // it, a missing cells_run is called out. An absent cells_failed reads
+        // as 0, so cells_run alone satisfies the requirement.
+        let mut s = healthy();
+        assert!(check(&s, true, false, false).is_empty());
+        let failures = check(&s, true, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("scenario.cells_run")),
+            "{failures:?}"
+        );
+        s.counters.insert("scenario.cells_run".into(), 45);
+        assert!(check(&s, true, false, true).is_empty());
+    }
+
+    #[test]
+    fn zero_scenario_cells_run_is_caught() {
+        let mut s = healthy();
+        s.counters.insert("scenario.cells_run".into(), 0);
+        let failures = check(&s, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("cells_run")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn failed_scenario_cells_are_caught() {
+        let mut s = healthy();
+        s.counters.insert("scenario.cells_run".into(), 45);
+        s.counters.insert("scenario.cells_failed".into(), 2);
+        let failures = check(&s, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("cells_failed")),
             "{failures:?}"
         );
     }

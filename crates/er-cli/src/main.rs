@@ -21,6 +21,7 @@
 //! asserts structural invariants over such a snapshot in CI.
 //! Argument parsing is hand-rolled to keep the workspace dependency-light.
 
+use er_bench::scenarios;
 use er_blocking::sorted_neighborhood::SortKey;
 use er_core::collection::EntityCollection;
 use er_core::fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy};
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("resolve") => cmd_resolve(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print_usage();
             Ok(())
@@ -68,6 +70,9 @@ fn print_usage() {
         "er — entity resolution for the Web of data\n\n\
          USAGE:\n  er generate --kind dirty|cleanclean|lod [--entities N] [--noise LEVEL]\n\
          \x20            [--seed S] --out PREFIX\n\
+         \x20 er scenario list\n\
+         \x20 er scenario run [--scenario NAME | --family csv|rdf|synthetic]\n\
+         \x20            [--threads N] [--scorecard-out FILE] [--metrics-out FILE]\n\
          \x20 er resolve --collection FILE [--truth FILE]\n\
          \x20            [--blocking token|attrcluster|sn|minhash]\n\
          \x20            [--weighting cbs|ecbs|js|ejs|arcs] [--pruning wep|cep|wnp|cnp|none]\n\
@@ -98,7 +103,13 @@ fn print_usage() {
          \x20        past the budget); --quarantine-out FILE validates every\n\
          \x20        record and writes the typed quarantine ledger as JSON.\n\
          \x20        Either flag opts into the streaming ingest path; the\n\
-         \x20        accepted collection is identical to the batch load."
+         \x20        accepted collection is identical to the batch load.\n\
+         SCENARIO: `er scenario run` executes the committed benchmark\n\
+         \x20        fixtures (CSV/TSV/N-Triples plus a synthetic baseline)\n\
+         \x20        across the blocking × weighting matrix and checks every\n\
+         \x20        cell against its locked PC/PQ/RR envelope; any breach\n\
+         \x20        exits nonzero. --scorecard-out writes the deterministic\n\
+         \x20        per-cell JSON scorecard (byte-identical at any --threads)."
     );
 }
 
@@ -348,6 +359,128 @@ fn streaming_load(
         println!("quarantine report written to {path}");
     }
     Ok(session.collection().clone())
+}
+
+/// `er scenario list|run` — the committed benchmark matrix (see
+/// `er_bench::scenarios` and docs/scenarios.md). `run` executes the selected
+/// scenarios across the blocking × weighting matrix, prints one row per cell
+/// with its lock verdict, optionally writes the deterministic scorecard JSON
+/// and a metrics snapshot, and exits nonzero when any locked cell drifts out
+/// of its PC/PQ/RR envelope.
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for s in scenarios::REGISTRY {
+                println!("{:<16} {:<10} {}", s.name, s.family.code(), s.description);
+            }
+            Ok(())
+        }
+        Some("run") => cmd_scenario_run(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown scenario subcommand {other:?} (try `er scenario run` or `er scenario list`)"
+        )),
+        None => Err("scenario needs a subcommand: run or list".to_string()),
+    }
+}
+
+fn cmd_scenario_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "scenario",
+            "family",
+            "threads",
+            "scorecard-out",
+            "metrics-out",
+        ],
+        &[],
+    )?;
+    let threads: usize = flags
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads {v:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let selected: Vec<&scenarios::Scenario> = match (flags.get("scenario"), flags.get("family")) {
+        (Some(_), Some(_)) => {
+            return Err("--scenario and --family are mutually exclusive".to_string())
+        }
+        (Some(name), None) => {
+            let scenario = scenarios::find(name).ok_or_else(|| {
+                let names: Vec<&str> = scenarios::REGISTRY.iter().map(|s| s.name).collect();
+                format!(
+                    "unknown scenario {name:?} (available: {})",
+                    names.join(", ")
+                )
+            })?;
+            vec![scenario]
+        }
+        (None, Some(family)) => {
+            let family = scenarios::ScenarioFamily::parse(family).ok_or_else(|| {
+                format!("unknown --family {family:?} (allowed: csv, rdf, synthetic)")
+            })?;
+            scenarios::REGISTRY
+                .iter()
+                .filter(|s| s.family == family)
+                .collect()
+        }
+        (None, None) => scenarios::REGISTRY.iter().collect(),
+    };
+
+    let metrics_out = flags.get("metrics-out");
+    let obs = if metrics_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    let results = scenarios::run_matrix(&selected, threads, &obs);
+
+    println!(
+        "{:<16} {:>11} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7}",
+        "scenario", "blocking", "weighting", "cmp", "pc", "pq", "rr", "f1", "lock"
+    );
+    for c in &results {
+        let verdict = match (&c.breach, c.locked) {
+            (Some(_), _) => "BREACH",
+            (None, true) => "ok",
+            (None, false) => "-",
+        };
+        println!(
+            "{:<16} {:>11} {:>9} {:>7} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>7}",
+            c.scenario, c.blocking, c.weighting, c.comparisons, c.pc, c.pq, c.rr, c.f1, verdict
+        );
+    }
+    let breached: Vec<_> = results.iter().filter(|c| c.breach.is_some()).collect();
+    for c in &breached {
+        eprintln!(
+            "lock breach: {}/{}/{}: {}",
+            c.scenario,
+            c.blocking,
+            c.weighting,
+            c.breach.as_deref().unwrap_or_default()
+        );
+    }
+    println!(
+        "scenario matrix: {} cell(s) run, {} locked, {} breached (threads {threads})",
+        results.len(),
+        results.iter().filter(|c| c.locked).count(),
+        breached.len()
+    );
+    if let Some(path) = flags.get("scorecard-out") {
+        std::fs::write(path, scenarios::scorecard_json(&results))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("scorecard written to {path}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, obs.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics snapshot written to {path}");
+    }
+    if !breached.is_empty() {
+        return Err(format!(
+            "{} scenario cell(s) breached their locked quality envelope",
+            breached.len()
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_resolve(args: &[String]) -> Result<(), String> {
@@ -940,6 +1073,77 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("byte size"), "{err}");
+    }
+
+    #[test]
+    fn scenario_list_and_run_write_scorecard_and_metrics() {
+        cmd_scenario(&s(&["list"])).unwrap();
+        let dir = std::env::temp_dir().join("er_cli_test9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let card = dir.join("scorecard.json").to_string_lossy().to_string();
+        let mpath = dir
+            .join("scenario_metrics.json")
+            .to_string_lossy()
+            .to_string();
+        cmd_scenario(&s(&[
+            "run",
+            "--scenario",
+            "census",
+            "--threads",
+            "2",
+            "--scorecard-out",
+            &card,
+            "--metrics-out",
+            &mpath,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&card).unwrap();
+        assert!(text.contains("er-scenario-scorecard-v1"), "{text}");
+        assert!(text.contains("\"cells_failed\": 0"), "{text}");
+        let snapshot =
+            er_core::obs::MetricsSnapshot::from_json(&std::fs::read_to_string(&mpath).unwrap())
+                .unwrap();
+        assert_eq!(snapshot.counter("scenario.cells_run"), Some(9));
+        assert_eq!(snapshot.counter("scenario.cells_failed"), Some(0));
+        // The matrix cells ran through the full pipeline, so the snapshot
+        // carries the stage spans er-metrics-check asserts on.
+        assert!(snapshot.span("pipeline.run").is_some());
+        let _ = std::fs::remove_file(&card);
+        let _ = std::fs::remove_file(&mpath);
+    }
+
+    #[test]
+    fn scenario_run_by_family_selects_the_family() {
+        let dir = std::env::temp_dir().join("er_cli_test10");
+        std::fs::create_dir_all(&dir).unwrap();
+        let card = dir.join("rdf.json").to_string_lossy().to_string();
+        cmd_scenario(&s(&["run", "--family", "rdf", "--scorecard-out", &card])).unwrap();
+        let text = std::fs::read_to_string(&card).unwrap();
+        assert!(text.contains("lod-people"), "{text}");
+        assert!(!text.contains("census"), "{text}");
+        let _ = std::fs::remove_file(&card);
+    }
+
+    #[test]
+    fn scenario_flag_errors_are_proper_errors() {
+        assert!(cmd_scenario(&s(&[])).is_err());
+        assert!(cmd_scenario(&s(&["prune"]))
+            .unwrap_err()
+            .contains("subcommand"));
+        assert!(cmd_scenario(&s(&["run", "--scenario", "nope"]))
+            .unwrap_err()
+            .contains("unknown scenario"));
+        assert!(cmd_scenario(&s(&["run", "--family", "tabular"]))
+            .unwrap_err()
+            .contains("--family"));
+        assert!(
+            cmd_scenario(&s(&["run", "--scenario", "census", "--family", "csv"]))
+                .unwrap_err()
+                .contains("mutually exclusive")
+        );
+        assert!(cmd_scenario(&s(&["run", "--threads", "many"]))
+            .unwrap_err()
+            .contains("--threads"));
     }
 
     #[test]

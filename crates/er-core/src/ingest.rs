@@ -132,6 +132,14 @@ pub enum QuarantineReason {
     /// The record has no attributes, or only empty values — nothing to block
     /// or match on.
     EmptyAttributes,
+    /// The record does not fit the source's declared schema — a delimited row
+    /// with the wrong field count, an unparsable N-Triples line. Raised by
+    /// format loaders through [`IngestValidator::quarantine`], never by the
+    /// content checks of [`IngestValidator::admit`].
+    SchemaMismatch {
+        /// Loader-specific description of the mismatch (line number, counts).
+        detail: String,
+    },
 }
 
 impl QuarantineReason {
@@ -144,6 +152,7 @@ impl QuarantineReason {
             QuarantineReason::DuplicateId { .. } => "duplicate-id",
             QuarantineReason::NonUtf8 { .. } => "non-utf8",
             QuarantineReason::EmptyAttributes => "empty-attributes",
+            QuarantineReason::SchemaMismatch { .. } => "schema-mismatch",
         }
     }
 }
@@ -161,6 +170,9 @@ impl fmt::Display for QuarantineReason {
                 write!(f, "attribute {attribute} is not valid UTF-8")
             }
             QuarantineReason::EmptyAttributes => write!(f, "no non-empty attributes"),
+            QuarantineReason::SchemaMismatch { detail } => {
+                write!(f, "schema mismatch: {detail}")
+            }
         }
     }
 }
@@ -343,16 +355,7 @@ impl IngestValidator {
         let reason = self.validate(&record, claimed_id.as_deref());
         match reason {
             Some(reason) => {
-                self.obs.counter("ingest.records_quarantined").incr();
-                self.obs.emit(Event::Warning {
-                    stage: "ingest".to_string(),
-                    reason: format!("quarantined record {sequence}: {reason}"),
-                });
-                self.report.records.push(QuarantinedRecord {
-                    sequence,
-                    id: claimed_id,
-                    reason,
-                });
+                self.reject(sequence, claimed_id, reason);
                 None
             }
             None => {
@@ -377,6 +380,33 @@ impl IngestValidator {
                 })
             }
         }
+    }
+
+    /// Quarantines a record the caller could not even shape into a
+    /// [`RawRecord`] — a delimited row with the wrong field count, an
+    /// unparsable triple line. Format loaders use this to route *structural*
+    /// failures into the same typed ledger (and `ingest.*` counters) the
+    /// content checks of [`admit`](IngestValidator::admit) feed, so a single
+    /// [`QuarantineReport`] accounts for every rejected arrival. The record
+    /// consumes one arrival sequence number and counts as seen.
+    pub fn quarantine(&mut self, id: Option<String>, reason: QuarantineReason) {
+        let sequence = self.sequence;
+        self.sequence += 1;
+        self.obs.counter("ingest.records_seen").incr();
+        self.reject(sequence, id.filter(|i| !i.is_empty()), reason);
+    }
+
+    fn reject(&mut self, sequence: u64, id: Option<String>, reason: QuarantineReason) {
+        self.obs.counter("ingest.records_quarantined").incr();
+        self.obs.emit(Event::Warning {
+            stage: "ingest".to_string(),
+            reason: format!("quarantined record {sequence}: {reason}"),
+        });
+        self.report.records.push(QuarantinedRecord {
+            sequence,
+            id,
+            reason,
+        });
     }
 
     fn validate(&self, record: &RawRecord, claimed_id: Option<&str>) -> Option<QuarantineReason> {
@@ -876,6 +906,38 @@ mod tests {
         assert_eq!(rep.records()[0].reason, QuarantineReason::EmptyAttributes);
         let (out, _) = admit_one(IngestValidator::new(IngestConfig::default()), rec("a", ""));
         assert!(out.is_none());
+    }
+
+    #[test]
+    fn loader_quarantine_shares_the_ledger_and_counters() {
+        let obs = Obs::enabled();
+        let mut v = IngestValidator::new(IngestConfig::default()).with_obs(&obs);
+        v.admit(rec("a", "x"));
+        v.quarantine(
+            Some("row-7".to_string()),
+            QuarantineReason::SchemaMismatch {
+                detail: "line 7: 3 fields, header has 5".to_string(),
+            },
+        );
+        v.quarantine(
+            None,
+            QuarantineReason::SchemaMismatch { detail: "x".into() },
+        );
+        assert_eq!(v.report().seen(), 3);
+        assert_eq!(v.report().accepted(), 1);
+        assert_eq!(v.report().quarantined(), 2);
+        let q = &v.report().records()[0];
+        assert_eq!(q.sequence, 1, "quarantine consumes a sequence number");
+        assert_eq!(q.id.as_deref(), Some("row-7"));
+        assert_eq!(q.reason.code(), "schema-mismatch");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("ingest.records_seen"), Some(3));
+        assert_eq!(snap.counter("ingest.records_quarantined"), Some(2));
+        // A later well-formed record with the skipped row's id is accepted:
+        // structural rejects never enter the seen-id set.
+        assert!(v.admit(rec("row-7", "recovered")).is_some());
+        assert_eq!(v.report().counts_by_code()["schema-mismatch"], 2);
+        assert!(v.report().to_json().contains("\"schema-mismatch\": 2"));
     }
 
     #[test]

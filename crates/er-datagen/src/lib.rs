@@ -27,6 +27,7 @@ pub mod clean_clean;
 pub mod corrupt;
 pub mod dirty;
 pub mod evolving;
+pub mod loaders;
 pub mod lod;
 pub mod noise;
 pub mod profile;
@@ -37,5 +38,6 @@ pub use clean_clean::{CleanCleanConfig, CleanCleanDataset};
 pub use corrupt::{CorruptConfig, CorruptStream, CorruptionKind};
 pub use dirty::{DirtyConfig, DirtyDataset};
 pub use evolving::{EvolvingConfig, EvolvingStream};
+pub use loaders::{DatasetBuilder, DelimitedSchema, LoadError, LoadedScenario};
 pub use lod::{LodConfig, LodDataset};
 pub use noise::NoiseModel;
