@@ -1,0 +1,6 @@
+//! Runs experiment `e21_backend_overhead` — see DESIGN.md's experiment index.
+fn main() {
+    // The subprocess cells re-exec this binary as their worker pool.
+    er_mapreduce::maybe_worker_entry(&er_mapreduce::default_registry());
+    er_bench::experiments::e21_backend_overhead();
+}

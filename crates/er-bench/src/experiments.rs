@@ -2005,6 +2005,212 @@ pub fn e20_scenario_matrix() {
     assert_eq!(breaches, 0, "E20: {breaches} cell(s) breached their lock");
 }
 
+/// E21 — worker backend A/B: the in-process engine against the supervised
+/// multi-process backend at equal worker counts.
+///
+/// Both sides run the same distributed token-blocking job (`run_dist`) over
+/// the same records with the same task/partition plan; the only variable is
+/// the transport. E18's paired estimator (warmup rep, alternating order,
+/// min-of-reps) with **identity hard-asserted on every rep** — the
+/// subprocess backend's contract is bit-identity, so any divergence aborts
+/// the experiment rather than producing a misleading timing.
+///
+/// The subprocess pool is spawned once per cell and reused across reps (the
+/// warmup rep absorbs spawn + handshake), so the steady-state column is the
+/// per-stage cost of framing, the spill-file data plane, and supervision —
+/// the number an operator trades against crash isolation.
+///
+/// `ER_BACKEND_SMOKE=1` shrinks sizes/reps for CI;
+/// `ER_BACKEND_OUT=<path>` writes the cells as JSON (the committed
+/// `BENCH_backend.json` snapshot).
+///
+/// Acceptance (documented, asserted only for identity): every cell reports
+/// identical=yes; the overhead factor should shrink as input size grows,
+/// because framing + process supervision is per-task while map/reduce work
+/// is per-record.
+pub fn e21_backend_overhead() {
+    use er_core::entity::EntityId;
+    use er_core::fault::ExecPolicy;
+    use er_core::tokenize::Tokenizer;
+    use er_mapreduce::{
+        default_registry, run_dist, DistOptions, InProcessTransport, SubprocessConfig,
+        SubprocessTransport,
+    };
+    use std::collections::BTreeSet;
+
+    banner(
+        "E21",
+        "worker backend A/B: in-process engine vs supervised OS worker processes",
+    );
+    let smoke = std::env::var("ER_BACKEND_SMOKE").is_ok();
+    let sizes: Vec<usize> = if smoke {
+        vec![300]
+    } else {
+        vec![1000, 4000, 8000]
+    };
+    let reps = if smoke { 3 } else { 5 };
+
+    /// E18's paired estimator, with identity asserted per rep by the caller.
+    fn measure<T: PartialEq>(
+        reps: usize,
+        mut a_run: impl FnMut() -> T,
+        mut b_run: impl FnMut() -> T,
+    ) -> (f64, f64, bool) {
+        let mut a_s: Vec<f64> = Vec::new();
+        let mut b_s: Vec<f64> = Vec::new();
+        let mut identical = true;
+        for rep in 0..=reps {
+            let (o, n) = if rep % 2 == 0 {
+                let t0 = Instant::now();
+                let a = a_run();
+                let o = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let b = b_run();
+                let n = t0.elapsed().as_secs_f64();
+                identical &= a == b;
+                (o, n)
+            } else {
+                let t0 = Instant::now();
+                let b = b_run();
+                let n = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let a = a_run();
+                let o = t0.elapsed().as_secs_f64();
+                identical &= a == b;
+                (o, n)
+            };
+            if rep > 0 {
+                a_s.push(o);
+                b_s.push(n);
+            }
+        }
+        let best = |mut v: Vec<f64>| -> f64 {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[0]
+        };
+        (best(a_s), best(b_s), identical)
+    }
+
+    struct Cell {
+        entities: usize,
+        workers: usize,
+        inprocess_ms: f64,
+        subprocess_ms: f64,
+        identical: bool,
+        blocks: usize,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+
+    let table = Table::new(&[
+        ("entities", 9),
+        ("workers", 8),
+        ("inproc-ms", 10),
+        ("subproc-ms", 11),
+        ("overhead", 9),
+        ("identical", 9),
+        ("blocks", 8),
+    ]);
+    let tokenizer = Tokenizer::default();
+    for &entities in &sizes {
+        let ds = DirtyDataset::generate(&dirty_preset(entities));
+        // The same pre-tokenized records the pipeline's subprocess path
+        // feeds the job: per-entity distinct token sets, in id order.
+        let records: Vec<String> = (0..ds.collection.len())
+            .map(|i| {
+                let e = ds.collection.entity(EntityId(i as u32));
+                let mut toks: BTreeSet<String> = BTreeSet::new();
+                for (_, v) in e.attributes() {
+                    toks.extend(tokenizer.tokens(v));
+                }
+                let mut rec = i.to_string();
+                for t in &toks {
+                    rec.push('\t');
+                    rec.push_str(t);
+                }
+                rec
+            })
+            .collect();
+        for workers in [2usize, 4] {
+            let opts = DistOptions::for_workers(workers);
+            let mut inproc =
+                InProcessTransport::new(workers, default_registry(), ExecPolicy::default());
+            // The pool re-execs this binary with `--worker` (the bench
+            // binaries call `maybe_worker_entry` first thing in `main`).
+            let mut subproc = SubprocessTransport::new(SubprocessConfig::new(workers));
+            let (a, b, ident) = measure(
+                reps,
+                || {
+                    run_dist(&mut inproc, "token-blocking", &records, &opts)
+                        .expect("in-process backend never fails here")
+                        .pairs
+                },
+                || {
+                    run_dist(&mut subproc, "token-blocking", &records, &opts)
+                        .expect("subprocess backend must complete without faults")
+                        .pairs
+                },
+            );
+            assert!(
+                ident,
+                "E21: backends diverged at entities={entities} workers={workers}"
+            );
+            let blocks = run_dist(&mut inproc, "token-blocking", &records, &opts)
+                .expect("in-process backend never fails here")
+                .pairs
+                .len();
+            cells.push(Cell {
+                entities,
+                workers,
+                inprocess_ms: a * 1e3,
+                subprocess_ms: b * 1e3,
+                identical: ident,
+                blocks,
+            });
+        }
+    }
+    for cell in &cells {
+        table.row(&[
+            cell.entities.to_string(),
+            cell.workers.to_string(),
+            format!("{:.3}", cell.inprocess_ms),
+            format!("{:.3}", cell.subprocess_ms),
+            format!("{:.2}x", cell.subprocess_ms / cell.inprocess_ms),
+            if cell.identical { "yes" } else { "NO" }.to_string(),
+            cell.blocks.to_string(),
+        ]);
+    }
+    println!(
+        "shape: every cell must report identical=yes (hard-asserted). The overhead\n\
+         column prices crash isolation: framing, spill-file hand-off, heartbeats\n\
+         and supervision are per-task costs, so the factor should shrink as the\n\
+         per-record map/reduce work grows with input size."
+    );
+
+    if let Ok(path) = std::env::var("ER_BACKEND_OUT") {
+        let mut json = String::from("{\n  \"experiment\": \"E21\",\n");
+        json.push_str(&format!("  \"smoke\": {smoke},\n"));
+        json.push_str("  \"cells\": [\n");
+        for (i, cell) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"entities\": {}, \"workers\": {}, \"inprocess_ms\": {:.3}, \
+                 \"subprocess_ms\": {:.3}, \"overhead\": {:.3}, \"identical\": {}, \
+                 \"blocks\": {}}}{}\n",
+                cell.entities,
+                cell.workers,
+                cell.inprocess_ms,
+                cell.subprocess_ms,
+                cell.subprocess_ms / cell.inprocess_ms,
+                cell.identical,
+                cell.blocks,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("E21: cannot write {path}: {e}"));
+        println!("backend snapshot written to {path}");
+    }
+}
+
 /// Runs the full suite in order.
 pub fn run_all() {
     e1_blocking_quality();
@@ -2027,4 +2233,5 @@ pub fn run_all() {
     e18_layout();
     e19_streaming();
     e20_scenario_matrix();
+    e21_backend_overhead();
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! er-metrics-check metrics.json [--expect-fault-free] [--require-ingest]
-//!                               [--require-scenarios]
+//!                               [--require-scenarios] [--require-backend]
 //! ```
 //!
 //! Parses the sorted-key JSON written by the CLI back into an
@@ -30,7 +30,13 @@
 //! - with `--require-scenarios` (a snapshot from `er scenario run
 //!   --metrics-out`): `scenario.cells_run` > 0 — the benchmark matrix
 //!   actually executed — and `scenario.cells_failed` is 0 (the counter is
-//!   pre-registered by the runner, so an absent counter also reads as 0).
+//!   pre-registered by the runner, so an absent counter also reads as 0);
+//! - with `--require-backend` (a run on the subprocess worker backend,
+//!   `er resolve --backend subprocess`): `worker.spawned` > 0, the pool
+//!   ledger `spawned == exited + crashed` holds (every spawned worker was
+//!   reaped, one way or the other), `worker.restarted` ≤ `worker.crashed`
+//!   (restarts only replace crashed workers), and the `worker.running` gauge
+//!   exists and reads 0 — the pool was fully drained.
 //!
 //! Every violated invariant is reported (not just the first); any violation
 //! exits nonzero so the CI job fails loudly.
@@ -60,16 +66,18 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: er-metrics-check SNAPSHOT.json [--expect-fault-free] \
-                         [--require-ingest] [--require-scenarios]";
+                         [--require-ingest] [--require-scenarios] [--require-backend]";
     let mut path = None;
     let mut expect_fault_free = false;
     let mut require_ingest = false;
     let mut require_scenarios = false;
+    let mut require_backend = false;
     for a in args {
         match a.as_str() {
             "--expect-fault-free" => expect_fault_free = true,
             "--require-ingest" => require_ingest = true,
             "--require-scenarios" => require_scenarios = true,
+            "--require-backend" => require_backend = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -93,6 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
         expect_fault_free,
         require_ingest,
         require_scenarios,
+        require_backend,
     );
     if failures.is_empty() {
         println!(
@@ -131,6 +140,7 @@ fn check(
     expect_fault_free: bool,
     require_ingest: bool,
     require_scenarios: bool,
+    require_backend: bool,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     let mut fail = |msg: String| failures.push(msg);
@@ -275,6 +285,44 @@ fn check(
             )),
         }
     }
+
+    // A run on the subprocess worker backend must leave a consistent pool
+    // ledger: every spawned worker was reaped (cleanly or as a crash),
+    // restarts only replaced crashed workers, and the pool drained to zero.
+    // `worker.exited`/`worker.crashed`/`worker.restarted` register on first
+    // increment, so an absent counter reads as 0.
+    if require_backend {
+        let exited = snapshot.counter("worker.exited").unwrap_or(0);
+        let crashed = snapshot.counter("worker.crashed").unwrap_or(0);
+        let restarted = snapshot.counter("worker.restarted").unwrap_or(0);
+        match snapshot.counter("worker.spawned") {
+            None => fail(
+                "worker.spawned counter is missing — the subprocess backend never ran".to_string(),
+            ),
+            Some(0) => fail("worker.spawned is 0 — no worker process started".to_string()),
+            Some(s) => {
+                if s != exited + crashed {
+                    fail(format!(
+                        "worker ledger mismatch: spawned ({s}) != exited ({exited}) + \
+                         crashed ({crashed})"
+                    ));
+                }
+            }
+        }
+        if restarted > crashed {
+            fail(format!(
+                "worker.restarted ({restarted}) exceeds worker.crashed ({crashed}) — restarts \
+                 must only replace crashed workers"
+            ));
+        }
+        match snapshot.gauge("worker.running") {
+            None => fail("worker.running gauge is missing — no worker pool ran".to_string()),
+            Some(r) if r != 0.0 => fail(format!(
+                "worker.running is {r} — the worker pool was not drained"
+            )),
+            Some(_) => {}
+        }
+    }
     failures
 }
 
@@ -329,12 +377,12 @@ mod tests {
 
     #[test]
     fn healthy_snapshot_passes() {
-        assert!(check(&healthy(), true, false, false).is_empty());
+        assert!(check(&healthy(), true, false, false, false).is_empty());
     }
 
     #[test]
     fn empty_snapshot_reports_every_missing_piece() {
-        let failures = check(&MetricsSnapshot::default(), true, false, false);
+        let failures = check(&MetricsSnapshot::default(), true, false, false, false);
         assert!(failures.len() >= 8, "{failures:?}");
     }
 
@@ -343,7 +391,7 @@ mod tests {
         let mut s = healthy();
         s.counters
             .insert("meta_blocking.comparisons_after".into(), 1000);
-        let failures = check(&s, false, false, false);
+        let failures = check(&s, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("exceeds")),
             "{failures:?}"
@@ -358,7 +406,7 @@ mod tests {
             .insert("meta_blocking.comparisons_after".into(), 100);
         s.counters
             .insert("meta_blocking.comparisons_pruned".into(), 0);
-        let failures = check(&s, false, false, false);
+        let failures = check(&s, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pruning_ratio")),
             "{failures:?}"
@@ -369,7 +417,7 @@ mod tests {
     fn missing_stage_span_is_caught() {
         let mut s = healthy();
         s.spans.remove("pipeline.cleaning");
-        let failures = check(&s, false, false, false);
+        let failures = check(&s, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pipeline.cleaning")),
             "{failures:?}"
@@ -380,8 +428,8 @@ mod tests {
     fn retries_only_checked_when_fault_free_expected() {
         let mut s = healthy();
         s.counters.insert("recovery.stage_retries".into(), 2);
-        assert!(check(&s, false, false, false).is_empty());
-        let failures = check(&s, true, false, false);
+        assert!(check(&s, false, false, false, false).is_empty());
+        let failures = check(&s, true, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("stage_retries")),
             "{failures:?}"
@@ -393,7 +441,7 @@ mod tests {
         let mut s = healthy();
         s.counters.remove("blocking.interner_symbols");
         s.counters.insert("metablocking.edge_sort_bytes".into(), 0);
-        let failures = check(&s, false, false, false);
+        let failures = check(&s, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("interner_symbols")),
             "{failures:?}"
@@ -408,7 +456,7 @@ mod tests {
     fn misparented_span_is_caught() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.matching").unwrap().parent = None;
-        let failures = check(&s, false, false, false);
+        let failures = check(&s, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("not nested")),
             "{failures:?}"
@@ -419,7 +467,7 @@ mod tests {
     fn transitive_nesting_is_accepted() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.cleaning").unwrap().parent = Some("pipeline.blocking".into());
-        assert!(check(&s, true, false, false).is_empty());
+        assert!(check(&s, true, false, false, false).is_empty());
     }
 
     /// `healthy()` plus the counters a streaming-ingest run records.
@@ -436,8 +484,8 @@ mod tests {
     fn ingest_only_checked_when_required() {
         // Without the flag, a snapshot with no ingest metrics passes; with
         // it, every missing piece is called out.
-        assert!(check(&healthy(), true, false, false).is_empty());
-        let failures = check(&healthy(), true, true, false);
+        assert!(check(&healthy(), true, false, false, false).is_empty());
+        let failures = check(&healthy(), true, true, false, false);
         assert!(
             failures.iter().any(|f| f.contains("ingest.records_seen")),
             "{failures:?}"
@@ -446,14 +494,14 @@ mod tests {
             failures.iter().any(|f| f.contains("ingest.queue_bytes")),
             "{failures:?}"
         );
-        assert!(check(&healthy_with_ingest(), true, true, false).is_empty());
+        assert!(check(&healthy_with_ingest(), true, true, false, false).is_empty());
     }
 
     #[test]
     fn ingest_ledger_mismatch_is_caught() {
         let mut s = healthy_with_ingest();
         s.counters.insert("ingest.records_accepted".into(), 139);
-        let failures = check(&s, false, true, false);
+        let failures = check(&s, false, true, false, false);
         assert!(
             failures
                 .iter()
@@ -469,14 +517,14 @@ mod tests {
         let mut s = healthy_with_ingest();
         s.counters.remove("ingest.records_quarantined");
         s.counters.insert("ingest.records_accepted".into(), 150);
-        assert!(check(&s, true, true, false).is_empty());
+        assert!(check(&s, true, true, false, false).is_empty());
     }
 
     #[test]
     fn undrained_queue_is_caught() {
         let mut s = healthy_with_ingest();
         s.gauges.insert("ingest.queue_bytes".into(), 512.0);
-        let failures = check(&s, false, true, false);
+        let failures = check(&s, false, true, false, false);
         assert!(
             failures.iter().any(|f| f.contains("not drained")),
             "{failures:?}"
@@ -489,21 +537,21 @@ mod tests {
         // it, a missing cells_run is called out. An absent cells_failed reads
         // as 0, so cells_run alone satisfies the requirement.
         let mut s = healthy();
-        assert!(check(&s, true, false, false).is_empty());
-        let failures = check(&s, true, false, true);
+        assert!(check(&s, true, false, false, false).is_empty());
+        let failures = check(&s, true, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("scenario.cells_run")),
             "{failures:?}"
         );
         s.counters.insert("scenario.cells_run".into(), 45);
-        assert!(check(&s, true, false, true).is_empty());
+        assert!(check(&s, true, false, true, false).is_empty());
     }
 
     #[test]
     fn zero_scenario_cells_run_is_caught() {
         let mut s = healthy();
         s.counters.insert("scenario.cells_run".into(), 0);
-        let failures = check(&s, false, false, true);
+        let failures = check(&s, false, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("cells_run")),
             "{failures:?}"
@@ -515,9 +563,99 @@ mod tests {
         let mut s = healthy();
         s.counters.insert("scenario.cells_run".into(), 45);
         s.counters.insert("scenario.cells_failed".into(), 2);
-        let failures = check(&s, false, false, true);
+        let failures = check(&s, false, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("cells_failed")),
+            "{failures:?}"
+        );
+    }
+
+    /// `healthy()` plus the counters a subprocess-backend run records: four
+    /// workers spawned, three exited cleanly, one crashed and was restarted
+    /// (the restart is one of the four spawns), pool drained.
+    fn healthy_with_backend() -> MetricsSnapshot {
+        let mut s = healthy();
+        s.counters.insert("worker.spawned".into(), 4);
+        s.counters.insert("worker.exited".into(), 3);
+        s.counters.insert("worker.crashed".into(), 1);
+        s.counters.insert("worker.restarted".into(), 1);
+        s.gauges.insert("worker.running".into(), 0.0);
+        s
+    }
+
+    #[test]
+    fn backend_only_checked_when_required() {
+        // Without the flag a snapshot with no worker metrics passes; with it,
+        // every missing piece is called out.
+        assert!(check(&healthy(), true, false, false, false).is_empty());
+        let failures = check(&healthy(), true, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("worker.spawned")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("worker.running")),
+            "{failures:?}"
+        );
+        assert!(check(&healthy_with_backend(), true, false, false, true).is_empty());
+    }
+
+    #[test]
+    fn worker_ledger_mismatch_is_caught() {
+        let mut s = healthy_with_backend();
+        s.counters.insert("worker.exited".into(), 2);
+        let failures = check(&s, false, false, false, true);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("worker ledger mismatch")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn crash_free_backend_run_reads_absent_counters_as_zero() {
+        // A crash-free run never increments exited-by-crash counters; only
+        // worker.exited carries the whole ledger.
+        let mut s = healthy_with_backend();
+        s.counters.remove("worker.crashed");
+        s.counters.remove("worker.restarted");
+        s.counters.insert("worker.exited".into(), 4);
+        assert!(check(&s, true, false, false, true).is_empty());
+    }
+
+    #[test]
+    fn undrained_worker_pool_is_caught() {
+        let mut s = healthy_with_backend();
+        s.gauges.insert("worker.running".into(), 2.0);
+        let failures = check(&s, false, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("not drained")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn restarts_exceeding_crashes_are_caught() {
+        let mut s = healthy_with_backend();
+        s.counters.insert("worker.restarted".into(), 3);
+        let failures = check(&s, false, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("worker.restarted")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn zero_spawned_workers_is_caught() {
+        let mut s = healthy_with_backend();
+        s.counters.insert("worker.spawned".into(), 0);
+        s.counters.remove("worker.exited");
+        s.counters.remove("worker.crashed");
+        s.counters.remove("worker.restarted");
+        let failures = check(&s, false, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("worker.spawned is 0")),
             "{failures:?}"
         );
     }

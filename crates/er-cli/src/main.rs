@@ -37,14 +37,18 @@ use er_metablocking::{PruningScheme, WeightingScheme};
 use er_pipeline::recovery::{STAGE_BLOCKING, STAGE_MATCHING, STAGE_META_BLOCKING};
 use er_pipeline::streaming::raw_record_from_entity;
 use er_pipeline::{
-    BlockingStage, CleaningStage, ClusteringStage, MatchingStage, MetaBlockingStage, Pipeline,
-    RecoveryOptions, StreamingConfig, StreamingSession,
+    Backend, BlockingStage, CleaningStage, ClusteringStage, MatchingStage, MetaBlockingStage,
+    Pipeline, RecoveryOptions, StreamingConfig, StreamingSession,
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
+    // Hidden worker mode: `er --worker` speaks the framed worker protocol on
+    // stdin/stdout and never returns. This is what the subprocess backend
+    // spawns when it re-execs the current binary.
+    er_mapreduce::maybe_worker_entry(&er_mapreduce::default_registry());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
@@ -82,7 +86,8 @@ fn print_usage() {
          \x20            [--fail-stage blocking|meta-blocking|matching]\n\
          \x20            [--memory-budget BYTES] [--stage-timeout SECONDS]\n\
          \x20            [--metrics-out FILE]\n\
-         \x20            [--ingest-queue-bytes BYTES] [--quarantine-out FILE]\n\n\
+         \x20            [--ingest-queue-bytes BYTES] [--quarantine-out FILE]\n\
+         \x20            [--backend inprocess|subprocess] [--workers N]\n\n\
          NOISE LEVELS: clean, light, moderate (default), heavy\n\
          THREADS: worker threads for the hot kernels; 0 = all cores,\n\
          \x20        default 1 (serial). The output is identical either way.\n\
@@ -98,6 +103,11 @@ fn print_usage() {
          METRICS: --metrics-out FILE enables the observability registry and\n\
          \x20        writes the per-stage metrics snapshot as sorted-key JSON\n\
          \x20        (validate it with the er-metrics-check companion binary).\n\
+         BACKEND: --backend subprocess runs token blocking on --workers N\n\
+         \x20        (default 2) supervised worker processes with real crash\n\
+         \x20        isolation: crashed workers are restarted and their tasks\n\
+         \x20        reassigned, and the resolution is bit-identical to the\n\
+         \x20        default in-process backend (see docs/distributed.md).\n\
          STREAM:  --ingest-queue-bytes BYTES replays the collection through\n\
          \x20        the bounded arrival queue (producers feel back-pressure\n\
          \x20        past the budget); --quarantine-out FILE validates every\n\
@@ -189,6 +199,38 @@ fn resource_limits_from(flags: &BTreeMap<String, String>) -> Result<ResourceLimi
         limits = limits.with_stage_timeout(std::time::Duration::from_secs_f64(secs));
     }
     Ok(limits)
+}
+
+/// Builds the execution backend from the resolve flags: `--backend
+/// inprocess` (default) or `--backend subprocess` with `--workers N` worker
+/// processes (default 2).
+fn backend_from(flags: &BTreeMap<String, String>) -> Result<Backend, String> {
+    let workers: Option<usize> = flags
+        .get("workers")
+        .map(|v| v.parse().map_err(|_| format!("bad --workers {v:?}")))
+        .transpose()?;
+    match flags
+        .get("backend")
+        .map(String::as_str)
+        .unwrap_or("inprocess")
+    {
+        "inprocess" => {
+            if workers.is_some() {
+                return Err("--workers only applies to --backend subprocess".to_string());
+            }
+            Ok(Backend::InProcess)
+        }
+        "subprocess" => {
+            let workers = workers.unwrap_or(2);
+            if workers == 0 {
+                return Err("--workers must be at least 1".to_string());
+            }
+            Ok(Backend::Subprocess { workers })
+        }
+        other => Err(format!(
+            "unknown --backend {other:?} (allowed: inprocess, subprocess)"
+        )),
+    }
 }
 
 fn noise_from(name: &str) -> Result<NoiseModel, String> {
@@ -504,6 +546,8 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             "metrics-out",
             "ingest-queue-bytes",
             "quarantine-out",
+            "backend",
+            "workers",
         ],
         &["resume"],
     )?;
@@ -516,6 +560,7 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
     );
     let opts = recovery_options_from(&flags)?;
     let limits = resource_limits_from(&flags)?;
+    let backend = backend_from(&flags)?;
     let ingest_queue_bytes = flags
         .get("ingest-queue-bytes")
         .map(|v| parse_bytes(v))
@@ -616,6 +661,7 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         .clustering(clustering)
         .parallelism(par)
         .resource_limits(limits)
+        .backend(backend)
         .observability(obs);
     builder = match meta {
         Some(mb) => builder.meta_blocking(mb),
@@ -902,6 +948,37 @@ mod tests {
             "1",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn backend_flag_errors_are_proper_errors() {
+        let err = cmd_resolve(&s(&["--collection", "x.txt", "--backend", "hadoop"])).unwrap_err();
+        assert!(err.contains("--backend"), "{err}");
+        let err = cmd_resolve(&s(&["--collection", "x.txt", "--workers", "4"])).unwrap_err();
+        assert!(
+            err.contains("--workers only applies to --backend subprocess"),
+            "{err}"
+        );
+        let err = cmd_resolve(&s(&[
+            "--collection",
+            "x.txt",
+            "--backend",
+            "subprocess",
+            "--workers",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--workers must be at least 1"), "{err}");
+        let err = cmd_resolve(&s(&[
+            "--collection",
+            "x.txt",
+            "--backend",
+            "subprocess",
+            "--workers",
+            "two",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad --workers"), "{err}");
     }
 
     #[test]

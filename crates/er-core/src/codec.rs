@@ -82,43 +82,76 @@ impl LineCodec {
     /// Reads a file written by [`write_atomic`](LineCodec::write_atomic):
     /// `Ok(None)` when absent, `Err(reason)` when the magic, version, stage,
     /// fingerprint or footer is wrong, `Ok(Some((header, body_lines)))`
-    /// otherwise. Never panics on malformed input.
+    /// otherwise. Never panics on malformed input, and every truncation or
+    /// decode error names the byte offset where the defect begins.
     pub fn read(&self, path: &Path, stage: &str) -> Result<Option<(String, Vec<String>)>, String> {
         let file = match fs::File::open(path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(format!("cannot open {}: {e}", path.display())),
         };
-        let mut lines = BufReader::new(file).lines();
-        let header = match lines.next() {
-            Some(Ok(h)) => h,
-            _ => return Err(format!("empty {}", self.magic)),
+        let mut reader = BufReader::new(file);
+        // Byte offset of the line currently being read; reported on error so
+        // a truncated or mutated file can be diagnosed without re-parsing.
+        let mut offset: u64 = 0;
+        let mut next_line = |offset: &mut u64| -> Result<Option<String>, String> {
+            let mut raw = String::new();
+            let at = *offset;
+            match reader.read_line(&mut raw) {
+                Ok(0) => Ok(None),
+                Ok(n) => {
+                    *offset += n as u64;
+                    if raw.ends_with('\n') {
+                        raw.pop();
+                        if raw.ends_with('\r') {
+                            raw.pop();
+                        }
+                    }
+                    Ok(Some(raw))
+                }
+                Err(e) => Err(format!("read error at byte {at}: {e}")),
+            }
+        };
+        let header = match next_line(&mut offset)? {
+            Some(h) => h,
+            None => return Err(format!("empty {} (at byte 0)", self.magic)),
         };
         let mut fields = header.split(' ');
         if fields.next() != Some(self.magic) || fields.next() != Some(self.version) {
-            return Err("bad magic/version".to_string());
+            return Err("bad magic/version (at byte 0)".to_string());
         }
         if fields.next() != Some(&format!("stage={stage}")[..]) {
-            return Err("wrong stage".to_string());
+            return Err("wrong stage (at byte 0)".to_string());
         }
         match fields.next().and_then(|f| f.strip_prefix("fingerprint=")) {
             Some(hex) => {
-                let got =
-                    u64::from_str_radix(hex, 16).map_err(|_| "bad fingerprint".to_string())?;
+                let got = u64::from_str_radix(hex, 16)
+                    .map_err(|_| "bad fingerprint (at byte 0)".to_string())?;
                 if got != self.fingerprint {
                     return Err(
                         "fingerprint mismatch (different collection or configuration)".to_string(),
                     );
                 }
             }
-            None => return Err("missing fingerprint".to_string()),
+            None => return Err("missing fingerprint (at byte 0)".to_string()),
         }
         let mut body = Vec::new();
-        for line in lines {
-            body.push(line.map_err(|e| format!("read error: {e}"))?);
+        let mut last_line_at = offset;
+        loop {
+            let at = offset;
+            match next_line(&mut offset)? {
+                Some(line) => {
+                    last_line_at = at;
+                    body.push(line);
+                }
+                None => break,
+            }
         }
         if body.pop().as_deref() != Some(FOOTER) {
-            return Err(format!("truncated {} (missing footer)", self.magic));
+            return Err(format!(
+                "truncated {} (missing footer at byte {last_line_at})",
+                self.magic
+            ));
         }
         Ok(Some((header, body)))
     }

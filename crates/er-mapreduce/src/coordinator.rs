@@ -1,0 +1,806 @@
+//! Multi-process backend: a coordinator supervising OS worker processes.
+//!
+//! [`SubprocessTransport`] spawns `workers` child processes (by default a
+//! re-exec of the current binary with `--worker`) and drives them over the
+//! framed protocol of [`proto`](crate::proto). Supervision rules:
+//!
+//! * **Handshake** — every worker must answer `Hello` (protocol version +
+//!   fingerprint + its budget allotment) with `HelloAck` before any task is
+//!   dispatched; a `HelloRej` (mismatched binary) fails the run with a typed
+//!   error instead of restarting into the same mismatch forever.
+//! * **Liveness** — workers heartbeat on a fixed cadence; a worker silent
+//!   past the liveness deadline is killed and treated as crashed. A worker
+//!   whose pipe closes (SIGKILL, OOM-kill, panic) is detected immediately.
+//! * **Crash reassignment** — a task in flight on a dead worker is requeued
+//!   with a fresh attempt number, exactly like a straggler that never
+//!   reports. Crashes do **not** consume the task's typed-failure retry
+//!   budget; they draw from the pool-wide `max_restarts` budget instead, so
+//!   a crash loop terminates in a typed [`ExecError`], never a hang.
+//! * **Reaping** — every spawned child is `wait()`ed on every exit path
+//!   (success, typed failure, coordinator panic) via the transport's `Drop`;
+//!   no zombies and no leaked PIDs survive a failed run.
+//!
+//! Obs counters: `worker.spawned`, `worker.exited` (clean), `worker.crashed`
+//! (involuntary), `worker.restarted`, `worker.heartbeats_missed`, and the
+//! `worker.running` gauge (0 once the pool is drained).
+
+use crate::engine::ExecError;
+use crate::proto::{
+    protocol_fingerprint, Frame, FrameError, FrameReader, FrameWriter, PROTOCOL_VERSION,
+};
+use crate::transport::{StageOutput, Transport};
+use er_core::fault::ExecPolicy;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of the subprocess worker pool.
+#[derive(Clone)]
+pub struct SubprocessConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Worker executable; `None` re-execs the current binary.
+    pub program: Option<PathBuf>,
+    /// Arguments passed to the worker executable.
+    pub args: Vec<String>,
+    /// Heartbeat cadence requested from workers.
+    pub heartbeat: Duration,
+    /// A worker silent for longer than this is declared dead.
+    pub liveness_deadline: Duration,
+    /// Deadline for the `Hello` → `HelloAck` exchange after spawn.
+    pub handshake_deadline: Duration,
+    /// Grace period for clean exits at shutdown before the pool kills.
+    pub shutdown_grace: Duration,
+    /// Hard wall-clock bound per stage; `None` disables. The final backstop
+    /// of the no-hang guarantee.
+    pub stage_deadline: Option<Duration>,
+    /// Pool-wide budget of worker restarts after crashes; once spent, the
+    /// next crash that empties the pool fails the stage with a typed error.
+    pub max_restarts: u32,
+    /// Total memory budget split into per-worker allotments at handshake
+    /// (0 = unlimited).
+    pub budget_total: u64,
+    /// Retry/speculation/obs bundle (the PR 2 rules, applied to processes).
+    pub policy: ExecPolicy,
+    /// Test hook: send this `(version, fingerprint)` in `Hello` instead of
+    /// the real ones, to exercise handshake rejection.
+    pub handshake_overrides: Option<(u32, u64)>,
+}
+
+impl SubprocessConfig {
+    /// Defaults for `workers` worker processes.
+    pub fn new(workers: usize) -> SubprocessConfig {
+        let workers = workers.max(1);
+        SubprocessConfig {
+            workers,
+            program: None,
+            args: vec!["--worker".to_string()],
+            heartbeat: Duration::from_millis(25),
+            liveness_deadline: Duration::from_secs(2),
+            handshake_deadline: Duration::from_secs(10),
+            shutdown_grace: Duration::from_secs(2),
+            stage_deadline: Some(Duration::from_secs(300)),
+            max_restarts: (workers as u32) * 4,
+            budget_total: 0,
+            policy: ExecPolicy::default(),
+            handshake_overrides: None,
+        }
+    }
+}
+
+/// Live view of the pool for external observers (the chaos killer thread).
+#[derive(Clone, Default)]
+pub struct PoolMonitor(Arc<Mutex<MonitorInner>>);
+
+#[derive(Default)]
+struct MonitorInner {
+    live: Vec<u32>,
+    all: Vec<u32>,
+}
+
+impl PoolMonitor {
+    /// PIDs of currently live workers.
+    pub fn live_pids(&self) -> Vec<u32> {
+        self.0.lock().map(|m| m.live.clone()).unwrap_or_default()
+    }
+
+    /// Every PID the pool ever spawned (for leak checks).
+    pub fn all_pids(&self) -> Vec<u32> {
+        self.0.lock().map(|m| m.all.clone()).unwrap_or_default()
+    }
+
+    fn add(&self, pid: u32) {
+        if let Ok(mut m) = self.0.lock() {
+            m.live.push(pid);
+            m.all.push(pid);
+        }
+    }
+
+    fn remove(&self, pid: u32) {
+        if let Ok(mut m) = self.0.lock() {
+            m.live.retain(|&p| p != pid);
+        }
+    }
+}
+
+/// Events the per-worker reader/writer threads feed the coordinator loop.
+enum Event {
+    Frame(u64, Frame),
+    Eof(u64),
+    ReadErr(u64, FrameError),
+    WriteErr(u64),
+}
+
+enum SlotState {
+    Handshaking,
+    Idle,
+    Busy {
+        task: usize,
+        attempt: u32,
+        started: Instant,
+    },
+    Dead,
+}
+
+struct WorkerSlot {
+    id: u64,
+    pid: u32,
+    child: Child,
+    /// Frames queued here are written by a dedicated writer thread, so the
+    /// coordinator never blocks on a wedged worker's stdin.
+    sender: Option<Sender<Frame>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    writer: Option<std::thread::JoinHandle<()>>,
+    state: SlotState,
+    last_seen: Instant,
+}
+
+/// Per-stage scheduler state (the engine's `ExecState`, crash-aware).
+struct StageSched {
+    n: usize,
+    results: Vec<Option<String>>,
+    completed: usize,
+    queue: VecDeque<(usize, u32, Instant)>,
+    next_attempt: Vec<u32>,
+    /// Typed `TaskError` failures per task — crashes are *not* counted here.
+    typed_failures: Vec<u32>,
+    /// Live (queued or in-flight) attempts per task.
+    live: Vec<u32>,
+    speculated: Vec<bool>,
+    durations: Vec<Duration>,
+    retried: u64,
+    speculated_count: u64,
+    reassigned: u64,
+    fatal: Option<ExecError>,
+}
+
+impl StageSched {
+    fn new(n: usize) -> StageSched {
+        let now = Instant::now();
+        StageSched {
+            n,
+            results: (0..n).map(|_| None).collect(),
+            completed: 0,
+            queue: (0..n).map(|t| (t, 0, now)).collect(),
+            next_attempt: vec![1; n],
+            typed_failures: vec![0; n],
+            live: vec![1; n],
+            speculated: vec![false; n],
+            durations: Vec::with_capacity(n),
+            retried: 0,
+            speculated_count: 0,
+            reassigned: 0,
+            fatal: None,
+        }
+    }
+
+    fn first_incomplete(&self) -> usize {
+        self.results.iter().position(|r| r.is_none()).unwrap_or(0)
+    }
+}
+
+/// The multi-process transport: a supervised pool of worker child processes.
+pub struct SubprocessTransport {
+    cfg: SubprocessConfig,
+    slots: Vec<WorkerSlot>,
+    next_worker_id: u64,
+    restarts_used: u32,
+    events_tx: Sender<Event>,
+    events_rx: Receiver<Event>,
+    monitor: PoolMonitor,
+    /// A handshake rejection latches here: restarting cannot fix a
+    /// mismatched binary, so every subsequent stage fails fast.
+    setup_fatal: Option<String>,
+}
+
+impl SubprocessTransport {
+    /// A transport over `cfg.workers` child processes. Workers are spawned
+    /// lazily on the first stage.
+    pub fn new(cfg: SubprocessConfig) -> SubprocessTransport {
+        let (events_tx, events_rx) = channel();
+        SubprocessTransport {
+            cfg,
+            slots: Vec::new(),
+            next_worker_id: 0,
+            restarts_used: 0,
+            events_tx,
+            events_rx,
+            monitor: PoolMonitor::default(),
+            setup_fatal: None,
+        }
+    }
+
+    /// A live view of worker PIDs (chaos harnesses kill through this).
+    pub fn monitor(&self) -> PoolMonitor {
+        self.monitor.clone()
+    }
+
+    /// Restarts consumed so far by crash recovery.
+    pub fn restarts_used(&self) -> u32 {
+        self.restarts_used
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s.state, SlotState::Dead))
+            .count()
+    }
+
+    fn update_running_gauge(&self) {
+        self.cfg
+            .policy
+            .obs
+            .gauge("worker.running")
+            .set(self.live_count() as f64);
+    }
+
+    fn spawn_worker(&mut self) -> Result<(), String> {
+        let program = match &self.cfg.program {
+            Some(p) => p.clone(),
+            None => std::env::current_exe()
+                .map_err(|e| format!("cannot resolve current executable: {e}"))?,
+        };
+        let mut child = Command::new(&program)
+            .args(&self.cfg.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {}: {e}", program.display()))?;
+        let id = self.next_worker_id;
+        self.next_worker_id += 1;
+        let pid = child.id();
+        let stdout = child.stdout.take().expect("piped stdout");
+        let stdin = child.stdin.take().expect("piped stdin");
+
+        let tx = self.events_tx.clone();
+        let reader = std::thread::Builder::new()
+            .name(format!("er-worker-read-{id}"))
+            .spawn(move || {
+                let mut r = FrameReader::new(stdout);
+                loop {
+                    match r.read() {
+                        Ok(Some(frame)) => {
+                            if tx.send(Event::Frame(id, frame)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = tx.send(Event::Eof(id));
+                            return;
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Event::ReadErr(id, e));
+                            return;
+                        }
+                    }
+                }
+            })
+            .map_err(|e| format!("cannot spawn reader thread: {e}"))?;
+
+        let (frame_tx, frame_rx) = channel::<Frame>();
+        let tx = self.events_tx.clone();
+        let writer = std::thread::Builder::new()
+            .name(format!("er-worker-write-{id}"))
+            .spawn(move || {
+                let mut w = FrameWriter::new(stdin);
+                for frame in frame_rx {
+                    if w.write(&frame).is_err() {
+                        let _ = tx.send(Event::WriteErr(id));
+                        return;
+                    }
+                }
+                // Channel closed: dropping the writer closes the worker's
+                // stdin, which a healthy worker treats as shutdown.
+            })
+            .map_err(|e| format!("cannot spawn writer thread: {e}"))?;
+
+        let (version, fingerprint) = self
+            .cfg
+            .handshake_overrides
+            .unwrap_or((PROTOCOL_VERSION, protocol_fingerprint()));
+        let budget = if self.cfg.budget_total == 0 {
+            0
+        } else {
+            (self.cfg.budget_total / self.cfg.workers as u64).max(1)
+        };
+        let hello = Frame::Hello {
+            version,
+            fingerprint,
+            worker_id: id,
+            budget_bytes: budget,
+            heartbeat_ms: self.cfg.heartbeat.as_millis().max(1) as u64,
+        };
+        let _ = frame_tx.send(hello); // a failed send surfaces as WriteErr/Eof
+
+        let now = Instant::now();
+        self.slots.push(WorkerSlot {
+            id,
+            pid,
+            child,
+            sender: Some(frame_tx),
+            reader: Some(reader),
+            writer: Some(writer),
+            state: SlotState::Handshaking,
+            last_seen: now,
+        });
+        self.monitor.add(pid);
+        let obs = &self.cfg.policy.obs;
+        obs.counter("worker.spawned").incr();
+        self.update_running_gauge();
+        Ok(())
+    }
+
+    fn ensure_pool(&mut self) -> Result<(), ExecError> {
+        while self.live_count() < self.cfg.workers {
+            self.spawn_worker().map_err(|m| ExecError {
+                stage: "spawn".to_string(),
+                task: 0,
+                attempts: 0,
+                message: m,
+            })?;
+        }
+        Ok(())
+    }
+
+    fn slot_index(&self, id: u64) -> Option<usize> {
+        self.slots.iter().position(|s| s.id == id)
+    }
+
+    /// Kills (best effort), reaps, and unregisters a worker; requeues its
+    /// in-flight task; spawns a replacement while the restart budget lasts.
+    fn handle_death(&mut self, idx: usize, sched: &mut StageSched, why: &str) {
+        if matches!(self.slots[idx].state, SlotState::Dead) {
+            return;
+        }
+        let obs = self.cfg.policy.obs.clone();
+        {
+            let slot = &mut self.slots[idx];
+            slot.sender = None; // closes stdin via the writer thread
+            let _ = slot.child.kill();
+            let _ = slot.child.wait(); // reap: no zombie survives this path
+            let pid = slot.pid;
+            let prior = std::mem::replace(&mut slot.state, SlotState::Dead);
+            self.monitor.remove(pid);
+            obs.counter("worker.crashed").incr();
+            if let SlotState::Busy { task, attempt, .. } = prior {
+                if sched.results[task].is_none() {
+                    // A killed worker is a straggler that never reports: the
+                    // attempt is reassigned with a fresh number and does NOT
+                    // consume the task's typed-failure retry budget.
+                    let next = sched.next_attempt[task];
+                    sched.next_attempt[task] += 1;
+                    sched.queue.push_front((task, next, Instant::now()));
+                    sched.reassigned += 1;
+                    obs.emit(er_core::obs::Event::Warning {
+                        stage: "worker".to_string(),
+                        reason: format!(
+                            "worker {pid} died ({why}); task {task} attempt {attempt} reassigned"
+                        ),
+                    });
+                } else {
+                    sched.live[task] = sched.live[task].saturating_sub(1);
+                }
+            }
+        }
+        self.update_running_gauge();
+        if self.setup_fatal.is_some() || sched.fatal.is_some() {
+            return;
+        }
+        if self.restarts_used < self.cfg.max_restarts {
+            self.restarts_used += 1;
+            match self.spawn_worker() {
+                Ok(()) => {
+                    self.cfg.policy.obs.counter("worker.restarted").incr();
+                }
+                Err(m) => {
+                    sched.fatal = Some(ExecError {
+                        stage: "spawn".to_string(),
+                        task: sched.first_incomplete(),
+                        attempts: 0,
+                        message: format!("cannot restart worker: {m}"),
+                    });
+                }
+            }
+        } else if self.live_count() == 0 && sched.completed < sched.n {
+            sched.fatal = Some(ExecError {
+                stage: "supervise".to_string(),
+                task: sched.first_incomplete(),
+                attempts: 0,
+                message: format!(
+                    "worker pool exhausted: restart budget ({}) spent and no live workers remain",
+                    self.cfg.max_restarts
+                ),
+            });
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event, sched: &mut StageSched) {
+        match ev {
+            Event::Frame(id, frame) => {
+                let Some(idx) = self.slot_index(id) else {
+                    return;
+                };
+                self.slots[idx].last_seen = Instant::now();
+                match frame {
+                    Frame::Heartbeat { .. } => {}
+                    Frame::HelloAck { budget_bytes, .. } => {
+                        if matches!(self.slots[idx].state, SlotState::Handshaking) {
+                            self.slots[idx].state = SlotState::Idle;
+                            self.cfg
+                                .policy
+                                .obs
+                                .gauge("worker.budget_bytes")
+                                .set(budget_bytes as f64);
+                        }
+                    }
+                    Frame::HelloRej { reason } => {
+                        let message = format!("worker rejected handshake: {reason}");
+                        self.setup_fatal = Some(message.clone());
+                        sched.fatal = Some(ExecError {
+                            stage: "handshake".to_string(),
+                            task: sched.first_incomplete(),
+                            attempts: 0,
+                            message,
+                        });
+                        self.handle_death(idx, sched, "handshake rejected");
+                    }
+                    Frame::TaskResult {
+                        task,
+                        attempt: _,
+                        payload,
+                    } => {
+                        let started = match self.slots[idx].state {
+                            SlotState::Busy { started, .. } => Some(started),
+                            _ => None,
+                        };
+                        if !matches!(self.slots[idx].state, SlotState::Dead) {
+                            self.slots[idx].state = SlotState::Idle;
+                        }
+                        if task < sched.n {
+                            sched.live[task] = sched.live[task].saturating_sub(1);
+                            if sched.results[task].is_none() {
+                                sched.results[task] = Some(payload);
+                                sched.completed += 1;
+                                if let Some(s) = started {
+                                    sched.durations.push(s.elapsed());
+                                }
+                            }
+                            // A slower duplicate (speculation / reassignment
+                            // race) is dropped: result identity decides.
+                        }
+                    }
+                    Frame::TaskError {
+                        task,
+                        attempt: _,
+                        message,
+                    } => {
+                        if !matches!(self.slots[idx].state, SlotState::Dead) {
+                            self.slots[idx].state = SlotState::Idle;
+                        }
+                        if task < sched.n {
+                            self.record_typed_failure(task, message, sched);
+                        }
+                    }
+                    other => {
+                        // A worker must never send coordinator frames; treat
+                        // it as corrupt and recycle the process.
+                        self.handle_death(idx, sched, &format!("unexpected frame {other:?}"));
+                    }
+                }
+            }
+            Event::Eof(id) | Event::WriteErr(id) => {
+                if let Some(idx) = self.slot_index(id) {
+                    self.handle_death(idx, sched, "pipe closed");
+                }
+            }
+            Event::ReadErr(id, e) => {
+                if let Some(idx) = self.slot_index(id) {
+                    self.handle_death(idx, sched, &format!("protocol error: {e}"));
+                }
+            }
+        }
+    }
+
+    fn record_typed_failure(&mut self, task: usize, message: String, sched: &mut StageSched) {
+        sched.live[task] = sched.live[task].saturating_sub(1);
+        if sched.results[task].is_some() {
+            return; // a backup already completed the task
+        }
+        sched.typed_failures[task] += 1;
+        if sched.typed_failures[task] < self.cfg.policy.retry.max_attempts {
+            let attempt = sched.next_attempt[task];
+            sched.next_attempt[task] += 1;
+            sched.live[task] += 1;
+            sched.retried += 1;
+            let backoff =
+                self.cfg
+                    .policy
+                    .retry
+                    .backoff_for("stage", task, sched.typed_failures[task]);
+            sched
+                .queue
+                .push_back((task, attempt, Instant::now() + backoff));
+        } else if sched.live[task] == 0 {
+            sched.fatal = Some(ExecError {
+                stage: String::new(), // filled by run_stage
+                task,
+                attempts: sched.typed_failures[task],
+                message,
+            });
+        }
+    }
+
+    fn dispatch(&mut self, job: &str, stage: &str, payloads: &[String], sched: &mut StageSched) {
+        loop {
+            let now = Instant::now();
+            let Some(qpos) = sched.queue.iter().position(|&(_, _, nb)| nb <= now) else {
+                return;
+            };
+            let Some(widx) = self
+                .slots
+                .iter()
+                .position(|s| matches!(s.state, SlotState::Idle))
+            else {
+                return;
+            };
+            let (task, attempt, _) = sched.queue.remove(qpos).expect("position exists");
+            // Coordinator-side fault injection: a scheduled fault consumes
+            // the attempt before it ever reaches a worker, so the PR 2
+            // injection tests mean the same thing on both backends.
+            if let Some(inj) = &self.cfg.policy.injector {
+                if let Err(e) = inj.fire(stage, task, attempt) {
+                    self.record_typed_failure(task, e.to_string(), sched);
+                    continue;
+                }
+            }
+            let frame = Frame::Task {
+                job: job.to_string(),
+                stage: stage.to_string(),
+                task,
+                attempt,
+                payload: payloads[task].clone(),
+            };
+            let sent = self.slots[widx]
+                .sender
+                .as_ref()
+                .map(|s| s.send(frame).is_ok())
+                .unwrap_or(false);
+            if sent {
+                self.slots[widx].state = SlotState::Busy {
+                    task,
+                    attempt,
+                    started: now,
+                };
+            } else {
+                sched.queue.push_front((task, attempt, now));
+                self.handle_death(widx, sched, "stdin closed");
+                return;
+            }
+        }
+    }
+
+    fn speculate(&mut self, sched: &mut StageSched) {
+        let Some(spec) = self.cfg.policy.speculation else {
+            return;
+        };
+        if sched.durations.len() < spec.min_completed {
+            return;
+        }
+        let mut ds = sched.durations.clone();
+        ds.sort_unstable();
+        let median = ds[ds.len() / 2];
+        let threshold = median.mul_f64(spec.straggler_factor).max(spec.min_runtime);
+        let now = Instant::now();
+        let stragglers: Vec<usize> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s.state {
+                SlotState::Busy { task, started, .. }
+                    if sched.results[task].is_none()
+                        && !sched.speculated[task]
+                        && now.duration_since(started) > threshold =>
+                {
+                    Some(task)
+                }
+                _ => None,
+            })
+            .collect();
+        for task in stragglers {
+            let attempt = sched.next_attempt[task];
+            sched.next_attempt[task] += 1;
+            sched.live[task] += 1;
+            sched.speculated[task] = true;
+            sched.speculated_count += 1;
+            sched.queue.push_back((task, attempt, now));
+        }
+    }
+
+    fn liveness_scan(&mut self, sched: &mut StageSched) {
+        let now = Instant::now();
+        let overdue: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let deadline = match s.state {
+                    SlotState::Dead => return None,
+                    SlotState::Handshaking => self.cfg.handshake_deadline,
+                    _ => self.cfg.liveness_deadline,
+                };
+                (now.duration_since(s.last_seen) > deadline).then_some(i)
+            })
+            .collect();
+        for idx in overdue {
+            self.cfg
+                .policy
+                .obs
+                .counter("worker.heartbeats_missed")
+                .incr();
+            self.handle_death(idx, sched, "missed heartbeats");
+        }
+    }
+
+    /// Sends `Shutdown` to every live worker, waits out the grace period,
+    /// kills laggards, and reaps everything. Called by `Drop`, so it runs on
+    /// success, typed failure, and coordinator panic alike.
+    fn shutdown_pool(&mut self) {
+        let obs = self.cfg.policy.obs.clone();
+        for slot in &mut self.slots {
+            if matches!(slot.state, SlotState::Dead) {
+                continue;
+            }
+            if let Some(sender) = &slot.sender {
+                let _ = sender.send(Frame::Shutdown);
+            }
+            slot.sender = None; // writer drains, then closes the pipe (EOF)
+        }
+        let deadline = Instant::now() + self.cfg.shutdown_grace;
+        for slot in &mut self.slots {
+            if matches!(slot.state, SlotState::Dead) {
+                continue;
+            }
+            let clean = loop {
+                match slot.child.try_wait() {
+                    Ok(Some(status)) => break status.success(),
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            let _ = slot.child.kill();
+                            let _ = slot.child.wait();
+                            break false;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break false,
+                }
+            };
+            slot.state = SlotState::Dead;
+            self.monitor.remove(slot.pid);
+            if clean {
+                obs.counter("worker.exited").incr();
+            } else {
+                obs.counter("worker.crashed").incr();
+            }
+        }
+        for slot in &mut self.slots {
+            if let Some(r) = slot.reader.take() {
+                let _ = r.join();
+            }
+            if let Some(w) = slot.writer.take() {
+                let _ = w.join();
+            }
+        }
+        self.update_running_gauge();
+    }
+}
+
+impl Drop for SubprocessTransport {
+    fn drop(&mut self) {
+        self.shutdown_pool();
+    }
+}
+
+impl Transport for SubprocessTransport {
+    fn run_stage(
+        &mut self,
+        job: &str,
+        stage: &str,
+        payloads: &[String],
+    ) -> Result<StageOutput, ExecError> {
+        if let Some(m) = &self.setup_fatal {
+            return Err(ExecError {
+                stage: stage.to_string(),
+                task: 0,
+                attempts: 0,
+                message: m.clone(),
+            });
+        }
+        if payloads.is_empty() {
+            return Ok(StageOutput::default());
+        }
+        self.ensure_pool()?;
+        let mut sched = StageSched::new(payloads.len());
+        let started = Instant::now();
+        loop {
+            if sched.completed == sched.n {
+                break;
+            }
+            if let Some(mut fatal) = sched.fatal.take() {
+                if fatal.stage.is_empty() {
+                    fatal.stage = stage.to_string();
+                }
+                return Err(fatal);
+            }
+            if let Some(deadline) = self.cfg.stage_deadline {
+                if started.elapsed() > deadline {
+                    return Err(ExecError {
+                        stage: stage.to_string(),
+                        task: sched.first_incomplete(),
+                        attempts: 0,
+                        message: format!(
+                            "stage deadline exceeded after {:.1}s (watchdog bound on hangs)",
+                            deadline.as_secs_f64()
+                        ),
+                    });
+                }
+            }
+            self.dispatch(job, stage, payloads, &mut sched);
+            self.speculate(&mut sched);
+            match self.events_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(ev) => {
+                    self.handle_event(ev, &mut sched);
+                    while let Ok(ev) = self.events_rx.try_recv() {
+                        self.handle_event(ev, &mut sched);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => unreachable!("coordinator holds a sender"),
+            }
+            self.liveness_scan(&mut sched);
+        }
+        let results: Vec<String> = sched
+            .results
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.take().ok_or_else(|| ExecError {
+                    stage: stage.to_string(),
+                    task: i,
+                    attempts: sched.next_attempt[i],
+                    message: "task completed with no recorded result (scheduler invariant broken)"
+                        .to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(StageOutput {
+            results,
+            retried: sched.retried,
+            speculated: sched.speculated_count,
+            reassigned: sched.reassigned,
+        })
+    }
+}

@@ -120,9 +120,9 @@ impl std::error::Error for ExecError {}
 
 /// Retry/speculation accounting of one stage.
 #[derive(Clone, Copy, Debug, Default)]
-struct TaskCounters {
-    retried: u64,
-    speculated: u64,
+pub(crate) struct TaskCounters {
+    pub(crate) retried: u64,
+    pub(crate) speculated: u64,
 }
 
 /// One queued task attempt; `not_before` implements backoff without
@@ -161,7 +161,7 @@ struct ExecState<O> {
 /// successful attempt, and all successful attempts produce the same value.
 /// Results are returned in task order, which keeps the caller's merge order
 /// identical to the fault-free engine.
-fn execute_tasks<T, O, F>(
+pub(crate) fn execute_tasks<T, O, F>(
     stage: &str,
     tasks: &[T],
     workers: usize,
@@ -310,7 +310,7 @@ fn worker_loop<T, O, F>(
             }
             Ok(run(&tasks[task]))
         }))
-        .unwrap_or_else(|panic_payload| Err(panic_message(&panic_payload)));
+        .unwrap_or_else(|panic_payload| Err(panic_message(&*panic_payload)));
 
         // ---- record the outcome --------------------------------------------
         let mut st = state.lock().expect("executor state poisoned");
@@ -400,7 +400,7 @@ fn launch_speculative_backups<O>(
 }
 
 /// Best-effort extraction of a panic payload message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("task panicked: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1280,8 +1280,9 @@ where
     }
 }
 
-/// Deterministic hash partitioner.
-fn partition_of<K: Hash>(key: &K, workers: usize) -> usize {
+/// Deterministic hash partitioner. `DefaultHasher::new()` uses fixed keys,
+/// so coordinator and worker processes agree on every partition decision.
+pub(crate) fn partition_of<K: Hash>(key: &K, workers: usize) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() % workers as u64) as usize

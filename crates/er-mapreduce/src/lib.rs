@@ -12,6 +12,15 @@
 //! * [`engine`] — the generic engine, deterministic for any worker count.
 //! * [`spill`] — bounded shuffle buffers: codecs and byte bounds for
 //!   spilling oversized partitions to fingerprinted segment files.
+//! * [`proto`] — the length-prefixed framed worker protocol (handshake,
+//!   task envelopes, heartbeats, typed result/error frames).
+//! * [`transport`] — the [`Transport`] seam: in-process threads (the
+//!   bit-exactness oracle) or supervised worker processes.
+//! * [`dist`] — transport-agnostic named jobs, the spill-file data plane,
+//!   and the [`run_dist`] driver.
+//! * [`coordinator`] — the multi-process backend: spawning, heartbeat
+//!   liveness, crash reassignment, restart budgets, zombie reaping.
+//! * [`worker`] — the `er --worker` child-process entry point.
 //! * [`blocking`] — Dedoop-style parallel token blocking.
 //! * [`metablocking`] — the three-stage parallel meta-blocking of \[10\]/\[11\].
 //! * [`sorted_neighborhood`] — range-partitioned sorted neighborhood with
@@ -23,10 +32,21 @@
 
 pub mod balance;
 pub mod blocking;
+pub mod coordinator;
+pub mod dist;
 pub mod engine;
 pub mod metablocking;
+pub mod proto;
 pub mod sorted_neighborhood;
 pub mod spill;
+pub mod transport;
+pub mod worker;
 
+pub use coordinator::{PoolMonitor, SubprocessConfig, SubprocessTransport};
+pub use dist::{
+    default_registry, run_dist, DistJob, DistOptions, DistOutput, DistStats, TaskRegistry,
+};
 pub use engine::MapReduce;
 pub use spill::{ShuffleBounds, SpillCodec};
+pub use transport::{InProcessTransport, StageOutput, Transport};
+pub use worker::{maybe_worker_entry, worker_main};

@@ -36,6 +36,7 @@ pub use recovery::{PipelineError, RecoveryEvent, RecoveryOptions, RecoveryOutcom
 pub use streaming::{StreamingConfig, StreamingSession};
 
 use er_blocking::attribute_clustering::AttributeClusteringBlocking;
+use er_blocking::block::{Block, BlockCollection};
 use er_blocking::cleaning;
 use er_blocking::minhash::MinHashBlocking;
 use er_blocking::qgrams::QGramsBlocking;
@@ -52,7 +53,9 @@ use er_core::pair::Pair;
 use er_core::parallel::Parallelism;
 use er_core::resource::{MemoryBudget, ResourceLimits, Watchdog};
 use er_core::similarity::SetMeasure;
+use er_mapreduce::{run_dist, DistOptions, SubprocessConfig, SubprocessTransport, Transport};
 use er_metablocking::{par_meta_block_obs, PruningScheme, WeightingScheme};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Candidates per cooperative deadline check in watchdog-governed matching:
@@ -76,6 +79,24 @@ pub enum BlockingStage {
     /// Multi-pass sorted neighborhood over the given keys and window — a
     /// pair-producing method, so cleaning/meta-blocking are skipped.
     SortedNeighborhood(Vec<SortKey>, usize),
+}
+
+/// Where the hot blocking work of a run executes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// In this process, on the thread kernels — the default, and the
+    /// bit-exactness oracle for the subprocess backend.
+    #[default]
+    InProcess,
+    /// On supervised OS worker processes speaking the framed protocol of
+    /// [`er_mapreduce::proto`], with real crash isolation: token blocking
+    /// runs as the distributed `token-blocking` MapReduce job and the output
+    /// is bit-identical to [`Backend::InProcess`]; blocking stages without a
+    /// distributed decomposition fall back to the in-process kernels.
+    Subprocess {
+        /// Worker process count.
+        workers: usize,
+    },
 }
 
 /// Block-cleaning selection (applies only to block-producing methods).
@@ -195,12 +216,15 @@ pub struct Pipeline {
     parallelism: Parallelism,
     obs: Obs,
     limits: ResourceLimits,
+    backend: Backend,
+    worker_program: Option<PathBuf>,
 }
 
 impl Pipeline {
     /// Starts a builder with the Web-of-data defaults: token blocking, auto
     /// purging, ARCS/WNP meta-blocking, Jaccard-0.4 matching, serial
-    /// execution, observability disabled, no resource limits.
+    /// execution, observability disabled, no resource limits, in-process
+    /// backend.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder {
             blocking: BlockingStage::Token,
@@ -211,6 +235,8 @@ impl Pipeline {
             parallelism: Parallelism::serial(),
             obs: Obs::disabled(),
             limits: ResourceLimits::none(),
+            backend: Backend::default(),
+            worker_program: None,
         }
     }
 
@@ -536,9 +562,15 @@ impl Pipeline {
         budget: &MemoryBudget,
     ) -> er_blocking::governance::GovernedBlocks {
         let blocks = match stage {
-            BlockingStage::Token => {
-                TokenBlocking::new().par_build_obs(collection, self.parallelism, &self.obs)
-            }
+            BlockingStage::Token => match self.backend {
+                Backend::InProcess => {
+                    TokenBlocking::new().par_build_obs(collection, self.parallelism, &self.obs)
+                }
+                Backend::Subprocess { workers } => {
+                    let mut transport = SubprocessTransport::new(self.subprocess_config(workers));
+                    self.dist_token_blocks(collection, &mut transport, workers)
+                }
+            },
             BlockingStage::AttributeClustering => {
                 let b = AttributeClusteringBlocking::new().par_build(collection, self.parallelism);
                 b.record_obs(&self.obs);
@@ -583,6 +615,63 @@ impl Pipeline {
         er_blocking::governance::charge_or_shed(cleaned, collection, budget, &self.obs)
     }
 
+    /// The worker-pool configuration of the subprocess backend: the
+    /// configured worker program (default: re-exec the current binary with
+    /// `--worker`), the run's memory budget as the pool's total allotment,
+    /// and the pipeline's obs handle so `worker.*` counters land in the same
+    /// snapshot as the stage metrics.
+    fn subprocess_config(&self, workers: usize) -> SubprocessConfig {
+        let mut cfg = SubprocessConfig::new(workers);
+        cfg.program = self.worker_program.clone();
+        cfg.budget_total = self.limits.memory_bytes.unwrap_or(0);
+        cfg.policy = er_core::fault::ExecPolicy::default().with_obs(self.obs.clone());
+        cfg
+    }
+
+    /// Token blocking as the distributed `token-blocking` job on `transport`.
+    ///
+    /// The driver tokenizes entities with the default tokenizer (the one
+    /// [`TokenBlocking::new`] uses) and ships per-entity token *sets*; the
+    /// key-sorted reduce output is exactly the lexicographic block order of
+    /// the in-process build, so the returned collection is bit-identical to
+    /// [`TokenBlocking::par_build_obs`]. A typed [`er_mapreduce`] execution
+    /// error (worker crash loop, handshake rejection, stage deadline) panics
+    /// with its message, which the recovery layer catches and retries like
+    /// any other blocking-stage fault.
+    fn dist_token_blocks(
+        &self,
+        collection: &EntityCollection,
+        transport: &mut dyn Transport,
+        workers: usize,
+    ) -> BlockCollection {
+        let records = dist_blocking_records(collection);
+        let out = run_dist(
+            transport,
+            "token-blocking",
+            &records,
+            &DistOptions::for_workers(workers),
+        )
+        .unwrap_or_else(|e| panic!("distributed blocking failed: {e}"));
+        if self.obs.is_enabled() {
+            // Mirror the layout counters of the in-process token build so
+            // er-metrics-check invariants hold on either backend: each map
+            // posting is one token-index entry, each distinct reduce key one
+            // vocabulary symbol.
+            self.obs
+                .counter("blocking.tokens_indexed")
+                .add(out.stats.map_output_records);
+            self.obs
+                .counter("blocking.interner_symbols")
+                .add(out.stats.reduce_groups);
+        }
+        out.stats.record_obs(&self.obs);
+        let blocks = blocks_from_dist_pairs(&out.pairs)
+            .unwrap_or_else(|e| panic!("distributed blocking returned a malformed block: {e}"));
+        let blocks = BlockCollection::new(blocks);
+        blocks.record_obs(&self.obs);
+        blocks
+    }
+
     /// Runs the pipeline *progressively*: candidates are scheduled by the
     /// sorted-pairs hint (cheap Jaccard scores) and executed under the given
     /// comparison budget, recording the progressive-recall curve against
@@ -621,6 +710,51 @@ impl Pipeline {
     }
 }
 
+/// Serializes a collection for the distributed `token-blocking` job: one
+/// record per entity in id order, `id \t token \t token …` with the entity's
+/// distinct tokens — the same per-entity token *set* the in-process build
+/// indexes (tokens are alphanumeric after normalization, so the tab framing
+/// is unambiguous).
+fn dist_blocking_records(collection: &EntityCollection) -> Vec<String> {
+    let tokenizer = er_core::tokenize::Tokenizer::default();
+    collection
+        .iter()
+        .map(|e| {
+            let mut tokens = std::collections::BTreeSet::new();
+            for (_, v) in e.attributes() {
+                tokens.extend(tokenizer.tokens(v));
+            }
+            let mut record = e.id().0.to_string();
+            for t in &tokens {
+                record.push('\t');
+                record.push_str(t);
+            }
+            record
+        })
+        .collect()
+}
+
+/// Rebuilds blocks from the key-sorted `(token, "id id …")` pairs of the
+/// distributed job. Pair order is the lexicographic key order of the
+/// in-process build, and [`Block::new`] re-sorts members, so the resulting
+/// collection is bit-identical to it.
+fn blocks_from_dist_pairs(pairs: &[(String, String)]) -> Result<Vec<Block>, String> {
+    pairs
+        .iter()
+        .map(|(key, ids)| {
+            let members = ids
+                .split(' ')
+                .map(|id| {
+                    id.parse::<u32>()
+                        .map(EntityId)
+                        .map_err(|_| format!("bad entity id {id:?} in block {key:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Block::new(key.clone(), members))
+        })
+        .collect()
+}
+
 /// Within-cluster pairs of a clustering (sorted), used when a clustering
 /// stage redefines the accepted matches.
 fn cluster_pairs(clusters: &[Vec<EntityId>]) -> Vec<Pair> {
@@ -640,6 +774,8 @@ pub struct PipelineBuilder {
     parallelism: Parallelism,
     obs: Obs,
     limits: ResourceLimits,
+    backend: Backend,
+    worker_program: Option<PathBuf>,
 }
 
 impl PipelineBuilder {
@@ -708,6 +844,25 @@ impl PipelineBuilder {
         self
     }
 
+    /// Selects the execution backend: [`Backend::InProcess`] (default,
+    /// unchanged semantics) or [`Backend::Subprocess`], which runs token
+    /// blocking on supervised worker processes with real crash isolation.
+    /// The resolution is bit-identical either way.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the worker executable of the subprocess backend. The
+    /// default re-execs the current binary with `--worker`, which is correct
+    /// for binaries that call [`er_mapreduce::worker::maybe_worker_entry`]
+    /// first in `main` (the `er` CLI does); test harnesses point this at a
+    /// dedicated worker binary instead.
+    pub fn worker_program(mut self, program: impl Into<PathBuf>) -> Self {
+        self.worker_program = Some(program.into());
+        self
+    }
+
     /// Finalizes the pipeline.
     pub fn build(self) -> Pipeline {
         Pipeline {
@@ -719,6 +874,8 @@ impl PipelineBuilder {
             parallelism: self.parallelism,
             obs: self.obs,
             limits: self.limits,
+            backend: self.backend,
+            worker_program: self.worker_program,
         }
     }
 }
@@ -811,6 +968,52 @@ mod tests {
         let res = p.run(&ds.collection);
         let q = res.evaluate(ds.collection.len(), &ds.truth);
         assert!(q.f1() > 0.5, "f1 {}", q.f1());
+    }
+
+    #[test]
+    fn dist_token_blocking_matches_the_in_process_build() {
+        // The distributed token-blocking path (here on the in-process
+        // transport, the oracle both backends share) rebuilds the exact
+        // BlockCollection the thread kernels produce — block keys, order,
+        // and members — at several worker counts.
+        let ds = dataset();
+        let reference = TokenBlocking::new().par_build_obs(
+            &ds.collection,
+            Parallelism::serial(),
+            &Obs::disabled(),
+        );
+        let p = Pipeline::builder().build();
+        for workers in [1usize, 3] {
+            let mut t = er_mapreduce::InProcessTransport::new(
+                workers,
+                er_mapreduce::default_registry(),
+                er_core::fault::ExecPolicy::default(),
+            );
+            let got = p.dist_token_blocks(&ds.collection, &mut t, workers);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn dist_blocking_records_carry_sorted_token_sets() {
+        let ds = dataset();
+        let records = dist_blocking_records(&ds.collection);
+        assert_eq!(records.len(), ds.collection.len());
+        for (i, r) in records.iter().enumerate() {
+            let mut fields = r.split('\t');
+            assert_eq!(fields.next().unwrap(), i.to_string(), "id order");
+            let tokens: Vec<&str> = fields.collect();
+            let mut sorted = tokens.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(tokens, sorted, "distinct sorted tokens: {r:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_dist_pairs_are_typed_errors() {
+        let err = blocks_from_dist_pairs(&[("tok".to_string(), "0 x".to_string())]).unwrap_err();
+        assert!(err.contains("bad entity id"), "{err}");
     }
 
     #[test]

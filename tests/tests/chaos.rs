@@ -518,6 +518,78 @@ proptest! {
         let _ = MetricsSnapshot::from_json(&bad); // must not panic
     }
 
+    /// The worker-protocol frame decoder on arbitrary byte soup: every
+    /// stream parses to frames, ends in clean EOF, or fails with a typed
+    /// [`er_mapreduce::proto::FrameError`] carrying a byte offset inside
+    /// the stream. Never a panic, never an unbounded allocation (oversized
+    /// length prefixes are rejected before the payload is reserved).
+    #[test]
+    fn frame_decoder_survives_arbitrary_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        use er_mapreduce::proto::FrameReader;
+        let total = bytes.len() as u64;
+        let mut r = FrameReader::new(&bytes[..]);
+        loop {
+            match r.read() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    let offset = match e {
+                        er_mapreduce::proto::FrameError::Truncated { offset, .. }
+                        | er_mapreduce::proto::FrameError::Oversized { offset, .. }
+                        | er_mapreduce::proto::FrameError::Malformed { offset, .. }
+                        | er_mapreduce::proto::FrameError::Io { offset, .. } => offset,
+                    };
+                    prop_assert!(offset <= total, "error offset {offset} past stream end {total}");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A mutated *valid* frame stream (truncate / flip / splice, the same
+    /// mutation kinds as the snapshot and checkpoint parsers above) parses
+    /// or fails typed — the framed protocol gives a crashed or corrupted
+    /// worker pipe no way to panic the coordinator.
+    #[test]
+    fn frame_decoder_survives_mutated_streams(seed in 0u64..=u64::MAX) {
+        use er_mapreduce::proto::{Frame, FrameReader, FrameWriter};
+        let mut bytes = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut bytes);
+            w.write(&Frame::Hello {
+                version: 1,
+                fingerprint: seed,
+                worker_id: 7,
+                budget_bytes: 1 << 20,
+                heartbeat_ms: 25,
+            })
+            .unwrap();
+            w.write(&Frame::Task {
+                job: "token-blocking".to_string(),
+                stage: "map".to_string(),
+                task: 3,
+                attempt: 1,
+                payload: "a\tb\nc\\d".to_string(),
+            })
+            .unwrap();
+            w.write(&Frame::Shutdown).unwrap();
+        }
+        let corrupted = mutate(&String::from_utf8_lossy(&bytes), seed);
+        let mut r = FrameReader::new(corrupted.as_bytes());
+        loop {
+            match r.read() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    prop_assert!(!e.to_string().is_empty());
+                    break;
+                }
+            }
+        }
+    }
+
     /// The checkpoint codec (header + fingerprint + footer parser) on
     /// truncated/mutated files: any mutation that damages the envelope is a
     /// typed `Err`; an undamaged envelope round-trips the body. Never a
