@@ -1,0 +1,4 @@
+//! Runs experiment `e22_out_of_core` — see DESIGN.md's experiment index.
+fn main() {
+    er_bench::experiments::e22_out_of_core();
+}

@@ -299,7 +299,16 @@ where
 {
     debug_assert!(entries.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
     // Run-length group: each distinct key owns a contiguous range of entries.
-    let mut groups: Vec<(String, std::ops::Range<usize>)> = Vec::new();
+    // The distinct-key count is a cheap scan over already-sorted entries;
+    // pre-reserving with it removes every reallocation of the groups vector
+    // on the sort path (the output of a web-scale token build has millions
+    // of distinct keys, each push otherwise a doubling candidate).
+    let distinct = if entries.is_empty() {
+        0
+    } else {
+        1 + entries.windows(2).filter(|w| w[0].0 != w[1].0).count()
+    };
+    let mut groups: Vec<(String, std::ops::Range<usize>)> = Vec::with_capacity(distinct);
     let mut start = 0;
     for i in 1..=entries.len() {
         if i == entries.len() || entries[i].0 != entries[start].0 {

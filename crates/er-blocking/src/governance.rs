@@ -22,10 +22,17 @@ use er_core::collection::EntityCollection;
 use er_core::obs::{Event, Obs};
 use er_core::resource::MemoryBudget;
 
-/// Estimated resident footprint of one block: fixed struct overhead plus the
-/// key's heap payload and a 4-byte entity id per posting entry.
+/// Estimated resident footprint of one block: fixed struct overhead, the
+/// key's heap payload, a 4-byte entity id per posting entry, **plus the
+/// block's share of the interner** that backs the compact build. Every block
+/// key is also a vocabulary entry held twice by the
+/// [`Interner`](er_core::intern::Interner) (owned
+/// copy and lookup key) with ~68 bytes of table overhead — see
+/// `Interner::heap_bytes` — so omitting it undercounts admission cost on
+/// token-heavy corpora where the dictionary rivals the posting lists.
 pub fn block_bytes(block: &Block) -> u64 {
-    48 + block.key().len() as u64 + 4 * block.entities().len() as u64
+    let key = block.key().len() as u64;
+    48 + key + 4 * block.entities().len() as u64 + (2 * key + 68)
 }
 
 /// A blocking collection admitted under a memory budget.
@@ -198,7 +205,7 @@ mod tests {
         let c = dirty_collection(40);
         let blocks = skewed_blocks();
         // Big enough for the two small blocks, too small for the giant one.
-        let budget = MemoryBudget::bytes(200);
+        let budget = MemoryBudget::bytes(300);
         let obs = Obs::enabled();
         let sink = std::sync::Arc::new(CaptureSink::new());
         obs.set_sink(sink.clone());

@@ -23,6 +23,9 @@
 //! * **Memory-governed admission**: charging the token index against a byte
 //!   budget and shedding oversized blocks largest-first on a breach, with
 //!   the recall loss reported instead of aborting: [`governance`].
+//! * **Out-of-core token blocking**: postings spilled as sorted segment
+//!   runs and grouped from a streaming k-way merge, bit-identical to the
+//!   in-memory build at a reported slowdown instead of shedding: [`ooc`].
 //! * **Frequent token-set blocking** (keys on co-occurring token pairs,
 //!   the frequent-itemset view of \[19\]): [`frequent_sets`].
 //! * **Comparison propagation**: redundancy-free iteration over a blocking
@@ -47,6 +50,7 @@ pub mod governance;
 pub mod incremental;
 pub mod minhash;
 pub mod multiblock;
+pub mod ooc;
 pub mod propagation;
 pub mod qgrams;
 pub mod simjoin;

@@ -38,6 +38,12 @@ impl TokenBlocking {
         self
     }
 
+    /// The tokenizer — the out-of-core builder (`crate::ooc`) tokenizes with
+    /// exactly the same instance to stay bit-identical.
+    pub(crate) fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
     /// Builds the blocking collection: one block per distinct token.
     pub fn build(&self, collection: &EntityCollection) -> BlockCollection {
         self.build_impl(collection, Parallelism::serial(), &Obs::disabled())

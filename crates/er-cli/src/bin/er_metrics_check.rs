@@ -3,6 +3,7 @@
 //! ```text
 //! er-metrics-check metrics.json [--expect-fault-free] [--require-ingest]
 //!                               [--require-scenarios] [--require-backend]
+//!                               [--require-colstore]
 //! ```
 //!
 //! Parses the sorted-key JSON written by the CLI back into an
@@ -37,6 +38,14 @@
 //!   reaped, one way or the other), `worker.restarted` ≤ `worker.crashed`
 //!   (restarts only replace crashed workers), and the `worker.running` gauge
 //!   exists and reads 0 — the pool was fully drained.
+//! - with `--require-colstore` (a run that exercised the out-of-core
+//!   segment store, `er resolve --ooc` / a spill-to-segment rescue):
+//!   `colstore.segments_written` > 0 — sorted runs actually hit disk —
+//!   `colstore.runs_merged` ≥ `colstore.segments_written` (every written
+//!   run was consumed by a k-way merge; a run merged but never written
+//!   would be fabricated data), and the `colstore.resident_bytes` gauge
+//!   exists and reads 0 — every mapped page was released back to the
+//!   memory budget when its reader closed.
 //!
 //! Every violated invariant is reported (not just the first); any violation
 //! exits nonzero so the CI job fails loudly.
@@ -66,18 +75,21 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: er-metrics-check SNAPSHOT.json [--expect-fault-free] \
-                         [--require-ingest] [--require-scenarios] [--require-backend]";
+                         [--require-ingest] [--require-scenarios] [--require-backend] \
+                         [--require-colstore]";
     let mut path = None;
     let mut expect_fault_free = false;
     let mut require_ingest = false;
     let mut require_scenarios = false;
     let mut require_backend = false;
+    let mut require_colstore = false;
     for a in args {
         match a.as_str() {
             "--expect-fault-free" => expect_fault_free = true,
             "--require-ingest" => require_ingest = true,
             "--require-scenarios" => require_scenarios = true,
             "--require-backend" => require_backend = true,
+            "--require-colstore" => require_colstore = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -102,6 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
         require_ingest,
         require_scenarios,
         require_backend,
+        require_colstore,
     );
     if failures.is_empty() {
         println!(
@@ -141,6 +154,7 @@ fn check(
     require_ingest: bool,
     require_scenarios: bool,
     require_backend: bool,
+    require_colstore: bool,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     let mut fail = |msg: String| failures.push(msg);
@@ -323,6 +337,43 @@ fn check(
             Some(_) => {}
         }
     }
+
+    // A run through the out-of-core segment store must show sorted runs
+    // actually reaching disk, every written run being consumed by a merge,
+    // and every mapped page released back to the memory budget. An absent
+    // runs_merged with segments written means the merge never ran.
+    if require_colstore {
+        let written = snapshot.counter("colstore.segments_written");
+        let merged = snapshot.counter("colstore.runs_merged").unwrap_or(0);
+        match written {
+            None => fail(
+                "colstore.segments_written counter is missing — the segment store never ran"
+                    .to_string(),
+            ),
+            Some(0) => {
+                fail("colstore.segments_written is 0 — no sorted run reached disk".to_string())
+            }
+            Some(w) => {
+                if merged < w {
+                    fail(format!(
+                        "colstore.runs_merged ({merged}) is below segments_written ({w}) — \
+                         written run(s) were never merged"
+                    ));
+                }
+            }
+        }
+        match snapshot.gauge("colstore.resident_bytes") {
+            None => fail(
+                "colstore.resident_bytes gauge is missing — no segment page was ever mapped"
+                    .to_string(),
+            ),
+            Some(b) if b != 0.0 => fail(format!(
+                "colstore.resident_bytes is {b} — mapped pages were not released back to the \
+                 memory budget"
+            )),
+            Some(_) => {}
+        }
+    }
     failures
 }
 
@@ -377,12 +428,19 @@ mod tests {
 
     #[test]
     fn healthy_snapshot_passes() {
-        assert!(check(&healthy(), true, false, false, false).is_empty());
+        assert!(check(&healthy(), true, false, false, false, false).is_empty());
     }
 
     #[test]
     fn empty_snapshot_reports_every_missing_piece() {
-        let failures = check(&MetricsSnapshot::default(), true, false, false, false);
+        let failures = check(
+            &MetricsSnapshot::default(),
+            true,
+            false,
+            false,
+            false,
+            false,
+        );
         assert!(failures.len() >= 8, "{failures:?}");
     }
 
@@ -391,7 +449,7 @@ mod tests {
         let mut s = healthy();
         s.counters
             .insert("meta_blocking.comparisons_after".into(), 1000);
-        let failures = check(&s, false, false, false, false);
+        let failures = check(&s, false, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("exceeds")),
             "{failures:?}"
@@ -406,7 +464,7 @@ mod tests {
             .insert("meta_blocking.comparisons_after".into(), 100);
         s.counters
             .insert("meta_blocking.comparisons_pruned".into(), 0);
-        let failures = check(&s, false, false, false, false);
+        let failures = check(&s, false, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pruning_ratio")),
             "{failures:?}"
@@ -417,7 +475,7 @@ mod tests {
     fn missing_stage_span_is_caught() {
         let mut s = healthy();
         s.spans.remove("pipeline.cleaning");
-        let failures = check(&s, false, false, false, false);
+        let failures = check(&s, false, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("pipeline.cleaning")),
             "{failures:?}"
@@ -428,8 +486,8 @@ mod tests {
     fn retries_only_checked_when_fault_free_expected() {
         let mut s = healthy();
         s.counters.insert("recovery.stage_retries".into(), 2);
-        assert!(check(&s, false, false, false, false).is_empty());
-        let failures = check(&s, true, false, false, false);
+        assert!(check(&s, false, false, false, false, false).is_empty());
+        let failures = check(&s, true, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("stage_retries")),
             "{failures:?}"
@@ -441,7 +499,7 @@ mod tests {
         let mut s = healthy();
         s.counters.remove("blocking.interner_symbols");
         s.counters.insert("metablocking.edge_sort_bytes".into(), 0);
-        let failures = check(&s, false, false, false, false);
+        let failures = check(&s, false, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("interner_symbols")),
             "{failures:?}"
@@ -456,7 +514,7 @@ mod tests {
     fn misparented_span_is_caught() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.matching").unwrap().parent = None;
-        let failures = check(&s, false, false, false, false);
+        let failures = check(&s, false, false, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("not nested")),
             "{failures:?}"
@@ -467,7 +525,7 @@ mod tests {
     fn transitive_nesting_is_accepted() {
         let mut s = healthy();
         s.spans.get_mut("pipeline.cleaning").unwrap().parent = Some("pipeline.blocking".into());
-        assert!(check(&s, true, false, false, false).is_empty());
+        assert!(check(&s, true, false, false, false, false).is_empty());
     }
 
     /// `healthy()` plus the counters a streaming-ingest run records.
@@ -484,8 +542,8 @@ mod tests {
     fn ingest_only_checked_when_required() {
         // Without the flag, a snapshot with no ingest metrics passes; with
         // it, every missing piece is called out.
-        assert!(check(&healthy(), true, false, false, false).is_empty());
-        let failures = check(&healthy(), true, true, false, false);
+        assert!(check(&healthy(), true, false, false, false, false).is_empty());
+        let failures = check(&healthy(), true, true, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("ingest.records_seen")),
             "{failures:?}"
@@ -494,14 +552,14 @@ mod tests {
             failures.iter().any(|f| f.contains("ingest.queue_bytes")),
             "{failures:?}"
         );
-        assert!(check(&healthy_with_ingest(), true, true, false, false).is_empty());
+        assert!(check(&healthy_with_ingest(), true, true, false, false, false).is_empty());
     }
 
     #[test]
     fn ingest_ledger_mismatch_is_caught() {
         let mut s = healthy_with_ingest();
         s.counters.insert("ingest.records_accepted".into(), 139);
-        let failures = check(&s, false, true, false, false);
+        let failures = check(&s, false, true, false, false, false);
         assert!(
             failures
                 .iter()
@@ -517,14 +575,14 @@ mod tests {
         let mut s = healthy_with_ingest();
         s.counters.remove("ingest.records_quarantined");
         s.counters.insert("ingest.records_accepted".into(), 150);
-        assert!(check(&s, true, true, false, false).is_empty());
+        assert!(check(&s, true, true, false, false, false).is_empty());
     }
 
     #[test]
     fn undrained_queue_is_caught() {
         let mut s = healthy_with_ingest();
         s.gauges.insert("ingest.queue_bytes".into(), 512.0);
-        let failures = check(&s, false, true, false, false);
+        let failures = check(&s, false, true, false, false, false);
         assert!(
             failures.iter().any(|f| f.contains("not drained")),
             "{failures:?}"
@@ -537,21 +595,21 @@ mod tests {
         // it, a missing cells_run is called out. An absent cells_failed reads
         // as 0, so cells_run alone satisfies the requirement.
         let mut s = healthy();
-        assert!(check(&s, true, false, false, false).is_empty());
-        let failures = check(&s, true, false, true, false);
+        assert!(check(&s, true, false, false, false, false).is_empty());
+        let failures = check(&s, true, false, true, false, false);
         assert!(
             failures.iter().any(|f| f.contains("scenario.cells_run")),
             "{failures:?}"
         );
         s.counters.insert("scenario.cells_run".into(), 45);
-        assert!(check(&s, true, false, true, false).is_empty());
+        assert!(check(&s, true, false, true, false, false).is_empty());
     }
 
     #[test]
     fn zero_scenario_cells_run_is_caught() {
         let mut s = healthy();
         s.counters.insert("scenario.cells_run".into(), 0);
-        let failures = check(&s, false, false, true, false);
+        let failures = check(&s, false, false, true, false, false);
         assert!(
             failures.iter().any(|f| f.contains("cells_run")),
             "{failures:?}"
@@ -563,7 +621,7 @@ mod tests {
         let mut s = healthy();
         s.counters.insert("scenario.cells_run".into(), 45);
         s.counters.insert("scenario.cells_failed".into(), 2);
-        let failures = check(&s, false, false, true, false);
+        let failures = check(&s, false, false, true, false, false);
         assert!(
             failures.iter().any(|f| f.contains("cells_failed")),
             "{failures:?}"
@@ -587,8 +645,8 @@ mod tests {
     fn backend_only_checked_when_required() {
         // Without the flag a snapshot with no worker metrics passes; with it,
         // every missing piece is called out.
-        assert!(check(&healthy(), true, false, false, false).is_empty());
-        let failures = check(&healthy(), true, false, false, true);
+        assert!(check(&healthy(), true, false, false, false, false).is_empty());
+        let failures = check(&healthy(), true, false, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("worker.spawned")),
             "{failures:?}"
@@ -597,14 +655,14 @@ mod tests {
             failures.iter().any(|f| f.contains("worker.running")),
             "{failures:?}"
         );
-        assert!(check(&healthy_with_backend(), true, false, false, true).is_empty());
+        assert!(check(&healthy_with_backend(), true, false, false, true, false).is_empty());
     }
 
     #[test]
     fn worker_ledger_mismatch_is_caught() {
         let mut s = healthy_with_backend();
         s.counters.insert("worker.exited".into(), 2);
-        let failures = check(&s, false, false, false, true);
+        let failures = check(&s, false, false, false, true, false);
         assert!(
             failures
                 .iter()
@@ -621,14 +679,14 @@ mod tests {
         s.counters.remove("worker.crashed");
         s.counters.remove("worker.restarted");
         s.counters.insert("worker.exited".into(), 4);
-        assert!(check(&s, true, false, false, true).is_empty());
+        assert!(check(&s, true, false, false, true, false).is_empty());
     }
 
     #[test]
     fn undrained_worker_pool_is_caught() {
         let mut s = healthy_with_backend();
         s.gauges.insert("worker.running".into(), 2.0);
-        let failures = check(&s, false, false, false, true);
+        let failures = check(&s, false, false, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("not drained")),
             "{failures:?}"
@@ -639,7 +697,7 @@ mod tests {
     fn restarts_exceeding_crashes_are_caught() {
         let mut s = healthy_with_backend();
         s.counters.insert("worker.restarted".into(), 3);
-        let failures = check(&s, false, false, false, true);
+        let failures = check(&s, false, false, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("worker.restarted")),
             "{failures:?}"
@@ -653,10 +711,100 @@ mod tests {
         s.counters.remove("worker.exited");
         s.counters.remove("worker.crashed");
         s.counters.remove("worker.restarted");
-        let failures = check(&s, false, false, false, true);
+        let failures = check(&s, false, false, false, true, false);
         assert!(
             failures.iter().any(|f| f.contains("worker.spawned is 0")),
             "{failures:?}"
         );
+    }
+
+    /// `healthy()` plus the counters an out-of-core run records: six sorted
+    /// runs written across the blocking and graph stages, all six consumed
+    /// by k-way merges, every page released back to the budget.
+    fn healthy_with_colstore() -> MetricsSnapshot {
+        let mut s = healthy();
+        s.counters.insert("colstore.segments_written".into(), 6);
+        s.counters.insert("colstore.runs_merged".into(), 6);
+        s.counters.insert("colstore.segment_bytes".into(), 8192);
+        s.gauges.insert("colstore.resident_bytes".into(), 0.0);
+        s
+    }
+
+    #[test]
+    fn colstore_only_checked_when_required() {
+        // Without the flag a snapshot with no colstore metrics passes; with
+        // it, every missing piece is called out.
+        assert!(check(&healthy(), true, false, false, false, false).is_empty());
+        let failures = check(&healthy(), true, false, false, false, true);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("colstore.segments_written")),
+            "{failures:?}"
+        );
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("colstore.resident_bytes")),
+            "{failures:?}"
+        );
+        assert!(check(&healthy_with_colstore(), true, false, false, false, true).is_empty());
+    }
+
+    #[test]
+    fn zero_segments_written_is_caught() {
+        let mut s = healthy_with_colstore();
+        s.counters.insert("colstore.segments_written".into(), 0);
+        let failures = check(&s, false, false, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("segments_written is 0")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn unmerged_written_runs_are_caught() {
+        // Six runs hit disk but only four were consumed by a merge — two
+        // sorted runs never contributed to any output.
+        let mut s = healthy_with_colstore();
+        s.counters.insert("colstore.runs_merged".into(), 4);
+        let failures = check(&s, false, false, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("never merged")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn absent_runs_merged_counter_is_caught() {
+        // Counters register on first increment: an absent runs_merged reads
+        // as 0, which can never cover the written runs.
+        let mut s = healthy_with_colstore();
+        s.counters.remove("colstore.runs_merged");
+        let failures = check(&s, false, false, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("runs_merged")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn undrained_page_cache_is_caught() {
+        let mut s = healthy_with_colstore();
+        s.gauges.insert("colstore.resident_bytes".into(), 512.0);
+        let failures = check(&s, false, false, false, false, true);
+        assert!(
+            failures.iter().any(|f| f.contains("not released")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn rescue_merging_more_runs_than_segments_passes() {
+        // A spill rescue re-reads each run's geometry before the merge, so
+        // runs_merged strictly above segments_written is legitimate.
+        let mut s = healthy_with_colstore();
+        s.counters.insert("colstore.runs_merged".into(), 9);
+        assert!(check(&s, true, false, false, false, true).is_empty());
     }
 }

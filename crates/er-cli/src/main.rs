@@ -85,6 +85,7 @@ fn print_usage() {
          \x20            [--retries N] [--checkpoint-dir DIR] [--resume]\n\
          \x20            [--fail-stage blocking|meta-blocking|matching]\n\
          \x20            [--memory-budget BYTES] [--stage-timeout SECONDS]\n\
+         \x20            [--segment-dir DIR] [--ooc]\n\
          \x20            [--metrics-out FILE]\n\
          \x20            [--ingest-queue-bytes BYTES] [--quarantine-out FILE]\n\
          \x20            [--backend inprocess|subprocess] [--workers N]\n\n\
@@ -100,6 +101,13 @@ fn print_usage() {
          \x20        recall loss reported instead of aborting. --stage-timeout\n\
          \x20        SECONDS arms a per-stage watchdog; an expired matching\n\
          \x20        deadline truncates the schedule, loudly.\n\
+         OOC:     --segment-dir DIR enables spill-to-segment rescue: a\n\
+         \x20        blocking index that would breach --memory-budget is\n\
+         \x20        rebuilt out-of-core (sorted on-disk runs under DIR)\n\
+         \x20        instead of shedding blocks — bit-identical output, zero\n\
+         \x20        recall loss, at a reported slowdown. --ooc forces the\n\
+         \x20        out-of-core blocking and meta-blocking paths\n\
+         \x20        unconditionally (see docs/out_of_core.md).\n\
          METRICS: --metrics-out FILE enables the observability registry and\n\
          \x20        writes the per-stage metrics snapshot as sorted-key JSON\n\
          \x20        (validate it with the er-metrics-check companion binary).\n\
@@ -543,13 +551,14 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
             "fail-stage",
             "memory-budget",
             "stage-timeout",
+            "segment-dir",
             "metrics-out",
             "ingest-queue-bytes",
             "quarantine-out",
             "backend",
             "workers",
         ],
-        &["resume"],
+        &["resume", "ooc"],
     )?;
     let par = Parallelism::threads(
         flags
@@ -667,6 +676,19 @@ fn cmd_resolve(args: &[String]) -> Result<(), String> {
         Some(mb) => builder.meta_blocking(mb),
         None => builder.no_meta_blocking(),
     };
+    if let Some(dir) = flags.get("segment-dir") {
+        builder = builder.segment_dir(dir);
+    }
+    if flags.contains_key("ooc") {
+        builder = builder.out_of_core(true);
+        println!(
+            "out-of-core: blocking and meta-blocking stream through sorted segment runs ({})",
+            flags
+                .get("segment-dir")
+                .map(String::as_str)
+                .unwrap_or("system temp dir")
+        );
+    }
     let pipeline = builder.build();
 
     // The fault-tolerant run: retried stages, optional checkpoints, loud
@@ -1031,6 +1053,76 @@ mod tests {
             "3600",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn ooc_resolve_writes_segments_and_matches_the_in_memory_run() {
+        let dir = std::env::temp_dir().join("er_cli_test_ooc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("ooc").to_string_lossy().to_string();
+        let segdir = dir.join("segments").to_string_lossy().to_string();
+        let mpath = dir.join("ooc_metrics.json").to_string_lossy().to_string();
+        generate(&prefix, "dirty", "150");
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--truth",
+            &format!("{prefix}.truth.txt"),
+            "--ooc",
+            "--segment-dir",
+            &segdir,
+            "--metrics-out",
+            &mpath,
+        ]))
+        .unwrap();
+        let snapshot =
+            er_core::obs::MetricsSnapshot::from_json(&std::fs::read_to_string(&mpath).unwrap())
+                .unwrap();
+        assert!(
+            snapshot.counter("colstore.segments_written").unwrap() > 0,
+            "forced ooc spills runs"
+        );
+        assert_eq!(
+            snapshot.gauge("colstore.resident_bytes"),
+            Some(0.0),
+            "every resident page released by run end"
+        );
+        // Zero shed: the whole point of the out-of-core path.
+        assert_eq!(snapshot.counter("blocking.blocks_shed"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_budget_with_segment_dir_rescues_through_the_cli() {
+        let dir = std::env::temp_dir().join("er_cli_test_rescue");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("rescue").to_string_lossy().to_string();
+        let segdir = dir.join("segments").to_string_lossy().to_string();
+        let mpath = dir.join("metrics.json").to_string_lossy().to_string();
+        generate(&prefix, "dirty", "150");
+        cmd_resolve(&s(&[
+            "--collection",
+            &format!("{prefix}.collection.txt"),
+            "--truth",
+            &format!("{prefix}.truth.txt"),
+            "--memory-budget",
+            "4k",
+            "--segment-dir",
+            &segdir,
+            "--metrics-out",
+            &mpath,
+        ]))
+        .unwrap();
+        let snapshot =
+            er_core::obs::MetricsSnapshot::from_json(&std::fs::read_to_string(&mpath).unwrap())
+                .unwrap();
+        assert_eq!(snapshot.counter("colstore.spill_rescues"), Some(1));
+        assert_eq!(
+            snapshot.counter("blocking.comparisons_shed"),
+            None,
+            "the rescue sheds nothing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

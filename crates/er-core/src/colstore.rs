@@ -1,0 +1,1719 @@
+//! Out-of-core columnar segment store.
+//!
+//! The compact layouts of PR 5 made the hot structures of blocking and
+//! meta-blocking *flat*: interned dictionaries, `(Symbol, EntityId)` posting
+//! vectors, `(Pair, EdgeInfo)` edge vectors. This module puts those flat
+//! columns into a **versioned, fingerprinted, length-prefixed segment file**
+//! so the external-sort builders (`er_blocking::ooc`,
+//! `er_metablocking::ooc`) can stream over sorted on-disk runs instead of
+//! materializing the full vectors — the ROADMAP's "dataset 10× RAM resolves
+//! to bit-identical output at graceful slowdown" operating point.
+//!
+//! ## File format (all integers little-endian)
+//!
+//! ```text
+//! header   (24 B)  magic "ERSEGMT1" | version u32 | reserved u32 | fingerprint u64
+//! section  (16 B)  kind u32 | reserved u32 | payload_len u64        ┐ repeated
+//! payload  (var)   kind-specific columnar payload                   ┘ section_count times
+//! footer   (32 B)  magic "ERSEGEND" | section_count u64 | payload_end u64 | checksum u64
+//! ```
+//!
+//! The checksum is FNV-1a over every byte before the footer, so truncation,
+//! single-byte mutation and byte-soup corruption are all caught at open —
+//! the same defensive ladder as the [`crate::codec::LineCodec`] checkpoints,
+//! upgraded to a binary dialect. Writes are atomic (temp file + rename).
+//!
+//! Section payloads:
+//!
+//! * `DICT` — a columnar [`Interner`] dump: `count u64`, `(count+1)` `u64`
+//!   offsets, UTF-8 blob. Symbol ids are the array positions.
+//! * `POSTINGS` — one sorted `(Symbol, EntityId)` run: `count u64`, then
+//!   `count × (u32, u32)` — the PR 5 flat posting vector, one `memcpy` away.
+//! * `EDGES` — one pair-sorted edge run: `count u64`, then
+//!   `count × (u32, u32, u32, u64)` with the `f64` ARCS weight stored as
+//!   raw bits ([`f64::to_bits`]) for bit-exact round-trips.
+//! * `DESC` — columnar interned entity descriptions: KB column, URI symbol
+//!   column, attribute offsets, flat `(name_sym, value_sym)` pairs.
+//!
+//! ## "mmap" without `unsafe`
+//!
+//! The workspace forbids `unsafe` and vendors no mmap crate, so segments are
+//! *demand-paged in safe code*: an explicit page cache over positional
+//! [`FileExt::read_at`] reads. This is deliberately **better** than a real
+//! `mmap` for governance — resident bytes are charged against the shared
+//! [`MemoryBudget`] as pages load and released as they evict, so the PR 4
+//! pressure ladder sees file-backed pages exactly, deterministically, and
+//! on every platform, instead of guessing at kernel page-cache behavior.
+//! The `colstore.resident_bytes` gauge mirrors the account and must drain
+//! to zero when the last reader drops.
+
+use crate::entity::{EntityBuilder, EntityId, KbId};
+use crate::intern::{Interner, Symbol};
+use crate::obs::Obs;
+use crate::resource::{MemoryBudget, ResourceError};
+use crate::{EntityCollection, ResolutionMode};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Header magic of a segment file.
+pub const MAGIC: &[u8; 8] = b"ERSEGMT1";
+/// Footer magic of a segment file.
+pub const FOOTER_MAGIC: &[u8; 8] = b"ERSEGEND";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: u64 = 24;
+/// Fixed per-section header length in bytes.
+pub const SECTION_HEADER_LEN: u64 = 16;
+/// Fixed footer length in bytes.
+pub const FOOTER_LEN: u64 = 32;
+/// Default page size of the demand-paged reader.
+pub const DEFAULT_PAGE_BYTES: u64 = 64 * 1024;
+
+/// Section kind: columnar interner dictionary.
+pub const KIND_DICT: u32 = 1;
+/// Section kind: sorted `(Symbol, EntityId)` posting run.
+pub const KIND_POSTINGS: u32 = 2;
+/// Section kind: pair-sorted edge run with bit-exact `f64` weights.
+pub const KIND_EDGES: u32 = 3;
+/// Section kind: columnar interned entity descriptions.
+pub const KIND_DESC: u32 = 4;
+
+/// Bytes of one on-disk posting record.
+pub const POSTING_BYTES: u64 = 8;
+/// Bytes of one on-disk edge record.
+pub const EDGE_BYTES: u64 = 20;
+
+/// Streaming FNV-1a, the segment checksum (the interner's hash, reused so
+/// the whole repo speaks one deterministic hash dialect).
+#[derive(Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A typed segment defect. Every malformed, truncated or mutated input
+/// yields one of these — never a panic, never a silent short read — and
+/// every variant that concerns file content names the byte offset where the
+/// defect was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SegmentError {
+    /// An I/O failure at a known byte offset.
+    Io {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset of the failed access.
+        offset: u64,
+        /// Stringified OS error.
+        reason: String,
+    },
+    /// The file ends before the structure it promises.
+    Truncated {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset where content is missing.
+        offset: u64,
+        /// What was expected there.
+        expected: String,
+    },
+    /// Header or footer magic bytes are wrong.
+    BadMagic {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset of the bad magic.
+        offset: u64,
+    },
+    /// The format version is not [`VERSION`].
+    Version {
+        /// Offending file.
+        path: PathBuf,
+        /// Version found in the header (at byte offset 8).
+        found: u32,
+    },
+    /// The producer fingerprint does not match the reader's.
+    Fingerprint {
+        /// Offending file.
+        path: PathBuf,
+        /// Fingerprint found in the header (at byte offset 16).
+        found: u64,
+        /// Fingerprint the reader expected.
+        expected: u64,
+    },
+    /// The footer checksum does not cover the bytes on disk.
+    Checksum {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset of the stored checksum.
+        offset: u64,
+        /// Checksum recomputed from the bytes.
+        computed: u64,
+        /// Checksum stored in the footer.
+        stored: u64,
+    },
+    /// Structurally invalid content at a known byte offset.
+    Malformed {
+        /// Offending file.
+        path: PathBuf,
+        /// Byte offset of the defect.
+        offset: u64,
+        /// What is wrong there.
+        reason: String,
+    },
+    /// Resource governance stopped the operation: the memory budget refused
+    /// a page the reader needed, or a stage watchdog expired mid-merge.
+    Resource(ResourceError),
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Io {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "segment {}: i/o error at byte {offset}: {reason}",
+                path.display()
+            ),
+            SegmentError::Truncated {
+                path,
+                offset,
+                expected,
+            } => write!(
+                f,
+                "segment {}: truncated at byte {offset} (expected {expected})",
+                path.display()
+            ),
+            SegmentError::BadMagic { path, offset } => {
+                write!(f, "segment {}: bad magic at byte {offset}", path.display())
+            }
+            SegmentError::Version { path, found } => write!(
+                f,
+                "segment {}: unsupported version {found} at byte 8 (expected {VERSION})",
+                path.display()
+            ),
+            SegmentError::Fingerprint {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "segment {}: fingerprint mismatch at byte 16: found {found:016x}, \
+                 expected {expected:016x} (different collection or configuration)",
+                path.display()
+            ),
+            SegmentError::Checksum {
+                path,
+                offset,
+                computed,
+                stored,
+            } => write!(
+                f,
+                "segment {}: checksum mismatch at byte {offset}: computed {computed:016x}, \
+                 stored {stored:016x} (file mutated or corrupt)",
+                path.display()
+            ),
+            SegmentError::Malformed {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "segment {}: malformed at byte {offset}: {reason}",
+                path.display()
+            ),
+            SegmentError::Resource(e) => write!(f, "segment store governed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<ResourceError> for SegmentError {
+    fn from(e: ResourceError) -> SegmentError {
+        SegmentError::Resource(e)
+    }
+}
+
+/// The `colstore.*` observability series, shared by writers, readers and
+/// merge drivers. Cloneable; clones share one resident-bytes account so the
+/// `colstore.resident_bytes` gauge reflects *all* open segments of a run
+/// and drains to zero when the last reader drops.
+#[derive(Clone, Debug, Default)]
+pub struct StoreMetrics {
+    obs: Obs,
+    resident: Arc<AtomicU64>,
+}
+
+impl StoreMetrics {
+    /// Metrics recording into `obs` (pass [`Obs::disabled`] for no-ops).
+    pub fn new(obs: Obs) -> StoreMetrics {
+        StoreMetrics {
+            obs,
+            resident: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The no-op handle.
+    pub fn disabled() -> StoreMetrics {
+        StoreMetrics::default()
+    }
+
+    /// Records one finished segment of `bytes` bytes
+    /// (`colstore.segments_written`, `colstore.segment_bytes`).
+    pub fn segment_written(&self, bytes: u64) {
+        self.obs.counter("colstore.segments_written").incr();
+        self.obs.counter("colstore.segment_bytes").add(bytes);
+    }
+
+    /// Records `runs` sorted runs consumed by a k-way merge
+    /// (`colstore.runs_merged`).
+    pub fn runs_merged(&self, runs: u64) {
+        self.obs.counter("colstore.runs_merged").add(runs);
+    }
+
+    /// Currently resident file-backed bytes across all readers sharing this
+    /// handle.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    fn page_loaded(&self, bytes: u64) {
+        let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.obs.counter("colstore.pages_loaded").incr();
+        self.obs.gauge("colstore.resident_bytes").set(now as f64);
+    }
+
+    fn page_released(&self, bytes: u64) {
+        let before = self.resident.fetch_sub(bytes, Ordering::Relaxed);
+        let now = before.saturating_sub(bytes);
+        self.obs.gauge("colstore.resident_bytes").set(now as f64);
+    }
+}
+
+/// One on-disk edge record: a canonical pair, its CBS count, and the ARCS
+/// weight as raw `f64` bits — the bit-exact currency the streamed graph
+/// build merges. (Defined here rather than in `er-metablocking` so the
+/// codec stays dependency-free; the graph layer maps to/from `EdgeInfo`.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// First endpoint (canonical: `a < b`).
+    pub a: u32,
+    /// Second endpoint.
+    pub b: u32,
+    /// Common-block count contribution.
+    pub count: u32,
+    /// ARCS weight contribution, as [`f64::to_bits`].
+    pub weight_bits: u64,
+}
+
+/// Atomic writer for one segment file: accumulates sections into
+/// `<path>.tmp` under a running checksum, then [`finish`](Self::finish)
+/// seals the footer and renames into place — a crash can never leave a
+/// half-written file under the final name.
+pub struct SegmentWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    out: BufWriter<File>,
+    hash: Fnv64,
+    offset: u64,
+    sections: u64,
+}
+
+impl SegmentWriter {
+    /// Creates the temp file and writes the fingerprinted header.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        fingerprint: u64,
+    ) -> Result<SegmentWriter, SegmentError> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| SegmentError::Io {
+                path: path.clone(),
+                offset: 0,
+                reason: e.to_string(),
+            })?;
+        }
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        let tmp = path.with_file_name(name);
+        let file = File::create(&tmp).map_err(|e| SegmentError::Io {
+            path: tmp.clone(),
+            offset: 0,
+            reason: e.to_string(),
+        })?;
+        let mut w = SegmentWriter {
+            path,
+            tmp,
+            out: BufWriter::new(file),
+            hash: Fnv64::new(),
+            offset: 0,
+            sections: 0,
+        };
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        header.extend_from_slice(&fingerprint.to_le_bytes());
+        w.put(&header)?;
+        Ok(w)
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), SegmentError> {
+        self.out.write_all(bytes).map_err(|e| SegmentError::Io {
+            path: self.tmp.clone(),
+            offset: self.offset,
+            reason: e.to_string(),
+        })?;
+        self.hash.update(bytes);
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn section(&mut self, kind: u32, payload: &[u8]) -> Result<(), SegmentError> {
+        let mut header = Vec::with_capacity(SECTION_HEADER_LEN as usize);
+        header.extend_from_slice(&kind.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.put(&header)?;
+        self.put(payload)?;
+        self.sections += 1;
+        Ok(())
+    }
+
+    /// Appends one sorted `(Symbol, EntityId)` posting run as a
+    /// [`KIND_POSTINGS`] section.
+    pub fn postings_run(&mut self, run: &[(Symbol, EntityId)]) -> Result<(), SegmentError> {
+        let mut payload = Vec::with_capacity(8 + run.len() * POSTING_BYTES as usize);
+        payload.extend_from_slice(&(run.len() as u64).to_le_bytes());
+        for &(s, e) in run {
+            payload.extend_from_slice(&s.0.to_le_bytes());
+            payload.extend_from_slice(&e.0.to_le_bytes());
+        }
+        self.section(KIND_POSTINGS, &payload)
+    }
+
+    /// Appends one pair-sorted edge run as a [`KIND_EDGES`] section.
+    pub fn edge_run(&mut self, run: &[EdgeRecord]) -> Result<(), SegmentError> {
+        let mut payload = Vec::with_capacity(8 + run.len() * EDGE_BYTES as usize);
+        payload.extend_from_slice(&(run.len() as u64).to_le_bytes());
+        for r in run {
+            payload.extend_from_slice(&r.a.to_le_bytes());
+            payload.extend_from_slice(&r.b.to_le_bytes());
+            payload.extend_from_slice(&r.count.to_le_bytes());
+            payload.extend_from_slice(&r.weight_bits.to_le_bytes());
+        }
+        self.section(KIND_EDGES, &payload)
+    }
+
+    /// Appends the interner as a columnar [`KIND_DICT`] section: symbol `i`
+    /// is the `i`-th string.
+    pub fn dict(&mut self, interner: &Interner) -> Result<(), SegmentError> {
+        let n = interner.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut blob = Vec::new();
+        offsets.push(0u64);
+        for i in 0..n {
+            blob.extend_from_slice(interner.resolve(Symbol(i as u32)).as_bytes());
+            offsets.push(blob.len() as u64);
+        }
+        let mut payload = Vec::with_capacity(8 + (n + 1) * 8 + blob.len());
+        payload.extend_from_slice(&(n as u64).to_le_bytes());
+        for o in offsets {
+            payload.extend_from_slice(&o.to_le_bytes());
+        }
+        payload.extend_from_slice(&blob);
+        self.section(KIND_DICT, &payload)
+    }
+
+    /// Appends columnar interned entity descriptions as a [`KIND_DESC`]
+    /// section. `dict` must already hold every attribute name, value and
+    /// URI of the collection (use [`collection_dict`]).
+    pub fn descriptions(
+        &mut self,
+        collection: &EntityCollection,
+        dict: &Interner,
+    ) -> Result<(), SegmentError> {
+        let n = collection.len();
+        let mode = match collection.mode() {
+            ResolutionMode::Dirty => 0u8,
+            ResolutionMode::CleanClean => 1u8,
+        };
+        let sym = |s: &str| -> Result<u32, SegmentError> {
+            dict.lookup(s).map(|x| x.0).ok_or_else(|| SegmentError::Io {
+                path: self.path.clone(),
+                offset: 0,
+                reason: format!("dictionary is missing string {s:?}"),
+            })
+        };
+        let mut kbs = Vec::with_capacity(n * 2);
+        let mut uris = Vec::with_capacity(n * 4);
+        let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+        let mut pairs: Vec<u8> = Vec::new();
+        let mut total: u64 = 0;
+        offsets.push(0);
+        for e in collection.iter() {
+            kbs.extend_from_slice(&e.kb().0.to_le_bytes());
+            let uri_sym = match e.uri() {
+                Some(u) => sym(u)?,
+                None => u32::MAX,
+            };
+            uris.extend_from_slice(&uri_sym.to_le_bytes());
+            for (name, value) in e.attributes() {
+                pairs.extend_from_slice(&sym(name)?.to_le_bytes());
+                pairs.extend_from_slice(&sym(value)?.to_le_bytes());
+                total += 1;
+            }
+            offsets.push(total);
+        }
+        let mut payload =
+            Vec::with_capacity(16 + kbs.len() + uris.len() + (n + 1) * 8 + pairs.len());
+        payload.extend_from_slice(&(n as u64).to_le_bytes());
+        payload.push(mode);
+        payload.extend_from_slice(&[0u8; 7]);
+        payload.extend_from_slice(&kbs);
+        payload.extend_from_slice(&uris);
+        for o in offsets {
+            payload.extend_from_slice(&o.to_le_bytes());
+        }
+        payload.extend_from_slice(&pairs);
+        self.section(KIND_DESC, &payload)
+    }
+
+    /// Seals the footer (section count, payload end, checksum), flushes, and
+    /// atomically renames the temp file into place. Returns the final file
+    /// size in bytes.
+    pub fn finish(mut self) -> Result<u64, SegmentError> {
+        let payload_end = self.offset;
+        let sections = self.sections;
+        let checksum = self.hash.finish();
+        let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+        footer.extend_from_slice(FOOTER_MAGIC);
+        footer.extend_from_slice(&sections.to_le_bytes());
+        footer.extend_from_slice(&payload_end.to_le_bytes());
+        footer.extend_from_slice(&checksum.to_le_bytes());
+        self.out.write_all(&footer).map_err(|e| SegmentError::Io {
+            path: self.tmp.clone(),
+            offset: payload_end,
+            reason: e.to_string(),
+        })?;
+        self.out.flush().map_err(|e| SegmentError::Io {
+            path: self.tmp.clone(),
+            offset: payload_end,
+            reason: e.to_string(),
+        })?;
+        fs::rename(&self.tmp, &self.path).map_err(|e| SegmentError::Io {
+            path: self.path.clone(),
+            offset: 0,
+            reason: e.to_string(),
+        })?;
+        Ok(payload_end + FOOTER_LEN)
+    }
+}
+
+/// One section of an open segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section kind (`KIND_*`).
+    pub kind: u32,
+    /// Byte offset of the payload within the file.
+    pub payload_offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+}
+
+/// Open options for [`Segment::open`].
+#[derive(Clone, Debug)]
+pub struct SegmentOptions {
+    /// Producer fingerprint the file must carry.
+    pub fingerprint: u64,
+    /// Budget charged by resident pages (unlimited for none).
+    pub budget: MemoryBudget,
+    /// The `colstore.*` metrics handle.
+    pub metrics: StoreMetrics,
+    /// Page size of the demand-paged reader.
+    pub page_bytes: u64,
+}
+
+impl SegmentOptions {
+    /// Defaults: the given fingerprint, no budget, no metrics, 64 KiB pages.
+    pub fn new(fingerprint: u64) -> SegmentOptions {
+        SegmentOptions {
+            fingerprint,
+            budget: MemoryBudget::unlimited(),
+            metrics: StoreMetrics::disabled(),
+            page_bytes: DEFAULT_PAGE_BYTES,
+        }
+    }
+
+    /// Charges resident pages against `budget`.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> SegmentOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Records reader activity into `metrics`.
+    pub fn with_metrics(mut self, metrics: StoreMetrics) -> SegmentOptions {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Overrides the page size (clamped to ≥ 512 B).
+    pub fn with_page_bytes(mut self, page_bytes: u64) -> SegmentOptions {
+        self.page_bytes = page_bytes.max(512);
+        self
+    }
+}
+
+/// A loaded page and its LRU tick.
+struct PageSlot {
+    data: Arc<Vec<u8>>,
+    tick: u64,
+}
+
+/// The demand-paged reader state: an explicit page cache whose resident
+/// bytes are charged against the budget — the safe-code mmap emulation.
+struct Pager {
+    file: File,
+    path: PathBuf,
+    file_len: u64,
+    page_bytes: u64,
+    budget: MemoryBudget,
+    metrics: StoreMetrics,
+    cache: Mutex<PagerCache>,
+}
+
+#[derive(Default)]
+struct PagerCache {
+    pages: HashMap<u64, PageSlot>,
+    resident: u64,
+    tick: u64,
+}
+
+impl Pager {
+    fn page_len(&self, page: u64) -> u64 {
+        let start = page * self.page_bytes;
+        self.page_bytes.min(self.file_len.saturating_sub(start))
+    }
+
+    /// Loads (or returns the cached) page, evicting least-recently-used
+    /// pages when the budget refuses the reservation. With every page
+    /// evicted and the budget still refusing, the typed
+    /// [`SegmentError::Resource`] verdict surfaces — never a panic.
+    fn page(&self, page: u64) -> Result<Arc<Vec<u8>>, SegmentError> {
+        let mut cache = self.cache.lock().expect("pager lock poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(slot) = cache.pages.get_mut(&page) {
+            slot.tick = tick;
+            return Ok(Arc::clone(&slot.data));
+        }
+        let len = self.page_len(page);
+        loop {
+            match self.budget.try_reserve("colstore", len) {
+                Ok(()) => break,
+                Err(e) => {
+                    // Evict the least-recently-used page and retry; an empty
+                    // cache means the budget is exhausted by other holders.
+                    let lru = cache
+                        .pages
+                        .iter()
+                        .min_by_key(|(_, slot)| slot.tick)
+                        .map(|(&p, _)| p);
+                    match lru {
+                        Some(p) => self.evict(&mut cache, p),
+                        None => return Err(SegmentError::Resource(e)),
+                    }
+                }
+            }
+        }
+        let start = page * self.page_bytes;
+        let mut data = vec![0u8; len as usize];
+        if let Err(e) = self.file.read_exact_at(&mut data, start) {
+            self.budget.release(len);
+            return Err(SegmentError::Io {
+                path: self.path.clone(),
+                offset: start,
+                reason: e.to_string(),
+            });
+        }
+        let data = Arc::new(data);
+        cache.pages.insert(
+            page,
+            PageSlot {
+                data: Arc::clone(&data),
+                tick,
+            },
+        );
+        cache.resident += len;
+        self.metrics.page_loaded(len);
+        Ok(data)
+    }
+
+    fn evict(&self, cache: &mut PagerCache, page: u64) {
+        if cache.pages.remove(&page).is_some() {
+            let len = self.page_len(page);
+            cache.resident = cache.resident.saturating_sub(len);
+            self.budget.release(len);
+            self.metrics.page_released(len);
+            self.obs_evicted();
+        }
+    }
+
+    fn obs_evicted(&self) {
+        self.metrics.obs.counter("colstore.pages_evicted").incr();
+    }
+
+    /// Releases every cached page and its budget reservation. Sequential
+    /// readers (the run cursors) call this after copying a refill out of the
+    /// cache: a cursor never revisits bytes behind its position, so keeping
+    /// them resident would let a k-way merge pin one page per run and
+    /// starve tiny budgets. Not counted as `pages_evicted` — that counter
+    /// means eviction under budget pressure.
+    fn release_cached(&self) {
+        let mut cache = self.cache.lock().expect("pager lock poisoned");
+        if cache.resident > 0 {
+            self.budget.release(cache.resident);
+            self.metrics.page_released(cache.resident);
+            cache.pages.clear();
+            cache.resident = 0;
+        }
+    }
+
+    /// Copies `buf.len()` bytes starting at `offset` out of the page cache.
+    fn read_exact(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError> {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .filter(|&e| e <= self.file_len)
+            .ok_or_else(|| SegmentError::Truncated {
+                path: self.path.clone(),
+                offset: self.file_len,
+                expected: format!("{} byte(s) at byte {offset}", buf.len()),
+            })?;
+        let mut pos = offset;
+        let mut filled = 0usize;
+        while pos < end {
+            let page = pos / self.page_bytes;
+            let data = self.page(page)?;
+            let in_page = (pos - page * self.page_bytes) as usize;
+            let take = (data.len() - in_page).min((end - pos) as usize);
+            buf[filled..filled + take].copy_from_slice(&data[in_page..in_page + take]);
+            filled += take;
+            pos += take as u64;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Pager {
+    fn drop(&mut self) {
+        let cache = self.cache.get_mut().expect("pager lock poisoned");
+        if cache.resident > 0 {
+            self.budget.release(cache.resident);
+            self.metrics.page_released(cache.resident);
+            cache.pages.clear();
+            cache.resident = 0;
+        }
+    }
+}
+
+/// An open, validated segment file with a demand-paged read path.
+pub struct Segment {
+    sections: Vec<SectionInfo>,
+    pager: Pager,
+}
+
+impl fmt::Debug for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Segment")
+            .field("path", &self.pager.path)
+            .field("sections", &self.sections)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Segment {
+    /// Opens and fully validates a segment: header magic/version/fingerprint,
+    /// footer magic and geometry, a streaming checksum pass over the payload
+    /// (bounded buffer — validation never materializes the file), and the
+    /// section table. Every defect is a typed [`SegmentError`] with the byte
+    /// offset where it was found.
+    pub fn open(path: impl Into<PathBuf>, opts: SegmentOptions) -> Result<Segment, SegmentError> {
+        let path = path.into();
+        let file = File::open(&path).map_err(|e| SegmentError::Io {
+            path: path.clone(),
+            offset: 0,
+            reason: e.to_string(),
+        })?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| SegmentError::Io {
+                path: path.clone(),
+                offset: 0,
+                reason: e.to_string(),
+            })?
+            .len();
+        if file_len < HEADER_LEN + FOOTER_LEN {
+            return Err(SegmentError::Truncated {
+                path,
+                offset: file_len,
+                expected: format!("at least {} header+footer byte(s)", HEADER_LEN + FOOTER_LEN),
+            });
+        }
+        let read_at = |offset: u64, buf: &mut [u8]| -> Result<(), SegmentError> {
+            file.read_exact_at(buf, offset)
+                .map_err(|e| SegmentError::Io {
+                    path: path.clone(),
+                    offset,
+                    reason: e.to_string(),
+                })
+        };
+        // Header.
+        let mut header = [0u8; HEADER_LEN as usize];
+        read_at(0, &mut header)?;
+        if &header[0..8] != MAGIC {
+            return Err(SegmentError::BadMagic { path, offset: 0 });
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(SegmentError::Version {
+                path,
+                found: version,
+            });
+        }
+        let fingerprint = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        if fingerprint != opts.fingerprint {
+            return Err(SegmentError::Fingerprint {
+                path,
+                found: fingerprint,
+                expected: opts.fingerprint,
+            });
+        }
+        // Footer.
+        let footer_at = file_len - FOOTER_LEN;
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        read_at(footer_at, &mut footer)?;
+        if &footer[0..8] != FOOTER_MAGIC {
+            return Err(SegmentError::Truncated {
+                path,
+                offset: footer_at,
+                expected: "the segment footer magic".to_string(),
+            });
+        }
+        let section_count = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+        let payload_end = u64::from_le_bytes(footer[16..24].try_into().expect("8 bytes"));
+        let stored_checksum = u64::from_le_bytes(footer[24..32].try_into().expect("8 bytes"));
+        if payload_end != footer_at || payload_end < HEADER_LEN {
+            return Err(SegmentError::Malformed {
+                path,
+                offset: footer_at + 16,
+                reason: format!(
+                    "footer payload_end {payload_end} disagrees with file length {file_len}"
+                ),
+            });
+        }
+        // Streaming checksum over [0, payload_end).
+        {
+            let mut hasher = Fnv64::new();
+            let mut reader = File::open(&path).map_err(|e| SegmentError::Io {
+                path: path.clone(),
+                offset: 0,
+                reason: e.to_string(),
+            })?;
+            let mut remaining = payload_end;
+            let mut buf = vec![0u8; 64 * 1024];
+            let mut at = 0u64;
+            while remaining > 0 {
+                let take = buf.len().min(remaining as usize);
+                reader
+                    .read_exact(&mut buf[..take])
+                    .map_err(|e| SegmentError::Io {
+                        path: path.clone(),
+                        offset: at,
+                        reason: e.to_string(),
+                    })?;
+                hasher.update(&buf[..take]);
+                at += take as u64;
+                remaining -= take as u64;
+            }
+            let computed = hasher.finish();
+            if computed != stored_checksum {
+                return Err(SegmentError::Checksum {
+                    path,
+                    offset: footer_at + 24,
+                    computed,
+                    stored: stored_checksum,
+                });
+            }
+        }
+        // Section table walk.
+        let mut sections = Vec::new();
+        let mut off = HEADER_LEN;
+        for i in 0..section_count {
+            if off + SECTION_HEADER_LEN > payload_end {
+                return Err(SegmentError::Truncated {
+                    path,
+                    offset: off,
+                    expected: format!("header of section {i}"),
+                });
+            }
+            let mut sh = [0u8; SECTION_HEADER_LEN as usize];
+            read_at(off, &mut sh)?;
+            let kind = u32::from_le_bytes(sh[0..4].try_into().expect("4 bytes"));
+            let payload_len = u64::from_le_bytes(sh[8..16].try_into().expect("8 bytes"));
+            let payload_offset = off + SECTION_HEADER_LEN;
+            if payload_len > payload_end - payload_offset {
+                return Err(SegmentError::Malformed {
+                    path,
+                    offset: off + 8,
+                    reason: format!(
+                        "section {i} claims {payload_len} payload byte(s), only {} remain",
+                        payload_end - payload_offset
+                    ),
+                });
+            }
+            sections.push(SectionInfo {
+                kind,
+                payload_offset,
+                payload_len,
+            });
+            off = payload_offset + payload_len;
+        }
+        if off != payload_end {
+            return Err(SegmentError::Malformed {
+                path,
+                offset: off,
+                reason: format!(
+                    "{} trailing byte(s) after the last section",
+                    payload_end - off
+                ),
+            });
+        }
+        Ok(Segment {
+            sections,
+            pager: Pager {
+                file,
+                path,
+                file_len,
+                page_bytes: opts.page_bytes,
+                budget: opts.budget,
+                metrics: opts.metrics,
+                cache: Mutex::new(PagerCache::default()),
+            },
+        })
+    }
+
+    /// The validated section table.
+    pub fn sections(&self) -> &[SectionInfo] {
+        &self.sections
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.pager.path
+    }
+
+    /// Currently resident (cached) bytes of this segment's pager.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pager
+            .cache
+            .lock()
+            .expect("pager lock poisoned")
+            .resident
+    }
+
+    fn section_checked(&self, index: usize, kind: u32) -> Result<SectionInfo, SegmentError> {
+        let info = *self
+            .sections
+            .get(index)
+            .ok_or_else(|| SegmentError::Malformed {
+                path: self.pager.path.clone(),
+                offset: self.pager.file_len,
+                reason: format!("no section at index {index}"),
+            })?;
+        if info.kind != kind {
+            return Err(SegmentError::Malformed {
+                path: self.pager.path.clone(),
+                offset: info.payload_offset - SECTION_HEADER_LEN,
+                reason: format!("section {index} has kind {}, expected {kind}", info.kind),
+            });
+        }
+        Ok(info)
+    }
+
+    /// The record count and record area of a run section whose payload is
+    /// `count u64` followed by `count × record_bytes`.
+    fn run_geometry(
+        &self,
+        info: SectionInfo,
+        record_bytes: u64,
+    ) -> Result<(u64, u64), SegmentError> {
+        if info.payload_len < 8 {
+            return Err(SegmentError::Truncated {
+                path: self.pager.path.clone(),
+                offset: info.payload_offset,
+                expected: "an 8-byte record count".to_string(),
+            });
+        }
+        let mut count_buf = [0u8; 8];
+        self.pager.read_exact(info.payload_offset, &mut count_buf)?;
+        let count = u64::from_le_bytes(count_buf);
+        let body = count
+            .checked_mul(record_bytes)
+            .and_then(|b| b.checked_add(8));
+        if body != Some(info.payload_len) {
+            return Err(SegmentError::Malformed {
+                path: self.pager.path.clone(),
+                offset: info.payload_offset,
+                reason: format!(
+                    "record count {count} disagrees with payload length {}",
+                    info.payload_len
+                ),
+            });
+        }
+        // The count header's page is dead weight once decoded — release it
+        // so opening many runs for a k-way merge pins nothing per segment.
+        self.pager.release_cached();
+        Ok((count, info.payload_offset + 8))
+    }
+
+    /// A streaming cursor over a [`KIND_POSTINGS`] run.
+    pub fn postings(&self, index: usize) -> Result<PostingsCursor<'_>, SegmentError> {
+        let info = self.section_checked(index, KIND_POSTINGS)?;
+        let (count, start) = self.run_geometry(info, POSTING_BYTES)?;
+        Ok(PostingsCursor {
+            seg: self,
+            offset: start,
+            remaining: count,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// A streaming cursor over a [`KIND_EDGES`] run.
+    pub fn edges(&self, index: usize) -> Result<EdgeCursor<'_>, SegmentError> {
+        let info = self.section_checked(index, KIND_EDGES)?;
+        let (count, start) = self.run_geometry(info, EDGE_BYTES)?;
+        Ok(EdgeCursor {
+            seg: self,
+            offset: start,
+            remaining: count,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// Reconstructs the [`Interner`] of a [`KIND_DICT`] section (symbol ids
+    /// are preserved: symbol `i` interns `i`-th).
+    pub fn read_dict(&self, index: usize) -> Result<Interner, SegmentError> {
+        let info = self.section_checked(index, KIND_DICT)?;
+        let malformed = |offset: u64, reason: String| SegmentError::Malformed {
+            path: self.pager.path.clone(),
+            offset,
+            reason,
+        };
+        if info.payload_len < 8 {
+            return Err(malformed(
+                info.payload_offset,
+                "dictionary payload shorter than its count".to_string(),
+            ));
+        }
+        let mut count_buf = [0u8; 8];
+        self.pager.read_exact(info.payload_offset, &mut count_buf)?;
+        let count = u64::from_le_bytes(count_buf);
+        let offsets_bytes = count
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| {
+                malformed(
+                    info.payload_offset,
+                    format!("dictionary count {count} overflows"),
+                )
+            })?;
+        if info.payload_len < 8 + offsets_bytes {
+            return Err(malformed(
+                info.payload_offset,
+                format!(
+                    "dictionary count {count} needs {offsets_bytes} offset byte(s), payload has {}",
+                    info.payload_len - 8
+                ),
+            ));
+        }
+        let mut offsets = vec![0u8; offsets_bytes as usize];
+        self.pager
+            .read_exact(info.payload_offset + 8, &mut offsets)?;
+        let offset_at = |i: u64| -> u64 {
+            let s = (i * 8) as usize;
+            u64::from_le_bytes(offsets[s..s + 8].try_into().expect("8 bytes"))
+        };
+        let blob_at = info.payload_offset + 8 + offsets_bytes;
+        let blob_len = info.payload_len - 8 - offsets_bytes;
+        if offset_at(count) != blob_len {
+            return Err(malformed(
+                blob_at,
+                format!(
+                    "dictionary blob is {blob_len} byte(s) but offsets end at {}",
+                    offset_at(count)
+                ),
+            ));
+        }
+        let mut interner = Interner::with_capacity(count as usize);
+        let mut scratch = Vec::new();
+        for i in 0..count {
+            let (a, b) = (offset_at(i), offset_at(i + 1));
+            if a > b || b > blob_len {
+                return Err(malformed(
+                    info.payload_offset + 8 + i * 8,
+                    format!("dictionary offsets not monotone at entry {i}"),
+                ));
+            }
+            scratch.resize((b - a) as usize, 0);
+            self.pager.read_exact(blob_at + a, &mut scratch)?;
+            let s = std::str::from_utf8(&scratch).map_err(|e| {
+                malformed(
+                    blob_at + a,
+                    format!("dictionary entry {i} is not UTF-8: {e}"),
+                )
+            })?;
+            let sym = interner.intern(s);
+            if sym.0 as u64 != i {
+                return Err(malformed(
+                    blob_at + a,
+                    format!("dictionary entry {i} duplicates an earlier string"),
+                ));
+            }
+        }
+        // The dictionary is now owned by the interner; its pages are dead.
+        self.pager.release_cached();
+        Ok(interner)
+    }
+
+    /// Reconstructs an [`EntityCollection`] from a [`KIND_DESC`] section and
+    /// its dictionary — the inverse of [`write_collection`].
+    pub fn read_collection(
+        &self,
+        desc_index: usize,
+        dict: &Interner,
+    ) -> Result<EntityCollection, SegmentError> {
+        let info = self.section_checked(desc_index, KIND_DESC)?;
+        let malformed = |offset: u64, reason: String| SegmentError::Malformed {
+            path: self.pager.path.clone(),
+            offset,
+            reason,
+        };
+        if info.payload_len < 16 {
+            return Err(malformed(
+                info.payload_offset,
+                "description payload shorter than its fixed header".to_string(),
+            ));
+        }
+        let mut head = [0u8; 16];
+        self.pager.read_exact(info.payload_offset, &mut head)?;
+        let n = u64::from_le_bytes(head[0..8].try_into().expect("8 bytes"));
+        let mode = match head[8] {
+            0 => ResolutionMode::Dirty,
+            1 => ResolutionMode::CleanClean,
+            other => {
+                return Err(malformed(
+                    info.payload_offset + 8,
+                    format!("unknown resolution mode byte {other}"),
+                ))
+            }
+        };
+        let fixed = n
+            .checked_mul(2) // kb column
+            .and_then(|b| n.checked_mul(4).map(|u| b + u)) // uri column
+            .and_then(|b| (n + 1).checked_mul(8).map(|o| b + o)) // offsets
+            .and_then(|b| b.checked_add(16))
+            .ok_or_else(|| malformed(info.payload_offset, format!("entity count {n} overflows")))?;
+        if info.payload_len < fixed {
+            return Err(malformed(
+                info.payload_offset,
+                format!(
+                    "entity count {n} needs {fixed} fixed byte(s), payload has {}",
+                    info.payload_len
+                ),
+            ));
+        }
+        let kb_at = info.payload_offset + 16;
+        let uri_at = kb_at + n * 2;
+        let offsets_at = uri_at + n * 4;
+        let pairs_at = offsets_at + (n + 1) * 8;
+        let pairs_len = info.payload_len - fixed;
+        let mut offsets = vec![0u8; ((n + 1) * 8) as usize];
+        self.pager.read_exact(offsets_at, &mut offsets)?;
+        let offset_at = |i: u64| -> u64 {
+            let s = (i * 8) as usize;
+            u64::from_le_bytes(offsets[s..s + 8].try_into().expect("8 bytes"))
+        };
+        if offset_at(n).checked_mul(8) != Some(pairs_len) {
+            return Err(malformed(
+                pairs_at,
+                format!(
+                    "attribute pairs area is {pairs_len} byte(s) but offsets end at entry {}",
+                    offset_at(n)
+                ),
+            ));
+        }
+        let resolve = |raw: u32, at: u64| -> Result<String, SegmentError> {
+            if (raw as usize) < dict.len() {
+                Ok(dict.resolve(Symbol(raw)).to_string())
+            } else {
+                Err(malformed(
+                    at,
+                    format!("symbol {raw} out of dictionary range {}", dict.len()),
+                ))
+            }
+        };
+        let mut collection = EntityCollection::new(mode);
+        for i in 0..n {
+            let mut kb = [0u8; 2];
+            self.pager.read_exact(kb_at + i * 2, &mut kb)?;
+            let mut uri = [0u8; 4];
+            self.pager.read_exact(uri_at + i * 4, &mut uri)?;
+            let uri = u32::from_le_bytes(uri);
+            let (a, b) = (offset_at(i), offset_at(i + 1));
+            if a > b {
+                return Err(malformed(
+                    offsets_at + i * 8,
+                    format!("attribute offsets not monotone at entity {i}"),
+                ));
+            }
+            let mut builder = EntityBuilder::new();
+            for j in a..b {
+                let at = pairs_at + j * 8;
+                let mut pair = [0u8; 8];
+                self.pager.read_exact(at, &mut pair)?;
+                let name = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
+                let value = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+                builder = builder.attr(resolve(name, at)?, resolve(value, at + 4)?);
+            }
+            if uri != u32::MAX {
+                builder = builder.uri(resolve(uri, uri_at + i * 4)?);
+            }
+            collection.push_entity(KbId(u16::from_le_bytes(kb)), builder);
+        }
+        // The descriptions are now owned by the collection; pages are dead.
+        self.pager.release_cached();
+        Ok(collection)
+    }
+}
+
+/// Streaming, buffered cursor over one posting run. Decodes
+/// [`CURSOR_CHUNK`] records per page-cache visit.
+pub struct PostingsCursor<'a> {
+    seg: &'a Segment,
+    offset: u64,
+    remaining: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl fmt::Debug for PostingsCursor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PostingsCursor")
+            .field("path", &self.seg.pager.path)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Records decoded per cursor refill.
+pub const CURSOR_CHUNK: u64 = 4096;
+
+impl PostingsCursor<'_> {
+    /// The next posting, or `None` at end of run.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(Symbol, EntityId)>, SegmentError> {
+        if self.pos >= self.buf.len() {
+            if self.remaining == 0 {
+                return Ok(None);
+            }
+            let take = self.remaining.min(CURSOR_CHUNK);
+            self.buf.resize((take * POSTING_BYTES) as usize, 0);
+            self.seg.pager.read_exact(self.offset, &mut self.buf)?;
+            self.seg.pager.release_cached();
+            self.offset += take * POSTING_BYTES;
+            self.remaining -= take;
+            self.pos = 0;
+        }
+        let rec = &self.buf[self.pos..self.pos + POSTING_BYTES as usize];
+        self.pos += POSTING_BYTES as usize;
+        Ok(Some((
+            Symbol(u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"))),
+            EntityId(u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"))),
+        )))
+    }
+}
+
+/// Streaming, buffered cursor over one edge run.
+pub struct EdgeCursor<'a> {
+    seg: &'a Segment,
+    offset: u64,
+    remaining: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl EdgeCursor<'_> {
+    /// The next edge record, or `None` at end of run.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<EdgeRecord>, SegmentError> {
+        if self.pos >= self.buf.len() {
+            if self.remaining == 0 {
+                return Ok(None);
+            }
+            let take = self.remaining.min(CURSOR_CHUNK);
+            self.buf.resize((take * EDGE_BYTES) as usize, 0);
+            self.seg.pager.read_exact(self.offset, &mut self.buf)?;
+            self.seg.pager.release_cached();
+            self.offset += take * EDGE_BYTES;
+            self.remaining -= take;
+            self.pos = 0;
+        }
+        let rec = &self.buf[self.pos..self.pos + EDGE_BYTES as usize];
+        self.pos += EDGE_BYTES as usize;
+        Ok(Some(EdgeRecord {
+            a: u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")),
+            b: u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes")),
+            count: u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes")),
+            weight_bits: u64::from_le_bytes(rec[12..20].try_into().expect("8 bytes")),
+        }))
+    }
+}
+
+/// Shared configuration of the external-sort builders in `er-blocking` and
+/// `er-metablocking`: where spill segments live, how large a sorted run may
+/// grow, and which governance handles (budget, watchdog, metrics) the
+/// spill/merge machinery reports to.
+#[derive(Clone, Debug)]
+pub struct OocConfig {
+    /// Directory holding this run's spill segments.
+    pub segment_dir: PathBuf,
+    /// Records buffered per sorted run before spilling (postings for the
+    /// blocking build, edge contributions for the graph build). The run
+    /// buffer is charged against the budget and adaptively halved — never
+    /// below a floor — when the reservation fails.
+    pub run_entries: usize,
+    /// Producer fingerprint stamped into every segment
+    /// (see [`collection_fingerprint`]).
+    pub fingerprint: u64,
+    /// Budget charged by run buffers and resident pages.
+    pub budget: MemoryBudget,
+    /// Stage watchdog checked at spill boundaries and mid-merge.
+    pub watchdog: crate::resource::Watchdog,
+    /// The `colstore.*` metrics handle.
+    pub metrics: StoreMetrics,
+    /// Page size of the demand-paged merge readers. Smaller than
+    /// [`DEFAULT_PAGE_BYTES`] because a k-way merge keeps one hot page per
+    /// run resident.
+    pub page_bytes: u64,
+}
+
+/// Default records per sorted run.
+pub const DEFAULT_RUN_ENTRIES: usize = 64 * 1024;
+/// Default merge-reader page size.
+pub const DEFAULT_MERGE_PAGE_BYTES: u64 = 16 * 1024;
+
+impl OocConfig {
+    /// Defaults: 64 Ki records per run, no budget, no watchdog, no metrics,
+    /// 16 KiB merge pages, zero fingerprint.
+    pub fn new(segment_dir: impl Into<PathBuf>) -> OocConfig {
+        OocConfig {
+            segment_dir: segment_dir.into(),
+            run_entries: DEFAULT_RUN_ENTRIES,
+            fingerprint: 0,
+            budget: MemoryBudget::unlimited(),
+            watchdog: crate::resource::Watchdog::disarmed(),
+            metrics: StoreMetrics::disabled(),
+            page_bytes: DEFAULT_MERGE_PAGE_BYTES,
+        }
+    }
+
+    /// Overrides the run size (clamped to ≥ 64 records).
+    pub fn with_run_entries(mut self, run_entries: usize) -> OocConfig {
+        self.run_entries = run_entries.max(64);
+        self
+    }
+
+    /// Stamps segments with `fingerprint`.
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> OocConfig {
+        self.fingerprint = fingerprint;
+        self
+    }
+
+    /// Charges run buffers and resident pages against `budget`.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> OocConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Checks `watchdog` at spill boundaries and mid-merge.
+    pub fn with_watchdog(mut self, watchdog: crate::resource::Watchdog) -> OocConfig {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Records spill/merge activity into `metrics`.
+    pub fn with_metrics(mut self, metrics: StoreMetrics) -> OocConfig {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Overrides the merge-reader page size (clamped to ≥ 512 B).
+    pub fn with_page_bytes(mut self, page_bytes: u64) -> OocConfig {
+        self.page_bytes = page_bytes.max(512);
+        self
+    }
+
+    /// The [`SegmentOptions`] for opening one of this run's segments.
+    pub fn segment_options(&self) -> SegmentOptions {
+        SegmentOptions::new(self.fingerprint)
+            .with_budget(self.budget.clone())
+            .with_metrics(self.metrics.clone())
+            .with_page_bytes(self.page_bytes)
+    }
+}
+
+/// A cheap structural fingerprint of a collection (mode, cardinality, and
+/// the per-entity KB/arity shape), stamped into spill segments so a reader
+/// can never merge runs produced from a different collection.
+pub fn collection_fingerprint(collection: &EntityCollection) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(&(collection.len() as u64).to_le_bytes());
+    h.update(&[match collection.mode() {
+        ResolutionMode::Dirty => 0u8,
+        ResolutionMode::CleanClean => 1u8,
+    }]);
+    for e in collection.iter() {
+        h.update(&e.kb().0.to_le_bytes());
+        h.update(&(e.attributes().len() as u32).to_le_bytes());
+    }
+    h.finish()
+}
+
+/// The dictionary a [`SegmentWriter::descriptions`] section needs: every
+/// attribute name, attribute value and URI of the collection, interned in
+/// deterministic scan order.
+pub fn collection_dict(collection: &EntityCollection) -> Interner {
+    let mut dict = Interner::new();
+    for e in collection.iter() {
+        if let Some(u) = e.uri() {
+            dict.intern(u);
+        }
+        for (name, value) in e.attributes() {
+            dict.intern(name);
+            dict.intern(value);
+        }
+    }
+    dict
+}
+
+/// Writes `collection` as a two-section segment (`DICT` + `DESC`) — the
+/// columnar interned entity-description store. Returns the file size.
+pub fn write_collection(
+    path: impl Into<PathBuf>,
+    collection: &EntityCollection,
+    fingerprint: u64,
+) -> Result<u64, SegmentError> {
+    let dict = collection_dict(collection);
+    let mut w = SegmentWriter::create(path, fingerprint)?;
+    w.dict(&dict)?;
+    w.descriptions(collection, &dict)?;
+    w.finish()
+}
+
+/// Reads a segment written by [`write_collection`] back into an
+/// [`EntityCollection`] (sections 0 = dict, 1 = descriptions).
+pub fn read_collection(
+    path: impl Into<PathBuf>,
+    opts: SegmentOptions,
+) -> Result<EntityCollection, SegmentError> {
+    let seg = Segment::open(path, opts)?;
+    let dict = seg.read_dict(0)?;
+    seg.read_collection(1, &dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as SeqCounter;
+
+    fn tmp_seg(tag: &str) -> PathBuf {
+        static SEQ: SeqCounter = SeqCounter::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("er-colstore-{}-{tag}-{n}.seg", std::process::id()))
+    }
+
+    fn sample_postings(n: u32) -> Vec<(Symbol, EntityId)> {
+        (0..n)
+            .flat_map(|s| (0..3u32).map(move |e| (Symbol(s), EntityId(s * 3 + e))))
+            .collect()
+    }
+
+    #[test]
+    fn postings_round_trip_bit_exact() {
+        let path = tmp_seg("postings");
+        let run = sample_postings(100);
+        let mut w = SegmentWriter::create(&path, 42).unwrap();
+        w.postings_run(&run).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes, fs::metadata(&path).unwrap().len());
+        let seg = Segment::open(&path, SegmentOptions::new(42)).unwrap();
+        assert_eq!(seg.sections().len(), 1);
+        assert_eq!(seg.sections()[0].kind, KIND_POSTINGS);
+        let mut cursor = seg.postings(0).unwrap();
+        let mut got = Vec::new();
+        while let Some(p) = cursor.next().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(got, run);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn edge_runs_round_trip_f64_bits() {
+        let path = tmp_seg("edges");
+        let run: Vec<EdgeRecord> = (0..50u32)
+            .map(|i| EdgeRecord {
+                a: i,
+                b: i + 1,
+                count: i % 7,
+                weight_bits: (1.0 / f64::from(i + 1)).to_bits(),
+            })
+            .collect();
+        let mut w = SegmentWriter::create(&path, 7).unwrap();
+        w.edge_run(&run).unwrap();
+        w.finish().unwrap();
+        let seg = Segment::open(&path, SegmentOptions::new(7)).unwrap();
+        let mut cursor = seg.edges(0).unwrap();
+        let mut got = Vec::new();
+        while let Some(e) = cursor.next().unwrap() {
+            got.push(e);
+        }
+        assert_eq!(got, run);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dict_round_trips_symbol_ids() {
+        let path = tmp_seg("dict");
+        let mut dict = Interner::new();
+        for w in ["zeta", "alpha", "", "Ω-unicode", "alpha-2"] {
+            dict.intern(w);
+        }
+        let mut w = SegmentWriter::create(&path, 1).unwrap();
+        w.dict(&dict).unwrap();
+        w.finish().unwrap();
+        let seg = Segment::open(&path, SegmentOptions::new(1)).unwrap();
+        let got = seg.read_dict(0).unwrap();
+        assert_eq!(got.len(), dict.len());
+        for i in 0..dict.len() as u32 {
+            assert_eq!(got.resolve(Symbol(i)), dict.resolve(Symbol(i)));
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    fn sample_collection() -> EntityCollection {
+        let mut c = EntityCollection::new(ResolutionMode::CleanClean);
+        c.push_entity(
+            KbId(0),
+            EntityBuilder::new()
+                .attr("name", "alan turing")
+                .attr("born", "1912")
+                .uri("http://ex/0"),
+        );
+        c.push_entity(KbId(1), EntityBuilder::new().attr("name", "a. m. turing"));
+        c.push_entity(KbId(1), EntityBuilder::new());
+        c
+    }
+
+    #[test]
+    fn collection_round_trips() {
+        let path = tmp_seg("collection");
+        let c = sample_collection();
+        write_collection(&path, &c, 99).unwrap();
+        let got = read_collection(&path, SegmentOptions::new(99)).unwrap();
+        assert_eq!(got.mode(), c.mode());
+        assert_eq!(got.len(), c.len());
+        for (a, b) in got.iter().zip(c.iter()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.kb(), b.kb());
+            assert_eq!(a.uri(), b.uri());
+            assert_eq!(a.attributes(), b.attributes());
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tmp_file_never_survives_finish() {
+        let path = tmp_seg("tmpgone");
+        let mut w = SegmentWriter::create(&path, 5).unwrap();
+        w.postings_run(&sample_postings(4)).unwrap();
+        w.finish().unwrap();
+        let mut name = path.file_name().unwrap().to_os_string();
+        name.push(".tmp");
+        assert!(!path.with_file_name(name).exists());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_with_offset() {
+        let path = tmp_seg("trunc");
+        let mut w = SegmentWriter::create(&path, 3).unwrap();
+        w.postings_run(&sample_postings(64)).unwrap();
+        w.finish().unwrap();
+        let good = fs::read(&path).unwrap();
+        for cut in [0, 10, HEADER_LEN as usize, good.len() - 1, good.len() - 40] {
+            fs::write(&path, &good[..cut]).unwrap();
+            let err = Segment::open(&path, SegmentOptions::new(3)).unwrap_err();
+            match err {
+                SegmentError::Truncated { .. }
+                | SegmentError::Checksum { .. }
+                | SegmentError::Malformed { .. }
+                | SegmentError::BadMagic { .. } => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+            assert!(err.to_string().contains("byte"), "offset named: {err}");
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn single_byte_mutations_are_caught() {
+        let path = tmp_seg("mutate");
+        let mut w = SegmentWriter::create(&path, 3).unwrap();
+        w.postings_run(&sample_postings(32)).unwrap();
+        w.finish().unwrap();
+        let good = fs::read(&path).unwrap();
+        let step = (good.len() / 23).max(1);
+        for at in (0..good.len()).step_by(step) {
+            let mut bad = good.clone();
+            bad[at] ^= 0x41;
+            fs::write(&path, &bad).unwrap();
+            assert!(
+                Segment::open(&path, SegmentOptions::new(3)).is_err(),
+                "mutation at byte {at} must be detected"
+            );
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_fingerprint_and_version_are_typed() {
+        let path = tmp_seg("fp");
+        let mut w = SegmentWriter::create(&path, 3).unwrap();
+        w.postings_run(&sample_postings(4)).unwrap();
+        w.finish().unwrap();
+        match Segment::open(&path, SegmentOptions::new(4)).unwrap_err() {
+            SegmentError::Fingerprint {
+                found, expected, ..
+            } => {
+                assert_eq!((found, expected), (3, 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn absent_file_is_a_typed_io_error() {
+        let err = Segment::open(tmp_seg("absent"), SegmentOptions::new(0)).unwrap_err();
+        assert!(matches!(err, SegmentError::Io { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn pager_charges_and_drains_the_budget() {
+        let path = tmp_seg("budget");
+        let mut w = SegmentWriter::create(&path, 11).unwrap();
+        w.postings_run(&sample_postings(10_000)).unwrap();
+        w.finish().unwrap();
+        let budget = MemoryBudget::bytes(8 * 1024);
+        let metrics = StoreMetrics::new(Obs::enabled());
+        {
+            let seg = Segment::open(
+                &path,
+                SegmentOptions::new(11)
+                    .with_budget(budget.clone())
+                    .with_metrics(metrics.clone())
+                    .with_page_bytes(2048),
+            )
+            .unwrap();
+            let mut cursor = seg.postings(0).unwrap();
+            let mut n = 0u64;
+            while cursor.next().unwrap().is_some() {
+                n += 1;
+                assert!(budget.used() <= 8 * 1024, "resident pages within budget");
+            }
+            assert_eq!(n, 30_000);
+            let snap = metrics.obs.snapshot();
+            assert!(
+                snap.counter("colstore.pages_loaded").unwrap_or(0) > 1,
+                "the scan demand-paged: {snap:?}"
+            );
+            // Sequential scans release consumed pages at every refill, so
+            // nothing stays resident between reads — the property that lets
+            // a k-way merge over many runs live inside a tiny budget.
+            assert_eq!(metrics.resident_bytes(), 0, "refills drain the cache");
+            assert_eq!(budget.used(), metrics.resident_bytes());
+        }
+        assert_eq!(budget.used(), 0, "drop releases every page");
+        assert_eq!(metrics.resident_bytes(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn starved_budget_is_a_typed_error_not_a_panic() {
+        let path = tmp_seg("starved");
+        let mut w = SegmentWriter::create(&path, 11).unwrap();
+        w.postings_run(&sample_postings(1000)).unwrap();
+        w.finish().unwrap();
+        // A budget smaller than one page: the pager can never reserve.
+        let budget = MemoryBudget::bytes(64);
+        let seg = Segment::open(
+            &path,
+            SegmentOptions::new(11)
+                .with_budget(budget)
+                .with_page_bytes(4096),
+        )
+        .unwrap();
+        let err = seg.postings(0).unwrap_err();
+        assert!(matches!(err, SegmentError::Resource(_)), "{err:?}");
+    }
+
+    #[test]
+    fn metrics_record_segments_and_runs() {
+        let obs = Obs::enabled();
+        let metrics = StoreMetrics::new(obs.clone());
+        metrics.segment_written(100);
+        metrics.segment_written(28);
+        metrics.runs_merged(3);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("colstore.segments_written"), Some(2));
+        assert_eq!(snap.counter("colstore.segment_bytes"), Some(128));
+        assert_eq!(snap.counter("colstore.runs_merged"), Some(3));
+    }
+}

@@ -55,6 +55,7 @@
 pub mod clusters;
 pub mod codec;
 pub mod collection;
+pub mod colstore;
 pub mod entity;
 pub mod fault;
 pub mod ground_truth;
@@ -73,6 +74,9 @@ pub mod similarity;
 pub mod tokenize;
 
 pub use collection::{EntityCollection, ResolutionMode};
+pub use colstore::{
+    EdgeRecord, OocConfig, Segment, SegmentError, SegmentOptions, SegmentWriter, StoreMetrics,
+};
 pub use entity::{Entity, EntityId, KbId};
 pub use fault::{ExecPolicy, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 pub use ground_truth::GroundTruth;

@@ -17,12 +17,16 @@
 //! * [`supervised`] — supervised pruning: edge features + an averaged
 //!   perceptron learned from a labeled edge sample.
 //! * [`pipeline`] — the end-to-end convenience API.
+//! * [`ooc`] — out-of-core graph construction: edge contributions spilled
+//!   as pair-sorted segment runs and merged streaming, bit-identical to
+//!   the in-memory build (ARCS bits included).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod graph;
 pub mod incremental;
+pub mod ooc;
 pub mod pipeline;
 pub mod pruning;
 pub mod supervised;
@@ -30,6 +34,7 @@ pub mod weights;
 
 pub use graph::BlockingGraph;
 pub use incremental::IncrementalGraph;
+pub use ooc::par_meta_block_ooc_obs;
 pub use pipeline::{meta_block, par_meta_block, par_meta_block_obs};
 pub use pruning::PruningScheme;
 pub use weights::WeightingScheme;

@@ -44,6 +44,7 @@ use er_blocking::sorted_neighborhood::{MultiPassSortedNeighborhood, SortKey};
 use er_blocking::standard::StandardBlocking;
 use er_blocking::TokenBlocking;
 use er_core::collection::EntityCollection;
+use er_core::colstore::{collection_fingerprint, OocConfig, StoreMetrics};
 use er_core::entity::EntityId;
 use er_core::ground_truth::GroundTruth;
 use er_core::matching::{Matcher, TfIdfMatcher, ThresholdMatcher};
@@ -54,7 +55,7 @@ use er_core::parallel::Parallelism;
 use er_core::resource::{MemoryBudget, ResourceLimits, Watchdog};
 use er_core::similarity::SetMeasure;
 use er_mapreduce::{run_dist, DistOptions, SubprocessConfig, SubprocessTransport, Transport};
-use er_metablocking::{par_meta_block_obs, PruningScheme, WeightingScheme};
+use er_metablocking::{par_meta_block_obs, par_meta_block_ooc_obs, PruningScheme, WeightingScheme};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -218,6 +219,8 @@ pub struct Pipeline {
     limits: ResourceLimits,
     backend: Backend,
     worker_program: Option<PathBuf>,
+    segment_dir: Option<PathBuf>,
+    out_of_core: bool,
 }
 
 impl Pipeline {
@@ -237,6 +240,8 @@ impl Pipeline {
             limits: ResourceLimits::none(),
             backend: Backend::default(),
             worker_program: None,
+            segment_dir: None,
+            out_of_core: false,
         }
     }
 
@@ -289,14 +294,7 @@ impl Pipeline {
                     let t1 = Instant::now();
                     let mb_watchdog = self.limits.stage_watchdog();
                     let mb_span = self.obs.span("pipeline.meta_blocking");
-                    let kept = par_meta_block_obs(
-                        collection,
-                        &governed.blocks,
-                        mb.weighting,
-                        mb.pruning,
-                        self.parallelism,
-                        &self.obs,
-                    );
+                    let kept = self.meta_block(collection, &governed.blocks, mb, &budget);
                     mb_span.finish();
                     self.note_overrun("meta_blocking", &mb_watchdog);
                     report.meta_blocking_time = t1.elapsed();
@@ -536,14 +534,7 @@ impl Pipeline {
                 let budget = self.limits.budget();
                 let governed = self.build_blocks(collection, block_based, &budget);
                 match self.meta_blocking {
-                    Some(mb) => par_meta_block_obs(
-                        collection,
-                        &governed.blocks,
-                        mb.weighting,
-                        mb.pruning,
-                        self.parallelism,
-                        &self.obs,
-                    ),
+                    Some(mb) => self.meta_block(collection, &governed.blocks, mb, &budget),
                     None => governed.blocks.distinct_pairs(collection),
                 }
             }
@@ -563,6 +554,18 @@ impl Pipeline {
     ) -> er_blocking::governance::GovernedBlocks {
         let blocks = match stage {
             BlockingStage::Token => match self.backend {
+                Backend::InProcess if self.out_of_core => {
+                    // Forced out-of-core: postings stream through sorted
+                    // on-disk runs; the build's working set is governed by
+                    // the budget (run buffer + resident merge pages), so the
+                    // in-memory admission charge below is skipped.
+                    let cfg = self.ooc_config(collection, "blocking", budget);
+                    let blocks = TokenBlocking::new()
+                        .par_build_ooc_obs(collection, self.parallelism, &self.obs, &cfg)
+                        .unwrap_or_else(|e| panic!("out-of-core blocking failed: {e}"));
+                    let _ = std::fs::remove_dir(&cfg.segment_dir);
+                    blocks
+                }
                 Backend::InProcess => {
                     TokenBlocking::new().par_build_obs(collection, self.parallelism, &self.obs)
                 }
@@ -595,9 +598,47 @@ impl Pipeline {
                 unreachable!("pair-producing stage handled by callers")
             }
         };
-        // The cleaning span is recorded even for `CleaningStage::None`, so a
-        // snapshot always covers all five Fig. 1 stages for block-based runs.
-        let cleaning_span = self.obs.span("pipeline.cleaning");
+        let cleaned = self.clean_blocks(blocks, collection, &self.obs);
+        if self.out_of_core && self.ooc_blocking_applies(stage) {
+            // The out-of-core build already ran under the budget's pager
+            // governance — the cleaned index is admitted whole, zero shed.
+            return er_blocking::governance::GovernedBlocks {
+                blocks: cleaned,
+                reserved_bytes: 0,
+                shed_blocks: 0,
+                shed_comparisons: 0,
+            };
+        }
+        if budget.is_enabled() && self.segment_dir.is_some() && self.ooc_blocking_applies(stage) {
+            // Spill-to-segment rescue: probe the admission charge first, and
+            // when it would breach, rebuild out-of-core instead of letting
+            // `charge_or_shed` drop blocks — bounded memory *and* zero
+            // recall loss, at a reported slowdown.
+            let total: u64 = cleaned
+                .blocks()
+                .iter()
+                .map(er_blocking::governance::block_bytes)
+                .sum();
+            if budget.try_reserve("blocking", total).is_ok() {
+                budget.release(total);
+            } else {
+                drop(cleaned); // free the trial index before the rebuild
+                return self.spill_rescue(collection, total, budget);
+            }
+        }
+        er_blocking::governance::charge_or_shed(cleaned, collection, budget, &self.obs)
+    }
+
+    /// Applies the configured cleaning stage. The cleaning span is recorded
+    /// even for `CleaningStage::None`, so a snapshot always covers all five
+    /// Fig. 1 stages for block-based runs.
+    fn clean_blocks(
+        &self,
+        blocks: BlockCollection,
+        collection: &EntityCollection,
+        obs: &Obs,
+    ) -> BlockCollection {
+        let cleaning_span = obs.span("pipeline.cleaning");
         let cleaned = match self.cleaning {
             CleaningStage::None => blocks,
             CleaningStage::AutoPurge => cleaning::auto_purge(&blocks, collection),
@@ -607,12 +648,127 @@ impl Pipeline {
             }
         };
         cleaning_span.finish();
-        if self.obs.is_enabled() && self.cleaning != CleaningStage::None {
-            self.obs
-                .counter("cleaning.blocks_kept")
+        if obs.is_enabled() && self.cleaning != CleaningStage::None {
+            obs.counter("cleaning.blocks_kept")
                 .add(cleaned.len() as u64);
         }
-        er_blocking::governance::charge_or_shed(cleaned, collection, budget, &self.obs)
+        cleaned
+    }
+
+    /// Whether the out-of-core blocking paths cover this stage: only token
+    /// blocking has a streamed builder, and only the in-process backend runs
+    /// it (the subprocess backend already bounds memory per worker).
+    fn ooc_blocking_applies(&self, stage: &BlockingStage) -> bool {
+        matches!(stage, BlockingStage::Token) && self.backend == Backend::InProcess
+    }
+
+    /// Rebuilds the blocking index out-of-core after the in-memory index
+    /// failed admission. The duplicated stage counters (`blocking.*`, block
+    /// histogram, cleaning) were already recorded by the trial build, so the
+    /// rebuild runs with observability off — only `colstore.*` metrics flow
+    /// through the store handle. The rescued blocks are returned uncharged:
+    /// they exceed the budget by construction, and the explicit account of
+    /// that is the `colstore.spill_rescues` counter plus the warning event,
+    /// not a shed count.
+    fn spill_rescue(
+        &self,
+        collection: &EntityCollection,
+        index_bytes: u64,
+        budget: &MemoryBudget,
+    ) -> er_blocking::governance::GovernedBlocks {
+        let cfg = self.ooc_config(collection, "blocking-rescue", budget);
+        let quiet = Obs::disabled();
+        let rebuilt = TokenBlocking::new()
+            .par_build_ooc_obs(collection, self.parallelism, &quiet, &cfg)
+            .unwrap_or_else(|e| panic!("out-of-core blocking rescue failed: {e}"));
+        let _ = std::fs::remove_dir(&cfg.segment_dir);
+        let cleaned = self.clean_blocks(rebuilt, collection, &quiet);
+        self.obs.counter("colstore.spill_rescues").incr();
+        self.obs.emit(Event::Warning {
+            stage: "blocking".to_string(),
+            reason: format!(
+                "memory budget breach: {index_bytes} byte blocking index exceeds \
+                 the {} byte budget; rebuilt out-of-core with zero comparisons shed",
+                budget.limit().unwrap_or(0)
+            ),
+        });
+        er_blocking::governance::GovernedBlocks {
+            blocks: cleaned,
+            reserved_bytes: 0,
+            shed_blocks: 0,
+            shed_comparisons: 0,
+        }
+    }
+
+    /// Prunes candidates with the configured meta-blocking stage, routing
+    /// through the out-of-core graph builder when
+    /// [`out_of_core`](PipelineBuilder::out_of_core) is set.
+    fn meta_block(
+        &self,
+        collection: &EntityCollection,
+        blocks: &BlockCollection,
+        mb: MetaBlockingStage,
+        budget: &MemoryBudget,
+    ) -> Vec<Pair> {
+        if self.out_of_core {
+            let cfg = self.ooc_config(collection, "metablocking", budget);
+            let kept = par_meta_block_ooc_obs(
+                collection,
+                blocks,
+                mb.weighting,
+                mb.pruning,
+                self.parallelism,
+                &self.obs,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("out-of-core meta-blocking failed: {e}"));
+            let _ = std::fs::remove_dir(&cfg.segment_dir);
+            kept
+        } else {
+            par_meta_block_obs(
+                collection,
+                blocks,
+                mb.weighting,
+                mb.pruning,
+                self.parallelism,
+                &self.obs,
+            )
+        }
+    }
+
+    /// The out-of-core configuration for one stage of one run: a fresh
+    /// per-call spill directory (concurrent runs never collide on run
+    /// files), the collection's fingerprint binding every segment to its
+    /// input, the run's budget, and store metrics flowing into the
+    /// pipeline's obs handle. Index-building stages have no safe early-exit
+    /// point (`note_overrun` reports late completion instead), so the
+    /// config's watchdog stays disarmed — deadline-aborted merges are an
+    /// `OocConfig` capability for callers that *want* typed mid-merge
+    /// failure. With a budget configured, the run buffer and merge pages are
+    /// sized to fractions of it so the spill machinery itself fits inside.
+    fn ooc_config(
+        &self,
+        collection: &EntityCollection,
+        stage: &str,
+        budget: &MemoryBudget,
+    ) -> OocConfig {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let base = self.segment_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "er-ooc-{stage}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut cfg = OocConfig::new(dir)
+            .with_fingerprint(collection_fingerprint(collection))
+            .with_metrics(StoreMetrics::new(self.obs.clone()));
+        if let Some(limit) = budget.limit() {
+            cfg = cfg
+                .with_run_entries((limit / 64).clamp(64, 64 * 1024) as usize)
+                .with_page_bytes((limit / 8).clamp(512, 16 * 1024));
+        }
+        cfg.with_budget(budget.clone())
     }
 
     /// The worker-pool configuration of the subprocess backend: the
@@ -776,6 +932,8 @@ pub struct PipelineBuilder {
     limits: ResourceLimits,
     backend: Backend,
     worker_program: Option<PathBuf>,
+    segment_dir: Option<PathBuf>,
+    out_of_core: bool,
 }
 
 impl PipelineBuilder {
@@ -863,6 +1021,30 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets the directory for out-of-core segment spill files. With a
+    /// memory budget configured, token blocking whose index would breach the
+    /// budget is **rebuilt out-of-core** under this directory instead of
+    /// shedding blocks — bit-identical output, zero recall loss, at a
+    /// reported slowdown. Each run spills into a fresh per-run
+    /// subdirectory, so concurrent pipelines sharing one segment dir never
+    /// collide; spill files are removed before the stage returns.
+    pub fn segment_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.segment_dir = Some(dir.into());
+        self
+    }
+
+    /// Forces the out-of-core build paths unconditionally: token blocking
+    /// streams its postings through sorted on-disk runs and meta-blocking
+    /// spills its edge contributions the same way, regardless of budget
+    /// pressure. Output is bit-identical to the in-memory paths (the
+    /// equivalence is property-tested); the point is bounded stage memory.
+    /// Spill files land under [`segment_dir`](PipelineBuilder::segment_dir)
+    /// when set, the system temp dir otherwise.
+    pub fn out_of_core(mut self, enabled: bool) -> Self {
+        self.out_of_core = enabled;
+        self
+    }
+
     /// Finalizes the pipeline.
     pub fn build(self) -> Pipeline {
         Pipeline {
@@ -876,6 +1058,8 @@ impl PipelineBuilder {
             limits: self.limits,
             backend: self.backend,
             worker_program: self.worker_program,
+            segment_dir: self.segment_dir,
+            out_of_core: self.out_of_core,
         }
     }
 }
@@ -1178,6 +1362,104 @@ mod tests {
         assert!(governed.matches.is_empty());
         // Every entity survives as a singleton cluster.
         assert_eq!(governed.clusters.len(), ds.collection.len());
+    }
+
+    fn ooc_tmp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "er-pipeline-ooc-{}-{tag}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn out_of_core_run_is_bit_identical_to_default() {
+        let ds = dataset();
+        let plain = Pipeline::builder().build().run(&ds.collection);
+        let dir = ooc_tmp_dir("forced");
+        for threads in [1, 4] {
+            let ooc = Pipeline::builder()
+                .parallelism(Parallelism::threads(threads))
+                .segment_dir(&dir)
+                .out_of_core(true)
+                .build()
+                .run(&ds.collection);
+            assert_eq!(ooc.matches, plain.matches, "{threads} threads");
+            assert_eq!(ooc.clusters, plain.clusters, "{threads} threads");
+            assert_eq!(
+                ooc.report.scheduled_comparisons, plain.report.scheduled_comparisons,
+                "{threads} threads"
+            );
+            assert_eq!(ooc.report.shed_comparisons, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_core_run_records_colstore_metrics() {
+        let ds = dataset();
+        let dir = ooc_tmp_dir("metrics");
+        let p = Pipeline::builder()
+            .observability(Obs::enabled())
+            .segment_dir(&dir)
+            .out_of_core(true)
+            .build();
+        p.run(&ds.collection);
+        let snap = p.metrics();
+        let written = snap.counter("colstore.segments_written").unwrap_or(0);
+        assert!(written > 0, "forced ooc must write segments: {snap:?}");
+        assert!(snap.counter("colstore.segment_bytes").unwrap_or(0) > 0);
+        assert!(snap.counter("colstore.runs_merged").unwrap_or(0) >= written);
+        assert_eq!(
+            snap.gauge("colstore.resident_bytes"),
+            Some(0.0),
+            "all pages released after the run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_budget_with_segment_dir_rescues_instead_of_shedding() {
+        let ds = dataset();
+        let plain = Pipeline::builder().build().run(&ds.collection);
+        let dir = ooc_tmp_dir("rescue");
+        let obs = Obs::enabled();
+        let rescued = Pipeline::builder()
+            .observability(obs.clone())
+            .resource_limits(ResourceLimits::none().with_memory_bytes(4096))
+            .segment_dir(&dir)
+            .build()
+            .run(&ds.collection);
+        // The same 4 KiB budget that sheds without a segment dir (see
+        // `tiny_memory_budget_sheds_blocks_instead_of_aborting`) now resolves
+        // bit-identically with zero recall loss.
+        assert_eq!(rescued.report.shed_comparisons, 0, "{:?}", rescued.report);
+        assert_eq!(rescued.matches, plain.matches);
+        assert_eq!(rescued.clusters, plain.clusters);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("colstore.spill_rescues"), Some(1));
+        assert!(snap.counter("colstore.segments_written").unwrap_or(0) > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generous_budget_with_segment_dir_never_spills() {
+        let ds = dataset();
+        let dir = ooc_tmp_dir("no-spill");
+        let obs = Obs::enabled();
+        let res = Pipeline::builder()
+            .observability(obs.clone())
+            .resource_limits(ResourceLimits::none().with_memory_bytes(1 << 30))
+            .segment_dir(&dir)
+            .build()
+            .run(&ds.collection);
+        assert_eq!(res.report.shed_comparisons, 0);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("colstore.spill_rescues"), None);
+        assert_eq!(snap.counter("colstore.segments_written"), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

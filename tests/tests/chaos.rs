@@ -618,3 +618,205 @@ proptest! {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Segment codec robustness: the out-of-core store under hostile bytes
+// ---------------------------------------------------------------------------
+
+/// Byte-level sibling of [`mutate`]: the same four mutation kinds (truncate /
+/// flip / splice-out / duplicate-over-tail) applied to raw bytes, because
+/// segment files are binary and a UTF-8 round-trip would corrupt them in
+/// ways no filesystem ever produces.
+fn mutate_bytes(bytes: &[u8], seed: u64) -> Vec<u8> {
+    let mut bytes = bytes.to_vec();
+    if bytes.is_empty() {
+        return bytes;
+    }
+    let mut s = seed | 1;
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    match seed % 4 {
+        0 => bytes.truncate((next() as usize) % bytes.len()),
+        1 => {
+            let i = (next() as usize) % bytes.len();
+            bytes[i] ^= (1 << (next() % 8)) as u8;
+        }
+        2 => {
+            let a = (next() as usize) % bytes.len();
+            let b = ((next() as usize) % (bytes.len() - a)).min(64);
+            bytes.drain(a..a + b);
+        }
+        _ => {
+            let k = ((next() as usize) % bytes.len()).max(1);
+            let prefix: Vec<u8> = bytes[..k].to_vec();
+            bytes.extend_from_slice(&prefix);
+        }
+    }
+    bytes
+}
+
+/// Fingerprint every chaos segment is written (and opened) with.
+const SEG_FINGERPRINT: u64 = 0xfeed_beef;
+
+/// A valid four-section segment (dict + descriptions + postings + edges)
+/// exercising every codec the out-of-core paths read back.
+fn segment_bytes() -> &'static Vec<u8> {
+    use er_core::colstore::SegmentWriter;
+    use er_core::entity::EntityId;
+    use er_core::intern::Symbol;
+    use er_core::EdgeRecord;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut c =
+            er_core::collection::EntityCollection::new(er_core::collection::ResolutionMode::Dirty);
+        for i in 0..20u32 {
+            c.push(
+                er_core::KbId(0),
+                vec![("name".to_string(), format!("entity alpha {i}"))],
+            );
+        }
+        let dict = er_core::colstore::collection_dict(&c);
+        let path = chaos_file("segment-template", 0);
+        let mut w = SegmentWriter::create(&path, SEG_FINGERPRINT).unwrap();
+        w.dict(&dict).unwrap();
+        w.descriptions(&c, &dict).unwrap();
+        let postings: Vec<(Symbol, EntityId)> = (0..200u32)
+            .map(|i| (Symbol(i / 4), EntityId(i % 20)))
+            .collect();
+        w.postings_run(&postings).unwrap();
+        let edges: Vec<EdgeRecord> = (0..100u32)
+            .map(|i| EdgeRecord {
+                a: i,
+                b: i + 1,
+                count: 1 + i % 3,
+                weight_bits: (0.25_f64 * f64::from(i)).to_bits(),
+            })
+            .collect();
+        w.edge_run(&edges).unwrap();
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        bytes
+    })
+}
+
+/// Opens `path` as a segment and, if the envelope validates, decodes every
+/// section through its codec — the full read surface a k-way merge or a
+/// collection reload would touch. Any failure is returned, never panicked.
+fn scan_segment(path: &std::path::Path) -> Result<(), er_core::SegmentError> {
+    use er_core::colstore::{KIND_DESC, KIND_DICT, KIND_EDGES, KIND_POSTINGS};
+    let seg = er_core::Segment::open(path, er_core::SegmentOptions::new(SEG_FINGERPRINT))?;
+    let mut dict = None;
+    for (i, info) in seg.sections().to_vec().iter().enumerate() {
+        match info.kind {
+            KIND_DICT => dict = Some(seg.read_dict(i)?),
+            KIND_DESC => {
+                let d = dict.as_ref().expect("template writes dict before desc");
+                seg.read_collection(i, d)?;
+            }
+            KIND_POSTINGS => {
+                let mut cur = seg.postings(i)?;
+                while cur.next()?.is_some() {}
+            }
+            KIND_EDGES => {
+                let mut cur = seg.edges(i)?;
+                while cur.next()?.is_some() {}
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// The byte offset a [`SegmentError`] anchors its diagnosis to, if the
+/// variant carries one (`Version`/`Fingerprint` pin fixed header offsets in
+/// their rendered message instead; `Resource` is not a file defect).
+fn segment_error_offset(e: &er_core::SegmentError) -> Option<u64> {
+    use er_core::SegmentError as E;
+    match e {
+        E::Io { offset, .. }
+        | E::Truncated { offset, .. }
+        | E::BadMagic { offset, .. }
+        | E::Checksum { offset, .. }
+        | E::Malformed { offset, .. } => Some(*offset),
+        E::Version { .. } | E::Fingerprint { .. } => None,
+        E::Resource(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A segment truncated at an arbitrary byte offset is always rejected
+    /// with a typed error anchored inside the file — the footer geometry
+    /// and checksum make silent short reads impossible. Never a panic.
+    #[test]
+    fn segment_reader_survives_truncation_at_any_offset(seed in 0u64..=u64::MAX) {
+        let good = segment_bytes();
+        let cut = (seed as usize) % good.len();
+        let path = chaos_file("seg-trunc", seed % 64);
+        std::fs::write(&path, &good[..cut]).unwrap();
+        let err = scan_segment(&path).expect_err("a truncated segment must be rejected");
+        prop_assert!(!err.to_string().is_empty());
+        if let Some(offset) = segment_error_offset(&err) {
+            prop_assert!(
+                offset <= cut as u64,
+                "error offset {offset} past truncated length {cut}: {err}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A mutated segment (truncate / bit-flip / splice-out / duplicated
+    /// tail) either still validates — only possible when the mutation was
+    /// byte-for-byte idempotent — or fails with a typed error whose offset
+    /// lies inside the mutated file. Never a panic.
+    #[test]
+    fn segment_reader_survives_mutated_files(seed in 0u64..=u64::MAX) {
+        let good = segment_bytes();
+        let bad = mutate_bytes(good, seed);
+        let path = chaos_file("seg-mut", seed % 64);
+        std::fs::write(&path, &bad).unwrap();
+        match scan_segment(&path) {
+            // The FNV checksum covers every payload byte, so acceptance
+            // means the mutation reproduced the original bytes exactly
+            // (e.g. a duplicated-prefix mutation of an empty range).
+            Ok(()) => prop_assert_eq!(&bad, good, "a changed segment must not validate"),
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+                if let Some(offset) = segment_error_offset(&e) {
+                    prop_assert!(
+                        offset <= bad.len() as u64,
+                        "error offset {} past file length {}: {}", offset, bad.len(), e
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Arbitrary byte soup presented as a segment: always a typed error
+    /// (open demands magic, version, fingerprint, footer geometry and a
+    /// matching checksum), never a panic, never an unbounded allocation —
+    /// section lengths are validated against the file before any read.
+    #[test]
+    fn segment_reader_survives_arbitrary_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let path = chaos_file("seg-soup", (bytes.len() as u64) % 64);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = scan_segment(&path).expect_err("byte soup must be rejected");
+        prop_assert!(!err.to_string().is_empty());
+        if let Some(offset) = segment_error_offset(&err) {
+            prop_assert!(
+                offset <= bytes.len() as u64,
+                "error offset {} past file length {}: {}", offset, bytes.len(), err
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
